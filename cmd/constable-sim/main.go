@@ -1,0 +1,115 @@
+// Command constable-sim runs one workload on the simulated core under a
+// chosen mechanism configuration and prints performance, coverage and power
+// results.
+//
+// Usage:
+//
+//	constable-sim -workload server-kvstore-00 -mech constable -n 200000
+//	constable-sim -list
+//	constable-sim -workload client-browser-00 -mech eves+constable -smt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"constable/internal/sim"
+	"constable/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("constable-sim: ")
+
+	var (
+		name    = flag.String("workload", "server-kvstore-00", "workload name (see -list)")
+		mech    = flag.String("mech", "constable", "mechanism: baseline, eves, constable, eves+constable, elar, rfp, ideal, ideal-lvp, ideal-lvp-dfe")
+		n       = flag.Uint64("n", 200_000, "committed-path instructions to simulate")
+		smt     = flag.Bool("smt", false, "run two SMT contexts of the workload")
+		apx     = flag.Bool("apx", false, "use the 32-register (APX) build of the workload")
+		list    = flag.Bool("list", false, "list all workloads and exit")
+		verbose = flag.Bool("v", false, "print the full counter dump")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, s := range workload.Suite() {
+			fmt.Printf("%-30s %s\n", s.Name, s.Category)
+		}
+		return
+	}
+
+	spec, err := workload.ByName(*name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := parseMech(*mech)
+	if err != nil {
+		log.Fatal(err)
+	}
+	threads := 1
+	if *smt {
+		threads = 2
+	}
+
+	base, err := sim.Run(sim.Options{Workload: spec, Instructions: *n, Threads: threads, APX: *apx})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sim.Run(sim.Options{Workload: spec, Instructions: *n, Threads: threads, APX: *apx, Mech: m})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload   %s (%s)%s\n", spec.Name, spec.Category, map[bool]string{true: " [SMT2]", false: ""}[*smt])
+	fmt.Printf("mechanism  %s\n", *mech)
+	fmt.Printf("cycles     %d (baseline %d)\n", res.Cycles, base.Cycles)
+	fmt.Printf("IPC        %.3f (baseline %.3f)\n", res.IPC, base.IPC)
+	fmt.Printf("speedup    %+.2f%%\n", 100*(sim.Speedup(base, res)-1))
+	st := res.Pipeline
+	if st.RetiredLoads > 0 {
+		fmt.Printf("loads      %d retired, %d eliminated (%.1f%%), %d value-predicted (%.1f%%)\n",
+			st.RetiredLoads, st.EliminatedLoads,
+			100*float64(st.EliminatedLoads)/float64(st.RetiredLoads),
+			st.ValuePredicted,
+			100*float64(st.ValuePredicted)/float64(st.RetiredLoads))
+	}
+	fmt.Printf("RS allocs  %d (baseline %d, %+.1f%%)\n", st.RSAllocs, base.Pipeline.RSAllocs,
+		100*(float64(st.RSAllocs)/float64(base.Pipeline.RSAllocs)-1))
+	fmt.Printf("L1-D       %d accesses (baseline %d, %+.1f%%)\n", res.L1DAccesses, base.L1DAccesses,
+		100*(float64(res.L1DAccesses)/float64(base.L1DAccesses)-1))
+	fmt.Printf("power      %.1f%% of baseline dynamic energy\n", 100*res.Power.Total()/base.Power.Total())
+	fmt.Printf("breakdown  %s", res.Power)
+
+	if *verbose {
+		fmt.Fprintf(os.Stdout, "\npipeline stats: %+v\n", st)
+		fmt.Fprintf(os.Stdout, "constable stats: %+v\n", res.Constable)
+	}
+}
+
+func parseMech(s string) (sim.Mechanism, error) {
+	switch s {
+	case "baseline":
+		return sim.Mechanism{}, nil
+	case "eves":
+		return sim.Mechanism{EVES: true}, nil
+	case "constable":
+		return sim.Mechanism{Constable: true}, nil
+	case "eves+constable":
+		return sim.Mechanism{EVES: true, Constable: true}, nil
+	case "elar":
+		return sim.Mechanism{ELAR: true}, nil
+	case "rfp":
+		return sim.Mechanism{RFP: true}, nil
+	case "ideal":
+		return sim.Mechanism{IdealConstable: true}, nil
+	case "ideal-lvp":
+		return sim.Mechanism{IdealStableLVP: true}, nil
+	case "ideal-lvp-dfe":
+		return sim.Mechanism{IdealStableLVP: true, IdealDataFetchElim: true}, nil
+	default:
+		return sim.Mechanism{}, fmt.Errorf("unknown mechanism %q", s)
+	}
+}

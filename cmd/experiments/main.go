@@ -1,0 +1,51 @@
+// Command experiments regenerates the paper's tables and figures. Each
+// experiment id corresponds to one artifact in the evaluation; see DESIGN.md
+// §3 for the index and EXPERIMENTS.md for paper-vs-measured comparisons.
+//
+// Usage:
+//
+//	experiments -run fig11               # one experiment, small suite
+//	experiments -run all -full -n 150000 # everything over all 90 workloads
+//	experiments -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"constable/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+
+	var (
+		run  = flag.String("run", "all", `experiment id (e.g. "fig11", "tab1") or "all"`)
+		n    = flag.Uint64("n", 80_000, "instructions per workload per configuration")
+		full = flag.Bool("full", false, "use all 90 workloads instead of the 15-workload small suite")
+		list = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	runner := experiments.NewRunner(experiments.Config{
+		Instructions: *n,
+		FullSuite:    *full,
+		Out:          os.Stdout,
+	})
+	if *list {
+		for _, id := range runner.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	start := time.Now()
+	if err := runner.Run(*run); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncompleted in %v\n", time.Since(start).Round(time.Millisecond))
+}

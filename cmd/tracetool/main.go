@@ -1,0 +1,147 @@
+// Command tracetool captures workload executions into the compact binary
+// trace format (internal/trace) and replays or inspects saved traces — the
+// snapshot-trace methodology of §8.3.
+//
+// Usage:
+//
+//	tracetool -capture -workload server-kvstore-00 -n 500000 -o kvstore.trace
+//	tracetool -replay kvstore.trace -mech constable
+//	tracetool -info kvstore.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"constable/internal/cache"
+	"constable/internal/constable"
+	"constable/internal/fsim"
+	"constable/internal/inspector"
+	"constable/internal/pipeline"
+	"constable/internal/trace"
+	"constable/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracetool: ")
+
+	var (
+		capture = flag.Bool("capture", false, "capture a workload execution to -o")
+		replay  = flag.String("replay", "", "replay a trace file through the timing model")
+		info    = flag.String("info", "", "print the Load Inspector analysis of a trace file")
+		name    = flag.String("workload", "server-kvstore-00", "workload to capture")
+		n       = flag.Uint64("n", 300_000, "instructions to capture")
+		out     = flag.String("o", "workload.trace", "output trace path")
+		apx     = flag.Bool("apx", false, "capture the 32-register (APX) build")
+		mech    = flag.String("mech", "baseline", "replay mechanism: baseline or constable")
+	)
+	flag.Parse()
+
+	switch {
+	case *capture:
+		if err := doCapture(*name, *out, *n, *apx); err != nil {
+			log.Fatal(err)
+		}
+	case *replay != "":
+		if err := doReplay(*replay, *mech); err != nil {
+			log.Fatal(err)
+		}
+	case *info != "":
+		if err := doInfo(*info); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatal("pass -capture, -replay <file> or -info <file>")
+	}
+}
+
+func doCapture(name, out string, n uint64, apx bool) error {
+	spec, err := workload.ByName(name)
+	if err != nil {
+		return err
+	}
+	cpu, err := spec.NewCPU(apx)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	count, err := trace.Capture(f, fsim.NewStream(cpu, n), n)
+	if err != nil {
+		return err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("captured %d instructions of %s to %s (%.1f bytes/record)\n",
+		count, name, out, float64(st.Size())/float64(count))
+	return nil
+}
+
+func doReplay(path, mech string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		return err
+	}
+	var att pipeline.Attachments
+	switch mech {
+	case "baseline":
+	case "constable":
+		att.Constable = constable.New(constable.DefaultConfig())
+	default:
+		return fmt.Errorf("unknown replay mechanism %q", mech)
+	}
+	core := pipeline.NewCore(pipeline.DefaultConfig(), att,
+		cache.NewHierarchy(cache.DefaultHierarchyConfig()), r)
+	if err := core.Run(1 << 40); err != nil {
+		return err
+	}
+	if r.Err() != nil {
+		return fmt.Errorf("trace decode: %w", r.Err())
+	}
+	st := core.Stats
+	fmt.Printf("replayed %d instructions in %d cycles (IPC %.3f)\n", st.Retired, st.Cycles, st.IPC())
+	if att.Constable != nil {
+		fmt.Printf("eliminated %d of %d loads (%.1f%%), golden checks passed: %d\n",
+			st.EliminatedLoads, st.RetiredLoads,
+			100*float64(st.EliminatedLoads)/float64(st.RetiredLoads), st.GoldenChecks)
+	}
+	return nil
+}
+
+func doInfo(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		return err
+	}
+	ins := inspector.New()
+	for {
+		d, ok := r.Next()
+		if !ok {
+			break
+		}
+		ins.Observe(&d)
+	}
+	if r.Err() != nil {
+		return fmt.Errorf("trace decode: %w", r.Err())
+	}
+	fmt.Print(ins.Report())
+	return nil
+}

@@ -1,0 +1,66 @@
+// SMT contention: the paper's key SMT2 result (§9.1.2) is that Constable's
+// benefit grows under simultaneous multithreading because elimination
+// fundamentally reduces demand on the load execution resources that SMT
+// threads share, while value prediction (EVES) still executes every
+// predicted load. This example compares geomean speedups over a handful of
+// Client/Enterprise/Server workloads in both modes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"constable/internal/sim"
+	"constable/internal/stats"
+	"constable/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	var specs []*workload.Spec
+	for _, s := range workload.SmallSuite() {
+		switch s.Category {
+		case workload.Client, workload.Enterprise, workload.Server:
+			specs = append(specs, s)
+		}
+	}
+	const n = 50_000
+
+	configs := []struct {
+		name string
+		mech sim.Mechanism
+	}{
+		{"EVES", sim.Mechanism{EVES: true}},
+		{"Constable", sim.Mechanism{Constable: true}},
+		{"EVES+Constable", sim.Mechanism{EVES: true, Constable: true}},
+	}
+
+	for _, threads := range []int{1, 2} {
+		label := "noSMT"
+		if threads == 2 {
+			label = "SMT2 (two contexts sharing RS, ports and caches)"
+		}
+		fmt.Printf("%s — geomean over %d workloads:\n", label, len(specs))
+		for _, c := range configs {
+			var speedups []float64
+			for _, spec := range specs {
+				base, err := sim.Run(sim.Options{Workload: spec, Instructions: n, Threads: threads})
+				if err != nil {
+					log.Fatal(err)
+				}
+				res, err := sim.Run(sim.Options{Workload: spec, Instructions: n, Threads: threads, Mech: c.mech})
+				if err != nil {
+					log.Fatal(err)
+				}
+				speedups = append(speedups, sim.Speedup(base, res))
+			}
+			fmt.Printf("  %-16s %+6.2f%%\n", c.name, 100*(stats.Geomean(speedups)-1))
+		}
+		fmt.Println()
+	}
+	fmt.Println("paper: under SMT2, Constable (+8.8%) clearly beats EVES (+3.6%) because")
+	fmt.Println("only elimination relieves shared load-port contention. At this reduced")
+	fmt.Println("scale the effect is visible on contended, load-heavy workloads; raise n")
+	fmt.Println("for tighter geomeans.")
+}

@@ -1,0 +1,221 @@
+// Package bpred implements the front-end branch prediction substrate: a
+// TAGE-style tagged geometric-history direction predictor, a branch target
+// buffer, and a return address stack. The baseline core (Table 2 of the
+// paper) uses TAGE/ITTAGE with a 20-cycle misprediction penalty; this is a
+// compact TAGE with the same structure (bimodal base + tagged components
+// with geometrically-growing history lengths).
+package bpred
+
+import "constable/internal/isa"
+
+const (
+	numTables   = 4  // tagged components
+	tableBits   = 10 // entries per tagged component = 1<<tableBits
+	bimodalBits = 12 // bimodal base table entries = 1<<bimodalBits
+	tagBits     = 11
+	maxHistory  = 128
+	rasDepth    = 32
+	btbBits     = 11
+)
+
+// history lengths for the tagged components (geometric series).
+var histLens = [numTables]int{4, 12, 34, 96}
+
+type tageEntry struct {
+	tag    uint32
+	ctr    int8 // signed 3-bit counter: taken if >= 0
+	useful uint8
+}
+
+// Predictor is the combined direction predictor + BTB + RAS. The zero value
+// is not usable; call New.
+type Predictor struct {
+	bimodal []int8
+	tables  [numTables][]tageEntry
+	ghist   [maxHistory]bool
+	gpos    int // circular position
+
+	btb []btbEntry
+	ras []uint64
+
+	// statistics
+	Lookups     uint64
+	Mispredicts uint64
+}
+
+type btbEntry struct {
+	pc     uint64
+	target uint64
+	valid  bool
+}
+
+// New returns an initialized predictor.
+func New() *Predictor {
+	p := &Predictor{
+		bimodal: make([]int8, 1<<bimodalBits),
+		btb:     make([]btbEntry, 1<<btbBits),
+		ras:     make([]uint64, 0, rasDepth),
+	}
+	for i := range p.tables {
+		p.tables[i] = make([]tageEntry, 1<<tableBits)
+	}
+	return p
+}
+
+func (p *Predictor) histBit(i int) bool {
+	return p.ghist[(p.gpos-1-i+2*maxHistory)%maxHistory]
+}
+
+// foldedHist compresses the most recent n history bits into bits output bits.
+func (p *Predictor) foldedHist(n, bits int) uint32 {
+	var h uint32
+	for i := 0; i < n; i++ {
+		if p.histBit(i) {
+			h ^= 1 << (uint(i) % uint(bits))
+		}
+	}
+	return h
+}
+
+func (p *Predictor) index(pc uint64, t int) uint32 {
+	h := p.foldedHist(histLens[t], tableBits)
+	return (uint32(pc>>2) ^ h ^ uint32(t)*0x9E37) & ((1 << tableBits) - 1)
+}
+
+func (p *Predictor) tag(pc uint64, t int) uint32 {
+	h := p.foldedHist(histLens[t], tagBits)
+	return (uint32(pc>>2)*2654435761 ^ h) & ((1 << tagBits) - 1)
+}
+
+// PredictDirection predicts the direction of the conditional branch at pc.
+func (p *Predictor) PredictDirection(pc uint64) bool {
+	p.Lookups++
+	taken, _, _ := p.predict(pc)
+	return taken
+}
+
+// predict returns (prediction, provider table index or -1 for bimodal,
+// provider entry index).
+func (p *Predictor) predict(pc uint64) (bool, int, uint32) {
+	for t := numTables - 1; t >= 0; t-- {
+		idx := p.index(pc, t)
+		e := &p.tables[t][idx]
+		if e.tag == p.tag(pc, t) {
+			return e.ctr >= 0, t, idx
+		}
+	}
+	bi := (pc >> 2) & ((1 << bimodalBits) - 1)
+	return p.bimodal[bi] >= 0, -1, uint32(bi)
+}
+
+// UpdateDirection trains the predictor with the resolved outcome and shifts
+// the global history. It must be called exactly once per conditional branch,
+// in fetch order.
+func (p *Predictor) UpdateDirection(pc uint64, taken bool) {
+	pred, provider, idx := p.predict(pc)
+	if pred != taken {
+		p.Mispredicts++
+	}
+
+	// Update the provider's counter.
+	if provider >= 0 {
+		e := &p.tables[provider][idx]
+		e.ctr = satUpdate(e.ctr, taken, 3)
+		if pred == taken && e.useful < 3 {
+			e.useful++
+		}
+	} else {
+		bi := idx
+		p.bimodal[bi] = satUpdate(p.bimodal[bi], taken, 2)
+	}
+
+	// On a misprediction, allocate in a longer-history table.
+	if pred != taken && provider < numTables-1 {
+		start := provider + 1
+		allocated := false
+		for t := start; t < numTables; t++ {
+			i := p.index(pc, t)
+			e := &p.tables[t][i]
+			if e.useful == 0 {
+				e.tag = p.tag(pc, t)
+				if taken {
+					e.ctr = 0
+				} else {
+					e.ctr = -1
+				}
+				allocated = true
+				break
+			}
+		}
+		if !allocated {
+			for t := start; t < numTables; t++ {
+				e := &p.tables[t][p.index(pc, t)]
+				if e.useful > 0 {
+					e.useful--
+				}
+			}
+		}
+	}
+
+	// Shift history.
+	p.ghist[p.gpos] = taken
+	p.gpos = (p.gpos + 1) % maxHistory
+}
+
+func satUpdate(c int8, taken bool, bits uint) int8 {
+	max := int8(1<<(bits-1)) - 1
+	min := -int8(1 << (bits - 1))
+	if taken {
+		if c < max {
+			c++
+		}
+	} else if c > min {
+		c--
+	}
+	return c
+}
+
+// PredictTarget returns the predicted target for a taken control-flow
+// instruction at pc. Returns look-up success; unconditional direct branches
+// hit after first encounter, returns use the RAS.
+func (p *Predictor) PredictTarget(pc uint64, op isa.Op) (uint64, bool) {
+	if op == isa.OpRet {
+		if len(p.ras) == 0 {
+			return 0, false
+		}
+		return p.ras[len(p.ras)-1], true
+	}
+	e := &p.btb[(pc>>2)&((1<<btbBits)-1)]
+	if e.valid && e.pc == pc {
+		return e.target, true
+	}
+	return 0, false
+}
+
+// UpdateTarget installs the resolved target into the BTB and maintains the
+// RAS for calls and returns. Call it in fetch order for every taken branch.
+func (p *Predictor) UpdateTarget(pc uint64, op isa.Op, target uint64) {
+	switch op {
+	case isa.OpCall:
+		if len(p.ras) == rasDepth {
+			copy(p.ras, p.ras[1:])
+			p.ras = p.ras[:rasDepth-1]
+		}
+		p.ras = append(p.ras, pc+isa.InstBytes)
+	case isa.OpRet:
+		if len(p.ras) > 0 {
+			p.ras = p.ras[:len(p.ras)-1]
+		}
+		return // returns are predicted by the RAS, not the BTB
+	}
+	e := &p.btb[(pc>>2)&((1<<btbBits)-1)]
+	e.pc, e.target, e.valid = pc, target, true
+}
+
+// MispredictRate returns the fraction of direction lookups that mispredicted.
+func (p *Predictor) MispredictRate() float64 {
+	if p.Lookups == 0 {
+		return 0
+	}
+	return float64(p.Mispredicts) / float64(p.Lookups)
+}

@@ -1,0 +1,166 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func small() *Cache {
+	return NewCache(Config{Name: "t", Sets: 4, Ways: 2, Latency: 1})
+}
+
+func TestHitAfterFill(t *testing.T) {
+	c := small()
+	if c.Access(100, false) {
+		t.Error("cold access must miss")
+	}
+	if !c.Access(100, false) {
+		t.Error("second access must hit")
+	}
+	if c.Hits != 1 || c.Misses != 1 {
+		t.Errorf("hits=%d misses=%d", c.Hits, c.Misses)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := small()
+	// Lines 0, 4, 8 map to set 0 (4 sets). Ways=2, so inserting the third
+	// evicts the least recently used (line 0).
+	c.Access(0, false)
+	c.Access(4, false)
+	c.Access(8, false)
+	if c.Lookup(0) {
+		t.Error("LRU line must be evicted")
+	}
+	if !c.Lookup(4) || !c.Lookup(8) {
+		t.Error("younger lines must survive")
+	}
+}
+
+func TestLRUUpdatedOnHit(t *testing.T) {
+	c := small()
+	c.Access(0, false)
+	c.Access(4, false)
+	c.Access(0, false) // touch 0; 4 becomes LRU
+	c.Access(8, false)
+	if c.Lookup(4) {
+		t.Error("line 4 should be the victim")
+	}
+	if !c.Lookup(0) {
+		t.Error("recently-touched line 0 must survive")
+	}
+}
+
+func TestOnEvictHook(t *testing.T) {
+	c := small()
+	var evicted []uint64
+	c.OnEvict = func(la uint64) { evicted = append(evicted, la) }
+	c.Access(0, false)
+	c.Access(4, false)
+	c.Access(8, false)
+	if len(evicted) != 1 || evicted[0] != 0 {
+		t.Errorf("evictions = %v, want [0]", evicted)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := small()
+	c.Access(5, false)
+	if !c.Invalidate(5) {
+		t.Error("invalidate must report presence")
+	}
+	if c.Lookup(5) {
+		t.Error("line must be gone after invalidate")
+	}
+	if c.Invalidate(5) {
+		t.Error("second invalidate must report absence")
+	}
+}
+
+func TestFillDoesNotCountDemand(t *testing.T) {
+	c := small()
+	c.Fill(9)
+	if c.Hits != 0 || c.Misses != 0 {
+		t.Error("Fill must not change demand counters")
+	}
+	if !c.Access(9, false) {
+		t.Error("prefetched line must hit")
+	}
+}
+
+func TestDeadBlockAwareVictimSelection(t *testing.T) {
+	c := NewCache(Config{Name: "dba", Sets: 1, Ways: 3, Latency: 1, DeadBlockAware: true})
+	c.Access(1, false)
+	c.Access(1, false) // line 1 is reused
+	c.Access(2, false)
+	c.Access(2, false) // line 2 is reused
+	c.Access(3, false) // line 3 never reused (dead)
+	c.Access(4, false) // needs a victim: must pick the dead line 3
+	if c.Lookup(3) {
+		t.Error("dead-block-aware policy must evict the never-reused line")
+	}
+	if !c.Lookup(1) || !c.Lookup(2) {
+		t.Error("reused lines must survive")
+	}
+}
+
+func TestCacheCapacityInvariant(t *testing.T) {
+	// Property: after any access sequence, the number of resident lines the
+	// cache reports via Lookup never exceeds Sets×Ways.
+	f := func(addrs []uint16) bool {
+		c := NewCache(Config{Name: "q", Sets: 8, Ways: 2, Latency: 1})
+		seen := make(map[uint64]bool)
+		for _, a := range addrs {
+			c.Access(uint64(a), false)
+			seen[uint64(a)] = true
+		}
+		resident := 0
+		for a := range seen {
+			if c.Lookup(a) {
+				resident++
+			}
+		}
+		return resident <= 8*2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	for _, cfg := range []Config{
+		{Name: "bad", Sets: 3, Ways: 2},
+		{Name: "bad", Sets: 0, Ways: 2},
+		{Name: "bad", Sets: 4, Ways: 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v must panic", cfg)
+				}
+			}()
+			NewCache(cfg)
+		}()
+	}
+}
+
+func TestMissRateAndSize(t *testing.T) {
+	c := small()
+	if c.MissRate() != 0 {
+		t.Error("empty cache must report 0 miss rate")
+	}
+	c.Access(1, false)
+	c.Access(1, false)
+	if mr := c.MissRate(); mr != 0.5 {
+		t.Errorf("miss rate = %v, want 0.5", mr)
+	}
+	if s := (Config{Sets: 64, Ways: 12}).SizeBytes(); s != 64*12*64 {
+		t.Errorf("size = %d", s)
+	}
+}
+
+func TestLineAddr(t *testing.T) {
+	if LineAddr(0) != 0 || LineAddr(63) != 0 || LineAddr(64) != 1 || LineAddr(130) != 2 {
+		t.Error("LineAddr wrong")
+	}
+}

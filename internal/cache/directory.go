@@ -1,0 +1,112 @@
+package cache
+
+// Directory is a directory-based coherence layer (MESIF-flavoured, §6.6 of
+// the paper): it tracks, per cacheline, which cores may hold the line via
+// core-valid (CV) bits, and delivers invalidating snoops to sharers when a
+// core writes. It also implements the paper's CV-bit *pinning*: a core may
+// pin its CV bit for a line accessed by an eliminated load, guaranteeing
+// that a future write by any other core still snoops this core even if the
+// line was clean-evicted from its private caches. The pin is released when a
+// snoop is delivered, exactly as §6.6 specifies.
+type Directory struct {
+	numCores int
+	entries  map[uint64]*dirEntry
+
+	// SnoopSink receives invalidating snoops: SnoopSink[core](lineAddr) is
+	// called when core must invalidate lineAddr. Cores register themselves
+	// via RegisterSnoopHandler.
+	sinks []func(lineAddr uint64)
+
+	SnoopsSent uint64
+	PinsSet    uint64
+}
+
+type dirEntry struct {
+	cv     []bool
+	pinned []bool
+}
+
+// NewDirectory builds a directory for numCores cores.
+func NewDirectory(numCores int) *Directory {
+	return &Directory{
+		numCores: numCores,
+		entries:  make(map[uint64]*dirEntry),
+		sinks:    make([]func(uint64), numCores),
+	}
+}
+
+// RegisterSnoopHandler installs the snoop-delivery callback for core.
+func (d *Directory) RegisterSnoopHandler(core int, fn func(lineAddr uint64)) {
+	d.sinks[core] = fn
+}
+
+func (d *Directory) entry(lineAddr uint64) *dirEntry {
+	e, ok := d.entries[lineAddr]
+	if !ok {
+		e = &dirEntry{cv: make([]bool, d.numCores), pinned: make([]bool, d.numCores)}
+		d.entries[lineAddr] = e
+	}
+	return e
+}
+
+// OnFill records that core now holds lineAddr.
+func (d *Directory) OnFill(core int, lineAddr uint64) {
+	d.entry(lineAddr).cv[core] = true
+}
+
+// OnStore delivers invalidating snoops to every other sharer of lineAddr and
+// clears their CV bits and pins.
+func (d *Directory) OnStore(core int, lineAddr uint64) {
+	e, ok := d.entries[lineAddr]
+	if !ok {
+		return
+	}
+	for c := 0; c < d.numCores; c++ {
+		if c == core || !e.cv[c] {
+			continue
+		}
+		e.cv[c] = false
+		e.pinned[c] = false
+		d.SnoopsSent++
+		if d.sinks[c] != nil {
+			d.sinks[c](lineAddr)
+		}
+	}
+}
+
+// OnEvict records that core clean-evicted lineAddr from its private caches.
+// Without a pin, the CV bit is reset and the core will receive no further
+// snoops for the line — which is why Constable must either pin the bit or
+// invalidate its AMT entry (the Constable-AMT-I variant of Fig. 22).
+func (d *Directory) OnEvict(core int, lineAddr uint64) {
+	e, ok := d.entries[lineAddr]
+	if !ok {
+		return
+	}
+	if !e.pinned[core] {
+		e.cv[core] = false
+	}
+}
+
+// Pin pins core's CV bit for lineAddr (called when the memory request of a
+// likely-stable, not-yet-eliminated load returns from the hierarchy).
+func (d *Directory) Pin(core int, lineAddr uint64) {
+	e := d.entry(lineAddr)
+	e.cv[core] = true
+	if !e.pinned[core] {
+		e.pinned[core] = true
+		d.PinsSet++
+	}
+}
+
+// HasCV reports whether core's CV bit is set for lineAddr.
+func (d *Directory) HasCV(core int, lineAddr uint64) bool {
+	e, ok := d.entries[lineAddr]
+	return ok && e.cv[core]
+}
+
+// IsPinned reports whether core's CV bit for lineAddr is pinned.
+func (d *Directory) IsPinned(core int, lineAddr uint64) bool {
+	e, ok := d.entries[lineAddr]
+	return ok && e.pinned[core]
+}

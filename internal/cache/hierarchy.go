@@ -1,0 +1,167 @@
+package cache
+
+import "constable/internal/isa"
+
+// HierarchyConfig parameterizes a core's view of the memory hierarchy.
+// Defaults follow Table 2 of the paper (Golden Cove-like).
+type HierarchyConfig struct {
+	L1D  Config
+	L2   Config
+	LLC  Config
+	DRAM DRAMConfig
+
+	StrideEntries  int
+	StrideDegree   int
+	StreamTrackers int
+	StreamDegree   int
+}
+
+// DefaultHierarchyConfig returns the Table 2 configuration: 48 KB 12-way
+// 5-cycle L1-D, 2 MB 16-way 12-cycle L2, 3 MB 12-way 50-cycle LLC slice with
+// dead-block-aware replacement, DDR4-like DRAM.
+func DefaultHierarchyConfig() HierarchyConfig {
+	return HierarchyConfig{
+		L1D:  Config{Name: "L1D", Sets: 64, Ways: 12, Latency: 5},
+		L2:   Config{Name: "L2", Sets: 2048, Ways: 16, Latency: 12},
+		LLC:  Config{Name: "LLC", Sets: 4096, Ways: 12, Latency: 50, DeadBlockAware: true},
+		DRAM: DefaultDRAMConfig(),
+
+		StrideEntries:  256,
+		StrideDegree:   2,
+		StreamTrackers: 64,
+		StreamDegree:   2,
+	}
+}
+
+// Hierarchy is one core's memory hierarchy: private L1-D and L2, an LLC
+// slice (shareable between cores via SharedLLC), prefetchers and DRAM.
+type Hierarchy struct {
+	L1D  *Cache
+	L2   *Cache
+	LLC  *Cache
+	DRAM *DRAM
+
+	strideL1 *StridePrefetcher
+	streamL2 *Streamer
+
+	// Directory, when non-nil, is consulted on fills and evictions for
+	// multi-core coherence; CoreID identifies this core to it.
+	Directory *Directory
+	CoreID    int
+
+	// Counters.
+	L1DLoadAccesses  uint64
+	L1DStoreAccesses uint64
+	DTLBAccesses     uint64
+	L2Accesses       uint64
+	LLCAccesses      uint64
+	PrefetchFills    uint64
+}
+
+// NewHierarchy builds a hierarchy from cfg. Each call creates private
+// caches; use SetSharedLLC to share an LLC between cores.
+func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
+	return &Hierarchy{
+		L1D:      NewCache(cfg.L1D),
+		L2:       NewCache(cfg.L2),
+		LLC:      NewCache(cfg.LLC),
+		DRAM:     NewDRAM(cfg.DRAM),
+		strideL1: NewStridePrefetcher(cfg.StrideEntries, cfg.StrideDegree),
+		streamL2: NewStreamer(cfg.StreamTrackers, cfg.StreamDegree),
+	}
+}
+
+// SetSharedLLC replaces this hierarchy's LLC and DRAM with shared instances
+// (multi-core configuration).
+func (h *Hierarchy) SetSharedLLC(llc *Cache, dram *DRAM) {
+	h.LLC = llc
+	h.DRAM = dram
+}
+
+// Load performs a demand load of addr for the static load at pc and returns
+// the access latency in core cycles.
+func (h *Hierarchy) Load(pc, addr uint64) int {
+	h.L1DLoadAccesses++
+	h.DTLBAccesses++
+	la := LineAddr(addr)
+	lat := h.access(la, false)
+
+	// Train the L1 stride prefetcher and fill prefetches into L1.
+	for _, pl := range h.strideL1.Observe(pc, addr) {
+		if !h.L1D.Lookup(pl) {
+			h.L1D.Fill(pl)
+			h.PrefetchFills++
+		}
+	}
+	return lat
+}
+
+// LoadPrefetch performs a register-file-prefetch access (RFP): it walks the
+// hierarchy and fills like a load but does not train the stride prefetcher —
+// the predicted address stream would otherwise double-train and poison it.
+func (h *Hierarchy) LoadPrefetch(addr uint64) int {
+	h.L1DLoadAccesses++
+	h.DTLBAccesses++
+	return h.access(LineAddr(addr), false)
+}
+
+// TrainStride feeds a demand access into the L1 stride prefetcher without
+// performing a cache access; used when the data itself was already fetched
+// by a register-file prefetch but the prefetcher must keep seeing the true
+// demand stream.
+func (h *Hierarchy) TrainStride(pc, addr uint64) {
+	for _, pl := range h.strideL1.Observe(pc, addr) {
+		if !h.L1D.Lookup(pl) {
+			h.L1D.Fill(pl)
+			h.PrefetchFills++
+		}
+	}
+}
+
+// Store performs a demand store of addr and returns its latency (stores
+// commit from the store buffer; latency matters only for occupancy).
+func (h *Hierarchy) Store(addr uint64) int {
+	h.L1DStoreAccesses++
+	h.DTLBAccesses++
+	return h.access(LineAddr(addr), true)
+}
+
+// access walks the hierarchy for lineAddr and returns the total latency.
+func (h *Hierarchy) access(lineAddr uint64, write bool) int {
+	lat := h.L1D.Config().Latency
+	if h.L1D.Access(lineAddr, write) {
+		if write && h.Directory != nil {
+			h.Directory.OnStore(h.CoreID, lineAddr)
+		}
+		return lat
+	}
+	lat += h.L2.Config().Latency
+	h.L2Accesses++
+	l2hit := h.L2.Access(lineAddr, write)
+	for _, pl := range h.streamL2.Observe(lineAddr) {
+		if !h.L2.Lookup(pl) {
+			h.L2.Fill(pl)
+			h.PrefetchFills++
+		}
+	}
+	if !l2hit {
+		lat += h.LLC.Config().Latency
+		h.LLCAccesses++
+		if !h.LLC.Access(lineAddr, write) {
+			lat += h.DRAM.Access(lineAddr * isa.CachelineBytes)
+		}
+	}
+	if h.Directory != nil {
+		h.Directory.OnFill(h.CoreID, lineAddr)
+		if write {
+			h.Directory.OnStore(h.CoreID, lineAddr)
+		}
+	}
+	return lat
+}
+
+// InvalidateLine drops the line from the private levels (snoop handling).
+func (h *Hierarchy) InvalidateLine(lineAddr uint64) {
+	h.L1D.Invalidate(lineAddr)
+	h.L2.Invalidate(lineAddr)
+}

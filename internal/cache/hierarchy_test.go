@@ -1,0 +1,193 @@
+package cache
+
+import "testing"
+
+func TestHierarchyLatencies(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchyConfig())
+	addr := uint64(0x2000_0000)
+	cold := h.Load(0x400000, addr)
+	warm := h.Load(0x400000, addr)
+	if warm != 5 {
+		t.Errorf("L1 hit latency = %d, want 5", warm)
+	}
+	if cold <= warm {
+		t.Errorf("cold latency %d must exceed L1 hit %d", cold, warm)
+	}
+	// Cold path must include L1+L2+LLC+DRAM components.
+	if cold < 5+12+50+70 {
+		t.Errorf("cold latency %d smaller than the hierarchy sum", cold)
+	}
+}
+
+func TestL2HitLatency(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchyConfig())
+	addr := uint64(0x2000_0000)
+	h.Load(0x400000, addr)
+	// Evict from the tiny L1 by filling its set with conflicting lines.
+	// L1 has 64 sets, so addresses 64 lines apart collide.
+	for i := 1; i <= 13; i++ {
+		h.Load(0x400000, addr+uint64(i)*64*64)
+	}
+	lat := h.Load(0x400000, addr)
+	if lat != 5+12 {
+		t.Errorf("L2 hit latency = %d, want 17", lat)
+	}
+}
+
+func TestStridePrefetcherCoversStream(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchyConfig())
+	pc := uint64(0x400100)
+	misses := 0
+	for i := 0; i < 256; i++ {
+		addr := 0x3000_0000 + uint64(i)*64 // one load per line, stride 64
+		before := h.L1D.Misses
+		h.Load(pc, addr)
+		if h.L1D.Misses != before {
+			continue
+		}
+		_ = misses
+	}
+	if h.PrefetchFills == 0 {
+		t.Error("stride stream must trigger prefetch fills")
+	}
+	// Steady-state: the miss count must be well below one per line.
+	if h.L1D.Misses > 200 {
+		t.Errorf("L1 misses = %d on a perfectly-strided stream of 256 lines", h.L1D.Misses)
+	}
+}
+
+func TestStoreCountsSeparately(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchyConfig())
+	h.Load(0x400000, 0x2000_0000)
+	h.Store(0x2000_0000)
+	if h.L1DLoadAccesses != 1 || h.L1DStoreAccesses != 1 || h.DTLBAccesses != 2 {
+		t.Errorf("counters: loads=%d stores=%d dtlb=%d",
+			h.L1DLoadAccesses, h.L1DStoreAccesses, h.DTLBAccesses)
+	}
+}
+
+func TestInvalidateLine(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchyConfig())
+	addr := uint64(0x2000_0040)
+	h.Load(0x400000, addr)
+	h.InvalidateLine(LineAddr(addr))
+	if h.L1D.Lookup(LineAddr(addr)) || h.L2.Lookup(LineAddr(addr)) {
+		t.Error("snooped line must leave private caches")
+	}
+}
+
+func TestDRAMRowBuffer(t *testing.T) {
+	d := NewDRAM(DefaultDRAMConfig())
+	first := d.Access(0x1000)
+	second := d.Access(0x1008) // same row
+	if second >= first {
+		t.Errorf("row hit %d must be faster than activate %d", second, first)
+	}
+	if d.RowHitRate() != 0.5 {
+		t.Errorf("row hit rate = %v", d.RowHitRate())
+	}
+	// A conflicting row in the same bank pays precharge.
+	cfg := DefaultDRAMConfig()
+	conflict := d.Access(0x1000 + uint64(cfg.Banks*cfg.RowBytes))
+	if conflict <= second {
+		t.Errorf("row conflict %d must be slower than row hit %d", conflict, second)
+	}
+}
+
+func TestStreamerDetectsSequentialLines(t *testing.T) {
+	s := NewStreamer(16, 2)
+	var prefetches int
+	for i := uint64(0); i < 20; i++ {
+		prefetches += len(s.Observe(1000 + i))
+	}
+	if prefetches == 0 {
+		t.Error("sequential line stream must trigger the streamer")
+	}
+	s2 := NewStreamer(16, 2)
+	rng := []uint64{5, 900, 12, 4400, 7, 31000}
+	total := 0
+	for _, la := range rng {
+		total += len(s2.Observe(la))
+	}
+	if total != 0 {
+		t.Error("random lines must not trigger the streamer")
+	}
+}
+
+func TestStridePrefetcherNeedsConfidence(t *testing.T) {
+	p := NewStridePrefetcher(16, 2)
+	pc := uint64(0x400000)
+	if got := p.Observe(pc, 1000); got != nil {
+		t.Error("first observation must not prefetch")
+	}
+	if got := p.Observe(pc, 1064); got != nil {
+		t.Error("one stride sample must not prefetch")
+	}
+	p.Observe(pc, 1128)
+	if got := p.Observe(pc, 1192); len(got) == 0 {
+		t.Error("confirmed stride must prefetch")
+	}
+	// A stride change resets confidence.
+	if got := p.Observe(pc, 5000); got != nil {
+		t.Error("stride break must not prefetch")
+	}
+}
+
+func TestDirectorySnoopsAndPins(t *testing.T) {
+	d := NewDirectory(2)
+	var snooped []uint64
+	d.RegisterSnoopHandler(0, func(la uint64) { snooped = append(snooped, la) })
+	d.RegisterSnoopHandler(1, func(la uint64) { t.Error("core 1 must not be snooped") })
+
+	d.OnFill(0, 77)
+	if !d.HasCV(0, 77) {
+		t.Error("fill must set CV")
+	}
+	// A write by core 1 snoops core 0.
+	d.OnStore(1, 77)
+	if len(snooped) != 1 || snooped[0] != 77 {
+		t.Errorf("snoops = %v", snooped)
+	}
+	if d.HasCV(0, 77) {
+		t.Error("snoop must clear CV")
+	}
+
+	// Pinning survives clean eviction.
+	d.OnFill(0, 88)
+	d.Pin(0, 88)
+	d.OnEvict(0, 88)
+	if !d.HasCV(0, 88) {
+		t.Error("pinned CV bit must survive clean eviction")
+	}
+	// Without a pin, eviction clears CV and no snoop is sent.
+	d.OnFill(0, 99)
+	d.OnEvict(0, 99)
+	if d.HasCV(0, 99) {
+		t.Error("unpinned CV bit must clear on eviction")
+	}
+	snooped = nil
+	d.OnStore(1, 99)
+	if len(snooped) != 0 {
+		t.Error("no snoop expected for a line with cleared CV")
+	}
+
+	// A snoop releases the pin.
+	snooped = nil
+	d.OnStore(1, 88)
+	if len(snooped) != 1 {
+		t.Error("pinned line must be snooped")
+	}
+	if d.IsPinned(0, 88) || d.HasCV(0, 88) {
+		t.Error("snoop must release the pin and clear CV")
+	}
+}
+
+func TestDirectoryOwnStoreDoesNotSelfSnoop(t *testing.T) {
+	d := NewDirectory(2)
+	d.RegisterSnoopHandler(0, func(uint64) { t.Error("self-snoop") })
+	d.OnFill(0, 5)
+	d.OnStore(0, 5)
+	if d.SnoopsSent != 0 {
+		t.Error("writing core must not snoop itself")
+	}
+}

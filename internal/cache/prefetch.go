@@ -1,0 +1,107 @@
+package cache
+
+// StridePrefetcher is the PC-based stride prefetcher attached to the L1-D
+// (Table 2). It learns a per-PC stride over load addresses and, once
+// confident, prefetches degree lines ahead.
+type StridePrefetcher struct {
+	table  []strideEntry
+	degree int
+	Issued uint64
+}
+
+type strideEntry struct {
+	pc       uint64
+	lastAddr uint64
+	stride   int64
+	conf     int
+	valid    bool
+}
+
+// NewStridePrefetcher builds a prefetcher with the given table size and
+// prefetch degree.
+func NewStridePrefetcher(entries, degree int) *StridePrefetcher {
+	return &StridePrefetcher{table: make([]strideEntry, entries), degree: degree}
+}
+
+// Observe trains on a demand load and returns the line addresses to
+// prefetch (possibly none).
+func (p *StridePrefetcher) Observe(pc, addr uint64) []uint64 {
+	e := &p.table[(pc>>2)%uint64(len(p.table))]
+	if !e.valid || e.pc != pc {
+		*e = strideEntry{pc: pc, lastAddr: addr, valid: true}
+		return nil
+	}
+	stride := int64(addr) - int64(e.lastAddr)
+	if stride == e.stride && stride != 0 {
+		if e.conf < 3 {
+			e.conf++
+		}
+	} else {
+		e.conf = 0
+		e.stride = stride
+	}
+	e.lastAddr = addr
+	if e.conf < 2 {
+		return nil
+	}
+	out := make([]uint64, 0, p.degree)
+	next := int64(addr)
+	for i := 0; i < p.degree; i++ {
+		next += e.stride
+		if next <= 0 {
+			break
+		}
+		out = append(out, LineAddr(uint64(next)))
+		p.Issued++
+	}
+	return out
+}
+
+// Streamer is the next-line stream prefetcher attached to the L2 (Table 2):
+// it detects ascending line streams within 4 KiB regions and prefetches the
+// following lines.
+type Streamer struct {
+	regions []streamRegion
+	degree  int
+	Issued  uint64
+}
+
+type streamRegion struct {
+	region   uint64
+	lastLine uint64
+	hits     int
+	valid    bool
+}
+
+// NewStreamer builds a streamer with the given region-tracker count and
+// prefetch degree.
+func NewStreamer(trackers, degree int) *Streamer {
+	return &Streamer{regions: make([]streamRegion, trackers), degree: degree}
+}
+
+// Observe trains on an L2 access and returns line addresses to prefetch.
+func (s *Streamer) Observe(lineAddr uint64) []uint64 {
+	region := lineAddr / (4096 / 64)
+	e := &s.regions[region%uint64(len(s.regions))]
+	if !e.valid || e.region != region {
+		*e = streamRegion{region: region, lastLine: lineAddr, valid: true}
+		return nil
+	}
+	if lineAddr == e.lastLine+1 {
+		if e.hits < 4 {
+			e.hits++
+		}
+	} else if lineAddr != e.lastLine {
+		e.hits = 0
+	}
+	e.lastLine = lineAddr
+	if e.hits < 2 {
+		return nil
+	}
+	out := make([]uint64, 0, s.degree)
+	for i := 1; i <= s.degree; i++ {
+		out = append(out, lineAddr+uint64(i))
+		s.Issued++
+	}
+	return out
+}

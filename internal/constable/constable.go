@@ -1,0 +1,547 @@
+// Package constable implements the paper's contribution: the Stable Load
+// Detector (SLD), Register Monitor Table (RMT), Address Monitor Table (AMT)
+// and the xPRF, with the confidence-based likely-stable learning mechanism
+// (§6.2), load-execution elimination (§6.3), structure updates on register
+// writes, store-address generation and snoops (§6.4), and the design options
+// studied in the evaluation: cacheline- vs full-address AMT indexing (§6.6),
+// AMT invalidation on L1-D eviction (Constable-AMT-I, Fig. 22), and
+// addressing-mode-restricted elimination (Fig. 13).
+package constable
+
+import (
+	"constable/internal/isa"
+)
+
+// Config parameterizes Constable. DefaultConfig matches Table 1 and §6.
+type Config struct {
+	// SLD geometry: 512 entries as 32 sets × 16 ways.
+	SLDSets, SLDWays int
+	// ConfThreshold is the stability confidence level needed to mark a load
+	// likely-stable (30 in the paper); ConfMax is the 5-bit saturation (31).
+	ConfThreshold uint8
+	ConfMax       uint8
+	// SLDReadPorts/SLDWritePorts model rename-stage port contention (§6.7.1).
+	SLDReadPorts, SLDWritePorts int
+
+	// RMT list depths: 16 load PCs for RSP/RBP, 8 for the other registers.
+	RMTStackListLen, RMTListLen int
+
+	// AMT geometry: 256 entries as 32 sets × 8 ways, 4 hashed PCs each.
+	AMTSets, AMTWays, AMTPCSlots int
+	// FullAddressAMT indexes the AMT by full (word) address instead of
+	// cacheline address — the ablation of §6.6.
+	FullAddressAMT bool
+	// InvalidateOnL1Evict enables the Constable-AMT-I variant (Fig. 22):
+	// every L1-D eviction invalidates the matching AMT entry instead of
+	// relying on CV-bit pinning.
+	InvalidateOnL1Evict bool
+
+	// XPRFSize is the dedicated register file for in-flight eliminated
+	// loads (32 entries; when full the load executes normally).
+	XPRFSize int
+
+	// ModeFilter, when non-zero, restricts elimination to loads with the
+	// given addressing mode (Fig. 13's per-category study).
+	ModeFilter isa.AddrMode
+}
+
+// DefaultConfig returns the paper's configuration.
+func DefaultConfig() Config {
+	return Config{
+		SLDSets: 32, SLDWays: 16,
+		ConfThreshold: 30, ConfMax: 31,
+		SLDReadPorts: 3, SLDWritePorts: 2,
+		RMTStackListLen: 16, RMTListLen: 8,
+		AMTSets: 32, AMTWays: 8, AMTPCSlots: 4,
+		XPRFSize: 32,
+	}
+}
+
+// StorageBits returns the storage cost of the configuration in bits,
+// reproducing Table 1's accounting (24 b SLD tag, 32 b address, 64 b value,
+// 5 b confidence, 1 b flag; 24 b RMT PCs; 32 b AMT tag + 4×24 b hashed PCs).
+func (c Config) StorageBits() (sld, rmt, amt int) {
+	sldEntryBits := 24 + 32 + 64 + 5 + 1
+	sld = c.SLDSets * c.SLDWays * sldEntryBits
+	rmt = (2*c.RMTStackListLen + 14*c.RMTListLen) * 24
+	amt = c.AMTSets * c.AMTWays * (32 + c.AMTPCSlots*24)
+	return sld, rmt, amt
+}
+
+type sldEntry struct {
+	pc      uint64
+	valid   bool
+	addr    uint64
+	value   uint64
+	conf    uint8
+	canElim bool
+	lru     uint64
+}
+
+type amtEntry struct {
+	key   uint64 // cacheline (or word) address
+	valid bool
+	pcs   []uint64 // hashed load PCs, capacity AMTPCSlots
+	lru   uint64
+}
+
+// Stats counts Constable's events for the evaluation figures.
+type Stats struct {
+	SLDLookups       uint64
+	Eliminated       uint64 // loads whose execution was eliminated
+	XPRFFullMisses   uint64 // elimination skipped because the xPRF was full
+	ModeFiltered     uint64 // elimination skipped by the ModeFilter ablation
+	LikelyStableExec uint64 // likely-stable loads executed to arm elimination
+	CanElimSets      uint64
+	CanElimResetsReg uint64 // resets caused by register writes (RMT)
+	CanElimResetsSt  uint64 // resets caused by store addresses (AMT)
+	CanElimResetsSn  uint64 // resets caused by snoops
+	CanElimResetsEv  uint64 // resets caused by L1-D evictions (AMT-I)
+	RMTOverflows     uint64 // likely-stable loads that could not be tracked
+	AMTOverflowEvict uint64 // AMT capacity evictions
+	// SLDWriteOps counts rename-side can_eliminate updates — the writes the
+	// paper sizes the SLD's two write ports for (§6.7.1, Fig. 9a).
+	SLDWriteOps uint64
+	// SLDConfUpdates counts writeback-side confidence compare-and-updates;
+	// they use the writeback path, not the rename-stage write ports.
+	SLDConfUpdates uint64
+}
+
+// Constable is the complete mechanism. Create with New.
+type Constable struct {
+	cfg Config
+
+	sld [][]sldEntry
+	// rmt holds load PCs per architectural register, per SMT context:
+	// architectural registers are private to a hardware thread, so a write
+	// by one context must never reset the other context's eliminations.
+	rmt   [maxContexts][isa.NumRegsAPX][]uint64
+	amt   [][]amtEntry
+	xprf  int // in-use xPRF registers
+	clock uint64
+
+	Stats Stats
+}
+
+// New builds a Constable instance from cfg.
+func New(cfg Config) *Constable {
+	c := &Constable{cfg: cfg}
+	c.sld = make([][]sldEntry, cfg.SLDSets)
+	for i := range c.sld {
+		c.sld[i] = make([]sldEntry, cfg.SLDWays)
+	}
+	c.amt = make([][]amtEntry, cfg.AMTSets)
+	for i := range c.amt {
+		c.amt[i] = make([]amtEntry, cfg.AMTWays)
+		for j := range c.amt[i] {
+			c.amt[i][j].pcs = make([]uint64, 0, cfg.AMTPCSlots)
+		}
+	}
+	return c
+}
+
+// Config returns the instance's configuration.
+func (c *Constable) Config() Config { return c.cfg }
+
+func (c *Constable) sldSet(pc uint64) int {
+	return int(pc>>2) & (c.cfg.SLDSets - 1)
+}
+
+func (c *Constable) sldFind(pc uint64) *sldEntry {
+	set := c.sld[c.sldSet(pc)]
+	for i := range set {
+		if set[i].valid && set[i].pc == pc {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// sldAlloc finds or allocates the SLD entry for pc (LRU victim).
+func (c *Constable) sldAlloc(pc uint64) *sldEntry {
+	if e := c.sldFind(pc); e != nil {
+		return e
+	}
+	set := c.sld[c.sldSet(pc)]
+	victim := 0
+	best := ^uint64(0)
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lru < best {
+			victim, best = i, set[i].lru
+		}
+	}
+	set[victim] = sldEntry{pc: pc, valid: true}
+	return &set[victim]
+}
+
+// amtKey maps a memory address to the AMT indexing granularity.
+func (c *Constable) amtKey(addr uint64) uint64 {
+	if c.cfg.FullAddressAMT {
+		return addr &^ (isa.WordBytes - 1)
+	}
+	return addr / isa.CachelineBytes
+}
+
+func (c *Constable) amtSet(key uint64) int { return int(key) & (c.cfg.AMTSets - 1) }
+
+func (c *Constable) amtFind(key uint64) *amtEntry {
+	set := c.amt[c.amtSet(key)]
+	for i := range set {
+		if set[i].valid && set[i].key == key {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// hashPC compresses a (context-tagged) load PC to the AMT's 24-bit stored
+// form; collisions cause extra (safe) resets, never missed ones.
+func hashPC(pc uint64) uint64 { return ((pc >> 2) ^ (pc >> 40)) & 0xFF_FFFF }
+
+// maxContexts is the number of SMT hardware contexts the structures
+// distinguish (Table 2: 2-way SMT).
+const maxContexts = 2
+
+// tagPC folds the SMT context into a PC so that the PC-indexed SLD never
+// aliases across hardware threads — two contexts may run different programs
+// at identical virtual PCs (§8.1: Constable is shared or partitioned
+// between contexts; sharing requires context tags, like every PC-indexed
+// front-end structure in an SMT core).
+func tagPC(pc uint64, ctx int) uint64 { return pc | uint64(ctx)<<62 }
+
+// RenameDecision is the outcome of the rename-stage SLD lookup (§6.3).
+type RenameDecision struct {
+	// Eliminate is true when the load's execution is eliminated; Value and
+	// Addr carry the SLD's last-fetched value and last-computed address
+	// (the address goes into the LB entry for disambiguation).
+	Eliminate bool
+	Value     uint64
+	Addr      uint64
+	// LikelyStable marks an instance that executes normally but will arm
+	// elimination at writeback (confidence reached the threshold).
+	LikelyStable bool
+}
+
+// LookupRename performs the rename-stage lookup for a load at pc with the
+// given addressing mode ( 1 / 2 / 3 in Fig. 8). ctx identifies the SMT
+// hardware context (0 in noSMT).
+func (c *Constable) LookupRename(pc uint64, mode isa.AddrMode, ctx int) RenameDecision {
+	pc = tagPC(pc, ctx)
+	c.clock++
+	c.Stats.SLDLookups++
+	e := c.sldFind(pc)
+	if e == nil {
+		return RenameDecision{}
+	}
+	e.lru = c.clock
+	if e.canElim {
+		if c.cfg.ModeFilter != isa.AddrNone && mode != c.cfg.ModeFilter {
+			c.Stats.ModeFiltered++
+			return RenameDecision{LikelyStable: e.conf >= c.cfg.ConfThreshold}
+		}
+		if c.xprf >= c.cfg.XPRFSize {
+			c.Stats.XPRFFullMisses++
+			return RenameDecision{LikelyStable: e.conf >= c.cfg.ConfThreshold}
+		}
+		c.xprf++
+		c.Stats.Eliminated++
+		return RenameDecision{Eliminate: true, Value: e.value, Addr: e.addr}
+	}
+	if e.conf >= c.cfg.ConfThreshold {
+		c.Stats.LikelyStableExec++
+		return RenameDecision{LikelyStable: true}
+	}
+	return RenameDecision{}
+}
+
+// ReleaseXPRF frees the xPRF register of a retired or squashed eliminated
+// load.
+func (c *Constable) ReleaseXPRF() {
+	if c.xprf > 0 {
+		c.xprf--
+	}
+}
+
+// XPRFInUse returns the number of occupied xPRF registers.
+func (c *Constable) XPRFInUse() int { return c.xprf }
+
+// OnLoadWriteback trains the SLD when a non-eliminated load completes
+// execution ( 4 / 5 / 6 in Fig. 8). srcRegs are the load's architectural
+// source registers (empty for PC-relative loads); likelyStable is the mark
+// attached at rename. It returns the number of SLD write operations
+// performed, for the rename/writeback port model.
+func (c *Constable) OnLoadWriteback(pc, addr, value uint64, srcRegs []isa.Reg, likelyStable bool, ctx int) int {
+	pc = tagPC(pc, ctx)
+	e := c.sldAlloc(pc)
+	e.lru = c.clock
+	c.Stats.SLDConfUpdates++
+	writes := 0
+
+	if e.addr == addr && e.value == value && e.conf > 0 {
+		if e.conf < c.cfg.ConfMax {
+			e.conf++
+		}
+	} else if e.addr == addr && e.value == value {
+		e.conf = 1
+	} else {
+		e.conf /= 2
+		e.addr, e.value = addr, value
+	}
+
+	if likelyStable && !e.canElim {
+		// Arm elimination: track the source registers and the address.
+		if c.insertRMT(pc, srcRegs, ctx) && c.insertAMT(pc, addr) {
+			e.canElim = true
+			c.Stats.CanElimSets++
+			writes++
+		} else {
+			c.Stats.RMTOverflows++
+			c.removeRMT(pc, srcRegs, ctx)
+		}
+	}
+	c.Stats.SLDWriteOps += uint64(writes)
+	return writes
+}
+
+// insertRMT adds pc to the RMT lists of each source register, reporting
+// whether every insertion fit.
+func (c *Constable) insertRMT(pc uint64, srcRegs []isa.Reg, ctx int) bool {
+	for _, r := range srcRegs {
+		limit := c.cfg.RMTListLen
+		if isa.IsStackReg(r) {
+			limit = c.cfg.RMTStackListLen
+		}
+		list := c.rmt[ctx][r]
+		if contains(list, pc) {
+			continue
+		}
+		if len(list) >= limit {
+			return false
+		}
+		c.rmt[ctx][r] = append(list, pc)
+	}
+	return true
+}
+
+func (c *Constable) removeRMT(pc uint64, srcRegs []isa.Reg, ctx int) {
+	for _, r := range srcRegs {
+		c.rmt[ctx][r] = removeVal(c.rmt[ctx][r], pc)
+	}
+}
+
+func contains(s []uint64, v uint64) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func removeVal(s []uint64, v uint64) []uint64 {
+	for i, x := range s {
+		if x == v {
+			s[i] = s[len(s)-1]
+			return s[:len(s)-1]
+		}
+	}
+	return s
+}
+
+// insertAMT adds pc (hashed) to the AMT entry for addr, allocating and — on
+// capacity pressure — safely evicting an older entry (resetting its loads'
+// can_eliminate flags first).
+func (c *Constable) insertAMT(pc, addr uint64) bool {
+	key := c.amtKey(addr)
+	e := c.amtFind(key)
+	if e == nil {
+		set := c.amt[c.amtSet(key)]
+		victim := 0
+		best := ^uint64(0)
+		allValid := true
+		for i := range set {
+			if !set[i].valid {
+				victim = i
+				allValid = false
+				break
+			}
+			if set[i].lru < best {
+				victim, best = i, set[i].lru
+			}
+		}
+		if allValid {
+			c.Stats.AMTOverflowEvict++
+			c.resetPCsOfAMTEntry(&set[victim], &c.Stats.CanElimResetsSt)
+		}
+		set[victim] = amtEntry{key: key, valid: true, pcs: set[victim].pcs[:0]}
+		e = &set[victim]
+	}
+	e.lru = c.clock
+	h := hashPC(pc)
+	if contains(e.pcs, h) {
+		return true
+	}
+	if len(e.pcs) >= c.cfg.AMTPCSlots {
+		// Replace the oldest slot; the displaced load must stop eliminating.
+		c.resetCanElimByHash(e.pcs[0], &c.Stats.CanElimResetsSt)
+		copy(e.pcs, e.pcs[1:])
+		e.pcs[len(e.pcs)-1] = h
+		return true
+	}
+	e.pcs = append(e.pcs, h)
+	return true
+}
+
+// resetPCsOfAMTEntry resets can_eliminate for every load PC hashed in e.
+func (c *Constable) resetPCsOfAMTEntry(e *amtEntry, counter *uint64) {
+	for _, h := range e.pcs {
+		c.resetCanElimByHash(h, counter)
+	}
+	e.pcs = e.pcs[:0]
+	e.valid = false
+}
+
+// resetCanElimByHash scans the SLD for entries whose hashed PC matches h and
+// resets their can_eliminate flags. Hash collisions reset extra loads —
+// safe, never unsafe.
+func (c *Constable) resetCanElimByHash(h uint64, counter *uint64) {
+	for si := range c.sld {
+		for wi := range c.sld[si] {
+			e := &c.sld[si][wi]
+			if e.valid && e.canElim && hashPC(e.pc) == h {
+				e.canElim = false
+				*counter++
+				c.Stats.SLDWriteOps++
+			}
+		}
+	}
+}
+
+// OnRegWrite handles the rename of any instruction writing architectural
+// register dst ( 7 / 8 in Fig. 8): every load PC tracked in the RMT entry
+// has its can_eliminate flag reset. It returns the number of SLD updates
+// performed (for the Fig. 9a port study).
+func (c *Constable) OnRegWrite(dst isa.Reg, ctx int) int {
+	list := c.rmt[ctx][dst]
+	if len(list) == 0 {
+		return 0
+	}
+	writes := 0
+	for _, pc := range list {
+		if e := c.sldFind(pc); e != nil && e.canElim {
+			e.canElim = false
+			c.Stats.CanElimResetsReg++
+			c.Stats.SLDWriteOps++
+			writes++
+		}
+	}
+	c.rmt[ctx][dst] = list[:0]
+	return writes
+}
+
+// OnStoreAddr handles store-address generation ( 9 / 8 in Fig. 8): the AMT
+// entry for the address is looked up, every tracked load's can_eliminate is
+// reset, and the entry is evicted.
+func (c *Constable) OnStoreAddr(addr uint64) {
+	key := c.amtKey(addr)
+	if e := c.amtFind(key); e != nil {
+		c.resetPCsOfAMTEntry(e, &c.Stats.CanElimResetsSt)
+	}
+}
+
+// OnSnoop handles a snoop request arriving at the core ( 10 in Fig. 8).
+// Snoops carry cacheline addresses; with a full-address AMT every word of
+// the line must be probed.
+func (c *Constable) OnSnoop(lineAddr uint64) {
+	if !c.cfg.FullAddressAMT {
+		if e := c.amtFind(lineAddr); e != nil {
+			c.resetPCsOfAMTEntry(e, &c.Stats.CanElimResetsSn)
+		}
+		return
+	}
+	base := lineAddr * isa.CachelineBytes
+	for off := uint64(0); off < isa.CachelineBytes; off += isa.WordBytes {
+		if e := c.amtFind(base + off); e != nil {
+			c.resetPCsOfAMTEntry(e, &c.Stats.CanElimResetsSn)
+		}
+	}
+}
+
+// OnL1Evict handles an L1-D eviction in the Constable-AMT-I variant
+// (Fig. 22); in the default CV-bit-pinning design it is a no-op.
+func (c *Constable) OnL1Evict(lineAddr uint64) {
+	if !c.cfg.InvalidateOnL1Evict {
+		return
+	}
+	if c.cfg.FullAddressAMT {
+		base := lineAddr * isa.CachelineBytes
+		for off := uint64(0); off < isa.CachelineBytes; off += isa.WordBytes {
+			if e := c.amtFind(base + off); e != nil {
+				c.resetPCsOfAMTEntry(e, &c.Stats.CanElimResetsEv)
+			}
+		}
+		return
+	}
+	if e := c.amtFind(lineAddr); e != nil {
+		c.resetPCsOfAMTEntry(e, &c.Stats.CanElimResetsEv)
+	}
+}
+
+// OnViolation records a memory-ordering violation by an eliminated load
+// (§6.5, Fig. 10 step G): the can_eliminate flag is reset and the stability
+// confidence is halved, so a load whose address keeps colliding with
+// in-flight stores (e.g. under silent stores) quickly stops being eliminated
+// instead of flushing the pipeline every iteration.
+func (c *Constable) OnViolation(pc uint64, ctx int) {
+	e := c.sldFind(tagPC(pc, ctx))
+	if e == nil {
+		return
+	}
+	if e.canElim {
+		e.canElim = false
+		c.Stats.CanElimResetsSt++
+	}
+	e.conf /= 2
+	c.Stats.SLDWriteOps++
+}
+
+// OnContextSwitch handles a change of physical address mapping (§6.7.3):
+// every can_eliminate flag is reset and the RMT and AMT are invalidated.
+func (c *Constable) OnContextSwitch() {
+	for si := range c.sld {
+		for wi := range c.sld[si] {
+			c.sld[si][wi].canElim = false
+		}
+	}
+	for ctx := range c.rmt {
+		for r := range c.rmt[ctx] {
+			c.rmt[ctx][r] = nil
+		}
+	}
+	for si := range c.amt {
+		for wi := range c.amt[si] {
+			c.amt[si][wi].valid = false
+			c.amt[si][wi].pcs = c.amt[si][wi].pcs[:0]
+		}
+	}
+}
+
+// CanEliminate reports whether the load at pc (context 0) currently has its
+// can_eliminate flag set (test/inspection hook).
+func (c *Constable) CanEliminate(pc uint64) bool {
+	e := c.sldFind(tagPC(pc, 0))
+	return e != nil && e.canElim
+}
+
+// Confidence returns the stability confidence level of pc's SLD entry
+// (context 0).
+func (c *Constable) Confidence(pc uint64) uint8 {
+	if e := c.sldFind(tagPC(pc, 0)); e != nil {
+		return e.conf
+	}
+	return 0
+}

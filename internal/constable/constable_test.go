@@ -1,0 +1,339 @@
+package constable
+
+import (
+	"testing"
+	"testing/quick"
+
+	"constable/internal/isa"
+)
+
+// trainTo drives the load at pc to the given confidence by repeated
+// writebacks of the same address/value.
+func trainTo(c *Constable, pc, addr, value uint64, srcs []isa.Reg, conf int) {
+	for i := 0; i < conf+1; i++ {
+		likely := c.Confidence(pc) >= c.cfg.ConfThreshold
+		c.OnLoadWriteback(pc, addr, value, srcs, likely, 0)
+	}
+}
+
+func TestConfidenceLearning(t *testing.T) {
+	c := New(DefaultConfig())
+	pc, addr, val := uint64(0x400100), uint64(0x10000000), uint64(42)
+
+	// Before the threshold, rename lookups neither eliminate nor mark.
+	// (The first writeback installs the entry, the second starts the
+	// counter, so confidence after N writebacks is N-2.)
+	for i := 0; i < 30; i++ {
+		c.OnLoadWriteback(pc, addr, val, nil, false, 0)
+		dec := c.LookupRename(pc, isa.AddrPCRel, 0)
+		if dec.Eliminate {
+			t.Fatalf("eliminated after only %d writebacks", i+1)
+		}
+	}
+	if c.Confidence(pc) >= 30 {
+		t.Fatalf("confidence %d reached threshold too early", c.Confidence(pc))
+	}
+	// Crossing the threshold marks likely-stable.
+	c.OnLoadWriteback(pc, addr, val, nil, false, 0)
+	dec := c.LookupRename(pc, isa.AddrPCRel, 0)
+	if dec.Eliminate || !dec.LikelyStable {
+		t.Fatalf("expected likely-stable mark at threshold, got %+v", dec)
+	}
+	// A likely-stable execution arms can_eliminate; the next instance is
+	// eliminated with the last address and value.
+	c.OnLoadWriteback(pc, addr, val, nil, true, 0)
+	dec = c.LookupRename(pc, isa.AddrPCRel, 0)
+	if !dec.Eliminate || dec.Value != val || dec.Addr != addr {
+		t.Fatalf("expected elimination, got %+v", dec)
+	}
+}
+
+func TestConfidenceHalvedOnMismatch(t *testing.T) {
+	c := New(DefaultConfig())
+	pc := uint64(0x400104)
+	trainTo(c, pc, 0x1000, 7, nil, 31)
+	before := c.Confidence(pc)
+	c.OnLoadWriteback(pc, 0x1000, 8, nil, false, 0) // value changed
+	if got := c.Confidence(pc); got != before/2 {
+		t.Errorf("confidence after mismatch = %d, want %d", got, before/2)
+	}
+}
+
+func TestRegisterWriteResetsElimination(t *testing.T) {
+	c := New(DefaultConfig())
+	pc := uint64(0x400200)
+	srcs := []isa.Reg{isa.R6}
+	trainTo(c, pc, 0x2000, 9, srcs, 31)
+	if !c.CanEliminate(pc) {
+		t.Fatal("load not armed")
+	}
+	// Writing an unrelated register changes nothing.
+	if n := c.OnRegWrite(isa.R7, 0); n != 0 {
+		t.Errorf("unrelated register write caused %d SLD updates", n)
+	}
+	if !c.CanEliminate(pc) {
+		t.Fatal("unrelated register write cleared can_eliminate")
+	}
+	// Writing the source register resets it (Condition 1).
+	if n := c.OnRegWrite(isa.R6, 0); n != 1 {
+		t.Errorf("source register write caused %d SLD updates, want 1", n)
+	}
+	if c.CanEliminate(pc) {
+		t.Fatal("can_eliminate survived a source register write")
+	}
+}
+
+func TestStoreAddressResetsElimination(t *testing.T) {
+	c := New(DefaultConfig())
+	pc := uint64(0x400300)
+	addr := uint64(0x3000)
+	trainTo(c, pc, addr, 5, nil, 31)
+	if !c.CanEliminate(pc) {
+		t.Fatal("load not armed")
+	}
+	// A store to a different cacheline does not reset.
+	c.OnStoreAddr(addr + 4096)
+	if !c.CanEliminate(pc) {
+		t.Fatal("unrelated store reset can_eliminate")
+	}
+	// A store to another word of the same cacheline resets (cacheline-
+	// granular AMT, §6.6).
+	c.OnStoreAddr(addr + 8)
+	if c.CanEliminate(pc) {
+		t.Fatal("same-line store did not reset can_eliminate")
+	}
+	if c.Stats.CanElimResetsSt == 0 {
+		t.Error("store reset not counted")
+	}
+}
+
+func TestFullAddressAMTIgnoresFalseSharing(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FullAddressAMT = true
+	c := New(cfg)
+	pc := uint64(0x400304)
+	addr := uint64(0x3000)
+	trainTo(c, pc, addr, 5, nil, 31)
+	c.OnStoreAddr(addr + 8) // same line, different word
+	if !c.CanEliminate(pc) {
+		t.Fatal("full-address AMT must tolerate same-line different-word stores")
+	}
+	c.OnStoreAddr(addr)
+	if c.CanEliminate(pc) {
+		t.Fatal("full-address AMT must reset on exact-word store")
+	}
+}
+
+func TestSnoopResetsElimination(t *testing.T) {
+	c := New(DefaultConfig())
+	pc := uint64(0x400400)
+	addr := uint64(0x4040)
+	trainTo(c, pc, addr, 5, nil, 31)
+	c.OnSnoop(addr / isa.CachelineBytes)
+	if c.CanEliminate(pc) {
+		t.Fatal("snoop did not reset can_eliminate")
+	}
+	if c.Stats.CanElimResetsSn != 1 {
+		t.Errorf("snoop resets = %d", c.Stats.CanElimResetsSn)
+	}
+}
+
+func TestL1EvictOnlyInAMTIVariant(t *testing.T) {
+	pc := uint64(0x400500)
+	addr := uint64(0x5000)
+
+	vanilla := New(DefaultConfig())
+	trainTo(vanilla, pc, addr, 5, nil, 31)
+	vanilla.OnL1Evict(addr / isa.CachelineBytes)
+	if !vanilla.CanEliminate(pc) {
+		t.Fatal("vanilla Constable (CV-bit pinning) must ignore L1 evictions")
+	}
+
+	cfg := DefaultConfig()
+	cfg.InvalidateOnL1Evict = true
+	amti := New(cfg)
+	trainTo(amti, pc, addr, 5, nil, 31)
+	amti.OnL1Evict(addr / isa.CachelineBytes)
+	if amti.CanEliminate(pc) {
+		t.Fatal("Constable-AMT-I must reset on L1 eviction")
+	}
+}
+
+func TestXPRFBackpressure(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.XPRFSize = 2
+	c := New(cfg)
+	pcs := []uint64{0x400600, 0x400604, 0x400608}
+	for _, pc := range pcs {
+		trainTo(c, pc, pc*2, 1, nil, 31)
+	}
+	if !c.LookupRename(pcs[0], isa.AddrRegRel, 0).Eliminate {
+		t.Fatal("first elimination failed")
+	}
+	if !c.LookupRename(pcs[1], isa.AddrRegRel, 0).Eliminate {
+		t.Fatal("second elimination failed")
+	}
+	dec := c.LookupRename(pcs[2], isa.AddrRegRel, 0)
+	if dec.Eliminate {
+		t.Fatal("third elimination must fail with a 2-entry xPRF")
+	}
+	if c.Stats.XPRFFullMisses != 1 {
+		t.Errorf("xPRF misses = %d", c.Stats.XPRFFullMisses)
+	}
+	c.ReleaseXPRF()
+	if !c.LookupRename(pcs[2], isa.AddrRegRel, 0).Eliminate {
+		t.Fatal("elimination must resume after xPRF release")
+	}
+}
+
+func TestModeFilter(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ModeFilter = isa.AddrStackRel
+	c := New(cfg)
+	pc := uint64(0x400700)
+	trainTo(c, pc, 0x7000, 3, []isa.Reg{isa.RSP}, 31)
+	if c.LookupRename(pc, isa.AddrRegRel, 0).Eliminate {
+		t.Fatal("reg-relative load eliminated despite stack-only filter")
+	}
+	if !c.LookupRename(pc, isa.AddrStackRel, 0).Eliminate {
+		t.Fatal("stack-relative load not eliminated by stack-only filter")
+	}
+	if c.Stats.ModeFiltered != 1 {
+		t.Errorf("mode filtered = %d", c.Stats.ModeFiltered)
+	}
+}
+
+func TestOnViolationHalvesConfidence(t *testing.T) {
+	c := New(DefaultConfig())
+	pc := uint64(0x400800)
+	trainTo(c, pc, 0x8000, 1, nil, 31)
+	if !c.CanEliminate(pc) {
+		t.Fatal("not armed")
+	}
+	before := c.Confidence(pc)
+	c.OnViolation(pc, 0)
+	if c.CanEliminate(pc) {
+		t.Fatal("violation must reset can_eliminate")
+	}
+	if got := c.Confidence(pc); got != before/2 {
+		t.Errorf("confidence = %d, want %d", got, before/2)
+	}
+}
+
+func TestContextSwitchClearsEverything(t *testing.T) {
+	c := New(DefaultConfig())
+	pc := uint64(0x400900)
+	trainTo(c, pc, 0x9000, 1, []isa.Reg{isa.R3}, 31)
+	if !c.CanEliminate(pc) {
+		t.Fatal("not armed")
+	}
+	c.OnContextSwitch()
+	if c.CanEliminate(pc) {
+		t.Fatal("context switch must reset can_eliminate")
+	}
+	// Confidence survives (only the flag and monitor tables clear), so the
+	// load re-arms after one likely-stable execution.
+	c.OnLoadWriteback(pc, 0x9000, 1, []isa.Reg{isa.R3}, true, 0)
+	if !c.CanEliminate(pc) {
+		t.Fatal("re-arming after context switch failed")
+	}
+}
+
+func TestRMTOverflowPreventsArming(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RMTListLen = 2
+	c := New(cfg)
+	srcs := []isa.Reg{isa.R3}
+	pcs := []uint64{0x400A00, 0x400A04, 0x400A08}
+	for _, pc := range pcs {
+		trainTo(c, pc, pc, 1, srcs, 31)
+	}
+	armed := 0
+	for _, pc := range pcs {
+		if c.CanEliminate(pc) {
+			armed++
+		}
+	}
+	if armed != 2 {
+		t.Errorf("%d loads armed with a 2-entry RMT list, want 2", armed)
+	}
+	if c.Stats.RMTOverflows == 0 {
+		t.Error("RMT overflow not counted")
+	}
+}
+
+func TestStorageBitsMatchTable1(t *testing.T) {
+	sld, rmt, amt := DefaultConfig().StorageBits()
+	kb := func(bits int) float64 { return float64(bits) / 8 / 1024 }
+	if got := kb(sld); got < 7.8 || got > 8.0 {
+		t.Errorf("SLD = %.2f KB, want ~7.9", got)
+	}
+	if got := kb(rmt); got < 0.3 || got > 0.5 {
+		t.Errorf("RMT = %.2f KB, want ~0.4", got)
+	}
+	if got := kb(amt); got < 3.9 || got > 4.1 {
+		t.Errorf("AMT = %.2f KB, want ~4.0", got)
+	}
+	if total := kb(sld + rmt + amt); total < 12.0 || total > 12.8 {
+		t.Errorf("total = %.2f KB, want ~12.4", total)
+	}
+}
+
+func TestSLDEvictionLRU(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SLDSets = 1
+	cfg.SLDWays = 2
+	c := New(cfg)
+	// Three PCs compete for two ways.
+	c.OnLoadWriteback(0x100, 1, 1, nil, false, 0)
+	c.OnLoadWriteback(0x104, 2, 2, nil, false, 0)
+	c.LookupRename(0x100, isa.AddrRegRel, 0) // touch 0x100
+	c.OnLoadWriteback(0x108, 3, 3, nil, false, 0)
+	if c.Confidence(0x104) != 0 || c.sldFind(tagPC(0x104, 0)) != nil {
+		t.Error("LRU entry 0x104 should be evicted")
+	}
+	if c.sldFind(tagPC(0x100, 0)) == nil {
+		t.Error("recently-used entry 0x100 should survive")
+	}
+}
+
+// TestSafetyInvariant is the core property test: under any interleaving of
+// writebacks, register writes, stores and snoops, a load is only eliminated
+// if no register write or same-line store/snoop occurred since the last
+// writeback that armed it — i.e. the returned value always equals the last
+// written value of that location in this model.
+func TestSafetyInvariant(t *testing.T) {
+	f := func(ops []uint16) bool {
+		c := New(DefaultConfig())
+		const pc = uint64(0x400B00)
+		const addr = uint64(0xB000)
+		src := []isa.Reg{isa.R3}
+		mem := uint64(1) // current architectural value of addr
+		for _, op := range ops {
+			switch op % 5 {
+			case 0: // the load executes and (maybe) arms
+				likely := c.Confidence(pc) >= c.cfg.ConfThreshold
+				c.OnLoadWriteback(pc, addr, mem, src, likely, 0)
+			case 1: // a store changes memory
+				mem++
+				c.OnStoreAddr(addr)
+			case 2: // a silent store: value unchanged, AMT still resets
+				c.OnStoreAddr(addr)
+			case 3:
+				c.OnRegWrite(isa.R3, 0)
+			case 4:
+				dec := c.LookupRename(pc, isa.AddrRegRel, 0)
+				if dec.Eliminate {
+					if dec.Value != mem {
+						return false // unsafe elimination
+					}
+					c.ReleaseXPRF()
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,202 @@
+package experiments
+
+import (
+	"fmt"
+
+	"constable/internal/constable"
+	"constable/internal/inspector"
+	"constable/internal/power"
+	"constable/internal/sim"
+	"constable/internal/workload"
+)
+
+// Fig3 reproduces Fig. 3: (a) the fraction of dynamic loads that are
+// global-stable per category, (b) their addressing-mode distribution,
+// (c) their inter-occurrence-distance distribution, and (d) the distance
+// distribution per addressing mode.
+func (r *Runner) Fig3() error {
+	out := r.cfg.Out
+	specs := r.cfg.suite()
+
+	type agg struct {
+		loads, stable uint64
+		byMode        map[string]uint64
+		byDist        map[string]uint64
+		modeDist      map[string]map[string]uint64
+	}
+	total := agg{byMode: map[string]uint64{}, byDist: map[string]uint64{}, modeDist: map[string]map[string]uint64{}}
+	perCat := map[workload.Category]*agg{}
+	for _, c := range workload.Categories {
+		perCat[c] = &agg{byMode: map[string]uint64{}, byDist: map[string]uint64{}}
+	}
+
+	for _, spec := range specs {
+		ins, err := sim.StableAnalysis(spec, false, r.cfg.Instructions)
+		if err != nil {
+			return err
+		}
+		rep := ins.Report()
+		a := perCat[spec.Category]
+		a.loads += rep.DynLoads
+		a.stable += rep.GlobalStableDynLoads
+		total.loads += rep.DynLoads
+		total.stable += rep.GlobalStableDynLoads
+		for m, v := range rep.ByMode {
+			a.byMode[m] += v
+			total.byMode[m] += v
+		}
+		for d, v := range rep.ByDistance {
+			a.byDist[d] += v
+			total.byDist[d] += v
+		}
+		for m, dd := range rep.ByModeDistance {
+			if total.modeDist[m] == nil {
+				total.modeDist[m] = map[string]uint64{}
+			}
+			for d, v := range dd {
+				total.modeDist[m][d] += v
+			}
+		}
+	}
+
+	fmt.Fprintln(out, "(a) fraction of dynamic loads that are global-stable:")
+	for _, c := range workload.Categories {
+		a := perCat[c]
+		fmt.Fprintf(out, "  %-12s %5.1f%%\n", c, 100*frac(a.stable, a.loads))
+	}
+	fmt.Fprintf(out, "  %-12s %5.1f%%   (paper AVG: 34.2%%)\n", "AVG", 100*frac(total.stable, total.loads))
+
+	fmt.Fprintln(out, "(b) global-stable loads by addressing mode (AVG):")
+	for _, m := range []string{"pc-rel", "stack-rel", "reg-rel"} {
+		fmt.Fprintf(out, "  %-10s %5.1f%%\n", m, 100*frac(total.byMode[m], total.stable))
+	}
+	fmt.Fprintln(out, "(c) global-stable loads by inter-occurrence distance (AVG):")
+	var distTotal uint64
+	for _, d := range inspector.DistanceBuckets {
+		distTotal += total.byDist[d]
+	}
+	for _, d := range inspector.DistanceBuckets {
+		fmt.Fprintf(out, "  %-10s %5.1f%%\n", d, 100*frac(total.byDist[d], distTotal))
+	}
+	fmt.Fprintln(out, "(d) inter-occurrence distance per addressing mode:")
+	for _, m := range []string{"pc-rel", "stack-rel", "reg-rel"} {
+		var mt uint64
+		for _, d := range inspector.DistanceBuckets {
+			mt += total.modeDist[m][d]
+		}
+		fmt.Fprintf(out, "  %-10s", m)
+		for _, d := range inspector.DistanceBuckets {
+			fmt.Fprintf(out, "  %s %5.1f%%", d, 100*frac(total.modeDist[m][d], mt))
+		}
+		fmt.Fprintln(out)
+	}
+	return nil
+}
+
+// Table1 reproduces Table 1: the storage overhead of Constable's structures.
+func (r *Runner) Table1() error {
+	out := r.cfg.Out
+	cfg := constable.DefaultConfig()
+	sld, rmt, amt := cfg.StorageBits()
+	kb := func(bits int) float64 { return float64(bits) / 8 / 1024 }
+	fmt.Fprintf(out, "  SLD: %d entries (%d sets x %d ways)            %5.1f KB (paper: 7.9 KB)\n",
+		cfg.SLDSets*cfg.SLDWays, cfg.SLDSets, cfg.SLDWays, kb(sld))
+	fmt.Fprintf(out, "  RMT: 2x%d stack + 14x%d register load-PC slots %5.1f KB (paper: 0.4 KB)\n",
+		cfg.RMTStackListLen, cfg.RMTListLen, kb(rmt))
+	fmt.Fprintf(out, "  AMT: %d entries (%d sets x %d ways), %d PCs     %5.1f KB (paper: 4.0 KB)\n",
+		cfg.AMTSets*cfg.AMTWays, cfg.AMTSets, cfg.AMTWays, cfg.AMTPCSlots, kb(amt))
+	fmt.Fprintf(out, "  Total                                          %5.1f KB (paper: 12.4 KB)\n",
+		kb(sld+rmt+amt))
+	return nil
+}
+
+// Table3 reproduces Table 3: access energy, leakage power and area of
+// Constable's structures (CACTI values scaled to 14 nm, as used by the
+// power model).
+func (r *Runner) Table3() error {
+	out := r.cfg.Out
+	fmt.Fprintf(out, "  %-22s %10s %10s %12s %10s\n", "structure", "read (pJ)", "write (pJ)", "leak (mW)", "area (mm2)")
+	fmt.Fprintf(out, "  %-22s %10.2f %10.2f %12.2f %10.3f\n", "SLD (7.9KB, 3R/2W)",
+		power.SLDReadPJ, power.SLDWritePJ, power.SLDLeakageMW, power.SLDAreaMM2)
+	fmt.Fprintf(out, "  %-22s %10.2f %10.2f %12.2f %10.3f\n", "RMT (0.4KB, 2R/6W)",
+		power.RMTAccessPJ*0.75, power.RMTAccessPJ, power.RMTLeakageMW, power.RMTAreaMM2)
+	fmt.Fprintf(out, "  %-22s %10.2f %10.2f %12.2f %10.3f\n", "AMT (4.0KB, 1R/1W)",
+		power.AMTReadPJ, power.AMTWritePJ, power.AMTLeakageMW, power.AMTAreaMM2)
+	return nil
+}
+
+// Fig23 reproduces appendix B Fig. 23: the effect of doubling the
+// architectural registers (APX) on dynamic loads and on the global-stable
+// fraction.
+func (r *Runner) Fig23() error {
+	out := r.cfg.Out
+	specs := r.cfg.suite()
+	fmt.Fprintf(out, "  %-28s %12s %12s %12s\n", "workload", "gs w/o APX", "gs w/ APX", "load redux")
+	var base, apx, baseLoads, apxLoads, baseInsts, apxInsts float64
+	for _, spec := range specs {
+		insB, err := sim.StableAnalysis(spec, false, r.cfg.Instructions)
+		if err != nil {
+			return err
+		}
+		insA, err := sim.StableAnalysis(spec, true, r.cfg.Instructions)
+		if err != nil {
+			return err
+		}
+		rb, ra := insB.Report(), insA.Report()
+		// Load reduction at equal work: loads per instruction.
+		densB := frac(rb.DynLoads, rb.DynInsts)
+		densA := frac(ra.DynLoads, ra.DynInsts)
+		redux := 1 - densA/densB
+		fmt.Fprintf(out, "  %-28s %11.1f%% %11.1f%% %11.1f%%\n",
+			spec.Name, 100*rb.GlobalStableFraction(), 100*ra.GlobalStableFraction(), 100*redux)
+		base += rb.GlobalStableFraction()
+		apx += ra.GlobalStableFraction()
+		baseLoads += float64(rb.DynLoads)
+		apxLoads += float64(ra.DynLoads)
+		baseInsts += float64(rb.DynInsts)
+		apxInsts += float64(ra.DynInsts)
+	}
+	n := float64(len(specs))
+	fmt.Fprintf(out, "  AVG: global-stable %.1f%% -> %.1f%% (paper: 13.7%% -> 14.2%%), load reduction %.1f%% (paper: 11.7%%)\n",
+		100*base/n, 100*apx/n, 100*(1-(apxLoads/apxInsts)/(baseLoads/baseInsts)))
+	return nil
+}
+
+// Fig24 reproduces appendix B Fig. 24: global-stable addressing-mode
+// distribution without and with APX.
+func (r *Runner) Fig24() error {
+	out := r.cfg.Out
+	specs := r.cfg.suite()
+	for _, apx := range []bool{false, true} {
+		byMode := map[string]uint64{}
+		var total uint64
+		for _, spec := range specs {
+			ins, err := sim.StableAnalysis(spec, apx, r.cfg.Instructions)
+			if err != nil {
+				return err
+			}
+			rep := ins.Report()
+			for m, v := range rep.ByMode {
+				byMode[m] += v
+			}
+			total += rep.GlobalStableDynLoads
+		}
+		label := "NOAPX"
+		if apx {
+			label = "APX"
+		}
+		fmt.Fprintf(out, "  %-6s pc-rel %5.1f%%  stack-rel %5.1f%%  reg-rel %5.1f%%\n", label,
+			100*frac(byMode["pc-rel"], total),
+			100*frac(byMode["stack-rel"], total),
+			100*frac(byMode["reg-rel"], total))
+	}
+	fmt.Fprintln(out, "  (paper: stack-relative share drops 21.1%->16%, PC-relative stays ~38%)")
+	return nil
+}
+
+func frac(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}

@@ -1,0 +1,203 @@
+// Package experiments contains one driver per table and figure in the
+// paper's evaluation (§4, §9, appendices A–B). Each driver runs the required
+// simulations over the workload suite, aggregates results the way the paper
+// plots them (per-category geomeans, box-and-whiskers summaries), and prints
+// rows that correspond to the paper's bars/series. See DESIGN.md §3 for the
+// experiment index and EXPERIMENTS.md for paper-vs-measured comparisons.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+
+	"constable/internal/sim"
+	"constable/internal/stats"
+	"constable/internal/workload"
+)
+
+// Config controls suite size and simulation length for all drivers.
+type Config struct {
+	// Instructions is the committed-path instruction budget per workload.
+	Instructions uint64
+	// FullSuite selects all 90 workloads; otherwise the 15-workload small
+	// suite (one per archetype per category) runs.
+	FullSuite bool
+	// Out receives the printed artifact.
+	Out io.Writer
+}
+
+// DefaultConfig is sized so the full experiment set finishes in minutes.
+func DefaultConfig(out io.Writer) Config {
+	return Config{Instructions: 80_000, FullSuite: false, Out: out}
+}
+
+func (c Config) suite() []*workload.Spec {
+	if c.FullSuite {
+		return workload.Suite()
+	}
+	return workload.SmallSuite()
+}
+
+// Runner executes experiments by id.
+type Runner struct {
+	cfg Config
+}
+
+// NewRunner returns a Runner over cfg.
+func NewRunner(cfg Config) *Runner { return &Runner{cfg: cfg} }
+
+// driver is one experiment entry point.
+type driver struct {
+	id    string
+	title string
+	run   func(*Runner) error
+}
+
+func (r *Runner) drivers() []driver {
+	return []driver{
+		{"fig3", "Global-stable loads: fraction, addressing modes, distances", (*Runner).Fig3},
+		{"fig6", "Load-port utilization and resource dependence", (*Runner).Fig6},
+		{"fig7", "Performance headroom of Ideal Constable", (*Runner).Fig7},
+		{"fig9", "SLD update pressure and wrong-path sensitivity", (*Runner).Fig9},
+		{"tab1", "Storage overhead of Constable", (*Runner).Table1},
+		{"tab3", "Energy/leakage/area of Constable structures", (*Runner).Table3},
+		{"fig11", "Speedup over baseline (noSMT)", (*Runner).Fig11},
+		{"fig12", "Per-workload speedup (noSMT)", (*Runner).Fig12},
+		{"fig13", "Speedup by addressing-mode-restricted elimination", (*Runner).Fig13},
+		{"fig14", "Speedup over baseline (SMT2)", (*Runner).Fig14},
+		{"fig15", "Comparison with ELAR and RFP", (*Runner).Fig15},
+		{"fig16", "Load coverage of Constable versus EVES", (*Runner).Fig16},
+		{"fig17", "Global-stable coverage breakdown", (*Runner).Fig17},
+		{"fig18", "RS-allocation and L1-D-access reduction", (*Runner).Fig18},
+		{"fig19", "Core dynamic power breakdown", (*Runner).Fig19},
+		{"fig20", "Sensitivity to load width and pipeline depth", (*Runner).Fig20},
+		{"fig21", "Memory-ordering violations and ROB-allocation increase", (*Runner).Fig21},
+		{"fig22", "Constable-AMT-I versus CV-bit pinning", (*Runner).Fig22},
+		{"fig23", "APX: dynamic-load reduction and global-stable fraction", (*Runner).Fig23},
+		{"fig24", "APX: addressing-mode distribution", (*Runner).Fig24},
+		{"abl1", "Ablation: cacheline- vs full-address-indexed AMT (§6.6)", (*Runner).Abl1},
+		{"abl2", "Ablation: context-switch flush frequency (§6.7.3)", (*Runner).Abl2},
+	}
+}
+
+// IDs returns the experiment identifiers in paper order.
+func (r *Runner) IDs() []string {
+	ds := r.drivers()
+	ids := make([]string, len(ds))
+	for i, d := range ds {
+		ids[i] = d.id
+	}
+	return ids
+}
+
+// Run executes the experiment with the given id ("all" runs everything).
+func (r *Runner) Run(id string) error {
+	if id == "all" {
+		for _, d := range r.drivers() {
+			if err := r.Run(d.id); err != nil {
+				return fmt.Errorf("%s: %w", d.id, err)
+			}
+		}
+		return nil
+	}
+	for _, d := range r.drivers() {
+		if d.id == id {
+			fmt.Fprintf(r.cfg.Out, "==== %s: %s ====\n", d.id, d.title)
+			return d.run(r)
+		}
+	}
+	return fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, r.IDs())
+}
+
+// runMatrix runs every (workload, config) pair in parallel and returns
+// results indexed as [workloadIndex][configIndex]. A nil Mechanism entry
+// uses the provided Options as-is; each cell gets opts[cfgIdx] applied to
+// the workload.
+func (r *Runner) runMatrix(specs []*workload.Spec, makeOpts func(spec *workload.Spec, cfg int) sim.Options, numCfgs int) ([][]*sim.Result, error) {
+	results := make([][]*sim.Result, len(specs))
+	for i := range results {
+		results[i] = make([]*sim.Result, numCfgs)
+	}
+	type job struct{ wi, ci int }
+	jobs := make(chan job)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+
+	workers := runtime.GOMAXPROCS(0)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				res, err := sim.Run(makeOpts(specs[j.wi], j.ci))
+				mu.Lock()
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				results[j.wi][j.ci] = res
+				mu.Unlock()
+			}
+		}()
+	}
+	for wi := range specs {
+		for ci := 0; ci < numCfgs; ci++ {
+			jobs <- job{wi, ci}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}
+
+// categoryGeomeans aggregates per-workload speedups (configs vs column 0)
+// into a per-category + GEOMEAN table.
+func categoryGeomeans(specs []*workload.Spec, results [][]*sim.Result, configNames []string) *stats.SpeedupTable {
+	rows := make([]string, 0, len(workload.Categories)+1)
+	for _, c := range workload.Categories {
+		rows = append(rows, string(c))
+	}
+	rows = append(rows, "GEOMEAN")
+	tbl := stats.NewSpeedupTable(rows, configNames[1:])
+
+	for ci := 1; ci < len(configNames); ci++ {
+		perCat := make(map[string][]float64)
+		var all []float64
+		for wi, spec := range specs {
+			sp := sim.Speedup(results[wi][0], results[wi][ci])
+			perCat[string(spec.Category)] = append(perCat[string(spec.Category)], sp)
+			all = append(all, sp)
+		}
+		for cat, xs := range perCat {
+			tbl.Set(cat, configNames[ci], stats.Geomean(xs))
+		}
+		tbl.Set("GEOMEAN", configNames[ci], stats.Geomean(all))
+	}
+	return tbl
+}
+
+// boxByCategory prints a per-category box-plot summary of per-workload values.
+func boxByCategory(out io.Writer, specs []*workload.Spec, value func(wi int) float64) {
+	perCat := make(map[string][]float64)
+	var all []float64
+	for wi, spec := range specs {
+		v := value(wi)
+		perCat[string(spec.Category)] = append(perCat[string(spec.Category)], v)
+		all = append(all, v)
+	}
+	cats := make([]string, 0, len(perCat))
+	for c := range perCat {
+		cats = append(cats, c)
+	}
+	sort.Strings(cats)
+	for _, c := range cats {
+		fmt.Fprintf(out, "  %-12s %s\n", c, stats.NewBoxPlot(perCat[c]))
+	}
+	fmt.Fprintf(out, "  %-12s %s\n", "ALL", stats.NewBoxPlot(all))
+}

@@ -1,0 +1,393 @@
+package experiments
+
+import (
+	"fmt"
+
+	"constable/internal/constable"
+	"constable/internal/pipeline"
+	"constable/internal/sim"
+	"constable/internal/stats"
+	"constable/internal/workload"
+)
+
+// Fig6 reproduces Fig. 6: (a) the fraction of execution cycles where at
+// least one load port is utilized, and (b) the categorization of those
+// cycles by whether a global-stable load held a port while a non-global-
+// stable load was waiting.
+func (r *Runner) Fig6() error {
+	specs := r.cfg.suite()
+	stable, err := r.stableSets(specs)
+	if err != nil {
+		return err
+	}
+	results, err := r.runMatrix(specs, func(spec *workload.Spec, _ int) sim.Options {
+		return sim.Options{
+			Workload:     spec,
+			Instructions: r.cfg.Instructions,
+			StablePCs:    stable[spec.Name],
+		}
+	}, 1)
+	if err != nil {
+		return err
+	}
+	out := r.cfg.Out
+	fmt.Fprintln(out, "(a) fraction of cycles with >=1 load port utilized:")
+	boxByCategory(out, specs, func(wi int) float64 {
+		st := results[wi][0].Pipeline
+		return frac(st.LoadUtilizedCycles, st.Cycles)
+	})
+	fmt.Fprintln(out, "(paper AVG: 32.7%)")
+	fmt.Fprintln(out, "(b) load-utilized cycles where a global-stable load held a port while a")
+	fmt.Fprintln(out, "    non-global-stable load waited:")
+	boxByCategory(out, specs, func(wi int) float64 {
+		st := results[wi][0].Pipeline
+		return frac(st.StableWhileNonStableWaits, st.LoadUtilizedCycles)
+	})
+	fmt.Fprintln(out, "(paper AVG: 23.0%)")
+	return nil
+}
+
+// Fig9 reproduces Fig. 9: (a) the average number of SLD updates per cycle,
+// and (b) the performance effect of letting wrong-path instructions update
+// Constable's structures (the paper's default) versus correct-path-only.
+func (r *Runner) Fig9() error {
+	specs := r.cfg.suite()
+	noWP := func() *pipeline.Config {
+		cfg := pipeline.DefaultConfig()
+		cfg.WrongPathUpdates = false
+		return &cfg
+	}
+	results, err := r.runMatrix(specs, func(spec *workload.Spec, ci int) sim.Options {
+		opts := sim.Options{Workload: spec, Instructions: r.cfg.Instructions,
+			Mech: sim.Mechanism{Constable: true}}
+		if ci == 1 {
+			opts.Core = noWP()
+		}
+		return opts
+	}, 2)
+	if err != nil {
+		return err
+	}
+	out := r.cfg.Out
+	fmt.Fprintln(out, "(a) SLD updates per cycle (with Constable):")
+	boxByCategory(out, specs, func(wi int) float64 {
+		st := results[wi][0].Pipeline
+		return frac(st.SLDUpdates, st.Cycles)
+	})
+	var le2 []float64
+	for wi := range specs {
+		st := results[wi][0].Pipeline
+		le2 = append(le2, frac(st.SLDUpdatesLE2Cycles, st.Cycles))
+	}
+	fmt.Fprintf(out, "cycles with <=2 SLD updates: %.1f%% on average (paper: 98.23%%; paper mean updates/cycle: 0.28)\n",
+		100*mean(le2))
+
+	fmt.Fprintln(out, "(b) performance change, correct-path-only updates vs all-path updates:")
+	boxByCategory(out, specs, func(wi int) float64 {
+		return sim.Speedup(results[wi][0], results[wi][1]) - 1
+	})
+	fmt.Fprintln(out, "(paper: 82/90 workloads within ±1%, average change 0.2%)")
+	return nil
+}
+
+// Fig16 reproduces Fig. 16: load coverage — the fraction of loads that are
+// eliminated (Constable) or value-predicted (EVES).
+func (r *Runner) Fig16() error {
+	specs := r.cfg.suite()
+	configs := []perfConfig{
+		{name: "EVES", mech: sim.Mechanism{EVES: true}},
+		{name: "Constable", mech: sim.Mechanism{Constable: true}},
+		{name: "EVES+Constable", mech: sim.Mechanism{EVES: true, Constable: true}},
+		{name: "EVES+Ideal", mech: sim.Mechanism{EVES: true, IdealConstable: true}},
+	}
+	results, names, err := r.runPerf(configs, 1)
+	if err != nil {
+		return err
+	}
+	out := r.cfg.Out
+	fmt.Fprintf(out, "  %-16s %10s\n", "config", "coverage")
+	for ci, name := range names {
+		var covered, loads uint64
+		for wi := range specs {
+			st := results[wi][ci].Pipeline
+			covered += st.EliminatedLoads + st.ValuePredicted
+			loads += st.RetiredLoads
+		}
+		fmt.Fprintf(out, "  %-16s %9.1f%%\n", name, 100*frac(covered, loads))
+	}
+	fmt.Fprintln(out, "(paper AVG: EVES 27.3%, Constable 23.5%, EVES+Constable 35.5%, EVES+Ideal 41.6%)")
+	return nil
+}
+
+// Fig17 reproduces Fig. 17: the breakdown of loads per addressing mode into
+// global-stable-and-eliminated, global-stable-but-not-eliminated, and
+// not-global-stable-but-eliminated.
+func (r *Runner) Fig17() error {
+	specs := r.cfg.suite()
+	stable, err := r.stableSets(specs)
+	if err != nil {
+		return err
+	}
+	results, err := r.runMatrix(specs, func(spec *workload.Spec, _ int) sim.Options {
+		return sim.Options{
+			Workload:     spec,
+			Instructions: r.cfg.Instructions,
+			Mech:         sim.Mechanism{Constable: true},
+			StablePCs:    stable[spec.Name],
+		}
+	}, 1)
+	if err != nil {
+		return err
+	}
+	out := r.cfg.Out
+	modes := []string{"pc-rel", "stack-rel", "reg-rel"}
+	var stableTotal, elimStableTotal, elimNonStable uint64
+	fmt.Fprintf(out, "  %-10s %22s %26s\n", "mode", "stable+eliminated", "stable, not eliminated")
+	for _, m := range modes {
+		var stable, elim uint64
+		for wi := range specs {
+			st := results[wi][0].Pipeline
+			stable += st.RetiredStableByMode[m]
+			elim += st.EliminatedStableByMode[m]
+		}
+		stableTotal += stable
+		elimStableTotal += elim
+		fmt.Fprintf(out, "  %-10s %21.1f%% %25.1f%%\n", m,
+			100*frac(elim, stable), 100*frac(stable-elim, stable))
+	}
+	for wi := range specs {
+		elimNonStable += results[wi][0].Pipeline.EliminatedNonStable
+	}
+	fmt.Fprintf(out, "  ALL: %.1f%% of global-stable loads eliminated (paper: 56.4%%);\n",
+		100*frac(elimStableTotal, stableTotal))
+	fmt.Fprintf(out, "  plus %.1f%% extra non-global-stable loads eliminated (paper: 13.5%%)\n",
+		100*frac(elimNonStable, stableTotal))
+	return nil
+}
+
+// Fig18 reproduces Fig. 18: reductions in RS allocations and L1-D accesses
+// with Constable relative to the baseline.
+func (r *Runner) Fig18() error {
+	specs := r.cfg.suite()
+	results, err := r.runMatrix(specs, func(spec *workload.Spec, ci int) sim.Options {
+		opts := sim.Options{Workload: spec, Instructions: r.cfg.Instructions}
+		if ci == 1 {
+			opts.Mech = sim.Mechanism{Constable: true}
+		}
+		return opts
+	}, 2)
+	if err != nil {
+		return err
+	}
+	out := r.cfg.Out
+	fmt.Fprintln(out, "(a) reduction in RS allocations:")
+	boxByCategory(out, specs, func(wi int) float64 {
+		return 1 - frac(results[wi][1].Pipeline.RSAllocs, results[wi][0].Pipeline.RSAllocs)
+	})
+	fmt.Fprintln(out, "(paper AVG: 8.8%, up to 35.1%)")
+	fmt.Fprintln(out, "(b) reduction in L1-D accesses:")
+	boxByCategory(out, specs, func(wi int) float64 {
+		return 1 - frac(results[wi][1].L1DAccesses, results[wi][0].L1DAccesses)
+	})
+	fmt.Fprintln(out, "(paper AVG: 26.0%)")
+	return nil
+}
+
+// Fig19 reproduces Fig. 19: the core dynamic power breakdown for the
+// baseline, EVES, Constable and EVES+Constable.
+func (r *Runner) Fig19() error {
+	specs := r.cfg.suite()
+	configs := []perfConfig{
+		{name: "base"},
+		{name: "EVES", mech: sim.Mechanism{EVES: true}},
+		{name: "Constable", mech: sim.Mechanism{Constable: true}},
+		{name: "EVES+Constable", mech: sim.Mechanism{EVES: true, Constable: true}},
+	}
+	results, names, err := r.runPerf(configs, 1)
+	if err != nil {
+		return err
+	}
+	out := r.cfg.Out
+	var baseTotal float64
+	for ci, name := range names {
+		var fe, rs, rat, rob, eu, l1d, dtlb float64
+		for wi := range specs {
+			b := results[wi][ci].Power
+			fe += b.FE
+			rs += b.RS
+			rat += b.RAT
+			rob += b.ROB
+			eu += b.EU
+			l1d += b.L1D
+			dtlb += b.DTLB
+		}
+		total := fe + rs + rat + rob + eu + l1d + dtlb
+		if ci == 0 {
+			baseTotal = total
+		}
+		fmt.Fprintf(out, "  %-16s total %6.1f%% of baseline | FE %5.1f%% OOO %5.1f%% (RS %4.1f%% RAT %4.1f%% ROB %4.1f%%) EU %5.1f%% MEU %5.1f%% (L1D %4.1f%% DTLB %4.1f%%)\n",
+			name, 100*total/baseTotal,
+			100*fe/total, 100*(rs+rat+rob)/total, 100*rs/total, 100*rat/total, 100*rob/total,
+			100*eu/total, 100*(l1d+dtlb)/total, 100*l1d/total, 100*dtlb/total)
+	}
+	fmt.Fprintln(out, "(paper: Constable cuts core dynamic power 3.4% vs baseline — RS −5.1%, L1D −9.1%;")
+	fmt.Fprintln(out, " EVES is roughly power-neutral, −0.2%)")
+	return nil
+}
+
+// Fig20 reproduces Fig. 20: performance sensitivity of the baseline and
+// Constable to (a) load-execution-width scaling and (b) pipeline-depth
+// scaling.
+func (r *Runner) Fig20() error {
+	specs := r.cfg.suite()
+	out := r.cfg.Out
+
+	fmt.Fprintln(out, "(a) load execution width scaling (speedup over 3-wide baseline):")
+	widths := []int{3, 4, 5, 6}
+	var configs []perfConfig
+	for _, w := range widths {
+		w := w
+		core := func() *pipeline.Config {
+			cfg := pipeline.DefaultConfig()
+			cfg.NumLoadPorts = w
+			return &cfg
+		}
+		configs = append(configs,
+			perfConfig{name: fmt.Sprintf("base-%dw", w), core: core},
+			perfConfig{name: fmt.Sprintf("cons-%dw", w), core: core, mech: sim.Mechanism{Constable: true}},
+		)
+	}
+	results, names, err := r.runPerf(configs, 1)
+	if err != nil {
+		return err
+	}
+	printGeomeanRow(out, specs, results, names)
+
+	fmt.Fprintln(out, "(b) pipeline depth scaling (ROB/RS/LB/SB x1..x4):")
+	scales := []int{1, 2, 3, 4}
+	configs = configs[:0]
+	for _, s := range scales {
+		s := s
+		core := func() *pipeline.Config {
+			cfg := pipeline.DefaultConfig()
+			cfg.ROBSize *= s
+			cfg.RSSize *= s
+			cfg.LBSize *= s
+			cfg.SBSize *= s
+			cfg.IntPRF *= s
+			return &cfg
+		}
+		configs = append(configs,
+			perfConfig{name: fmt.Sprintf("base-x%d", s), core: core},
+			perfConfig{name: fmt.Sprintf("cons-x%d", s), core: core, mech: sim.Mechanism{Constable: true}},
+		)
+	}
+	results, names, err = r.runPerf(configs, 1)
+	if err != nil {
+		return err
+	}
+	printGeomeanRow(out, specs, results, names)
+	fmt.Fprintln(out, "(paper: Constable keeps adding performance at every width and depth scale)")
+	return nil
+}
+
+// printGeomeanRow prints geomean speedups of every config against config 0.
+func printGeomeanRow(out interface{ Write([]byte) (int, error) }, specs []*workload.Spec, results [][]*sim.Result, names []string) {
+	for ci, name := range names {
+		var sp []float64
+		for wi := range specs {
+			sp = append(sp, sim.Speedup(results[wi][0], results[wi][ci]))
+		}
+		fmt.Fprintf(out, "  %-10s %7.4f\n", name, geomean(sp))
+	}
+}
+
+// Fig21 reproduces Fig. 21: (a) the fraction of eliminated loads that
+// violate memory ordering, and (b) the increase in ROB allocations caused
+// by flush-driven re-execution.
+func (r *Runner) Fig21() error {
+	specs := r.cfg.suite()
+	results, err := r.runMatrix(specs, func(spec *workload.Spec, ci int) sim.Options {
+		opts := sim.Options{Workload: spec, Instructions: r.cfg.Instructions}
+		if ci == 1 {
+			opts.Mech = sim.Mechanism{Constable: true}
+		}
+		return opts
+	}, 2)
+	if err != nil {
+		return err
+	}
+	out := r.cfg.Out
+	fmt.Fprintln(out, "(a) fraction of eliminated loads that violate memory ordering:")
+	boxByCategory(out, specs, func(wi int) float64 {
+		st := results[wi][1].Pipeline
+		return frac(st.EliminatedThatViolated, st.EliminatedLoads)
+	})
+	fmt.Fprintln(out, "(paper AVG: 0.09%; <0.5% in 86 of 90 workloads)")
+	fmt.Fprintln(out, "(b) increase in allocated (ROB) instructions with Constable:")
+	boxByCategory(out, specs, func(wi int) float64 {
+		return frac(results[wi][1].Pipeline.ROBAllocs, results[wi][0].Pipeline.ROBAllocs) - 1
+	})
+	fmt.Fprintln(out, "(paper AVG: +0.3%; <1% in 79 of 90 workloads)")
+	return nil
+}
+
+// Fig22 reproduces Fig. 22: the Constable-AMT-I variant (invalidate the AMT
+// on every L1-D eviction) against the default CV-bit-pinning design:
+// speedup and elimination coverage.
+func (r *Runner) Fig22() error {
+	specs := r.cfg.suite()
+	amtI := constable.DefaultConfig()
+	amtI.InvalidateOnL1Evict = true
+	configs := []perfConfig{
+		{name: "base"},
+		{name: "Constable", mech: sim.Mechanism{Constable: true}},
+		{name: "Constable-AMT-I", mech: sim.Mechanism{Constable: true, ConstableConfig: &amtI}},
+	}
+	results, names, err := r.runPerf(configs, 1)
+	if err != nil {
+		return err
+	}
+	out := r.cfg.Out
+	tbl := categoryGeomeans(specs, results, names)
+	fmt.Fprint(out, tbl)
+	for _, ci := range []int{1, 2} {
+		var elim, loads uint64
+		for wi := range specs {
+			elim += results[wi][ci].Pipeline.EliminatedLoads
+			loads += results[wi][ci].Pipeline.RetiredLoads
+		}
+		fmt.Fprintf(out, "  %-16s coverage %5.1f%%\n", names[ci], 100*frac(elim, loads))
+	}
+	fmt.Fprintln(out, "(paper: AMT-I loses 0.9% performance and 3.4% coverage vs vanilla Constable)")
+	return nil
+}
+
+// stableSets runs the Load Inspector pre-pass for each workload serially
+// (results are memoized inside sim) and returns the stable-PC sets by name.
+func (r *Runner) stableSets(specs []*workload.Spec) (map[string]map[uint64]bool, error) {
+	out := make(map[string]map[uint64]bool, len(specs))
+	for _, spec := range specs {
+		ins, err := sim.StableAnalysis(spec, false, r.cfg.Instructions)
+		if err != nil {
+			return nil, err
+		}
+		out[spec.Name] = ins.StableLoadPCs()
+	}
+	return out, nil
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func geomean(xs []float64) float64 {
+	return stats.Geomean(xs)
+}

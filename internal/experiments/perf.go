@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"constable/internal/constable"
+	"constable/internal/isa"
+	"constable/internal/pipeline"
+	"constable/internal/sim"
+	"constable/internal/workload"
+)
+
+// perfConfig names one mechanism column of a speedup figure.
+type perfConfig struct {
+	name string
+	mech sim.Mechanism
+	core func() *pipeline.Config // optional core override
+}
+
+func (r *Runner) runPerf(configs []perfConfig, threads int) ([][]*sim.Result, []string, error) {
+	specs := r.cfg.suite()
+	names := make([]string, len(configs))
+	for i, c := range configs {
+		names[i] = c.name
+	}
+	results, err := r.runMatrix(specs, func(spec *workload.Spec, ci int) sim.Options {
+		opts := sim.Options{
+			Workload:     spec,
+			Instructions: r.cfg.Instructions,
+			Threads:      threads,
+			Mech:         configs[ci].mech,
+		}
+		if configs[ci].core != nil {
+			opts.Core = configs[ci].core()
+		}
+		return opts
+	}, len(configs))
+	return results, names, err
+}
+
+// Fig7 reproduces Fig. 7: the performance headroom of Ideal Constable
+// against Ideal Stable LVP, Ideal Stable LVP + data-fetch elimination, and
+// a 2× load-execution-width machine.
+func (r *Runner) Fig7() error {
+	twoX := func() *pipeline.Config {
+		cfg := pipeline.DefaultConfig()
+		cfg.NumLoadPorts *= 2
+		return &cfg
+	}
+	configs := []perfConfig{
+		{name: "base"},
+		{name: "IdealStableLVP", mech: sim.Mechanism{IdealStableLVP: true}},
+		{name: "LVP+DFE", mech: sim.Mechanism{IdealStableLVP: true, IdealDataFetchElim: true}},
+		{name: "2xLoadWidth", core: twoX},
+		{name: "IdealConstable", mech: sim.Mechanism{IdealConstable: true}},
+	}
+	results, names, err := r.runPerf(configs, 1)
+	if err != nil {
+		return err
+	}
+	tbl := categoryGeomeans(r.cfg.suite(), results, names)
+	fmt.Fprint(r.cfg.Out, tbl)
+	fmt.Fprintln(r.cfg.Out, "(paper GEOMEAN: LVP 1.043, LVP+DFE 1.067, 2x 1.088, Ideal Constable 1.091)")
+	return nil
+}
+
+// Fig11 reproduces Fig. 11: noSMT speedups of EVES, Constable,
+// EVES+Constable and EVES+Ideal Constable over the baseline.
+func (r *Runner) Fig11() error {
+	configs := []perfConfig{
+		{name: "base"},
+		{name: "EVES", mech: sim.Mechanism{EVES: true}},
+		{name: "Constable", mech: sim.Mechanism{Constable: true}},
+		{name: "EVES+Constable", mech: sim.Mechanism{EVES: true, Constable: true}},
+		{name: "EVES+Ideal", mech: sim.Mechanism{EVES: true, IdealConstable: true}},
+	}
+	results, names, err := r.runPerf(configs, 1)
+	if err != nil {
+		return err
+	}
+	tbl := categoryGeomeans(r.cfg.suite(), results, names)
+	fmt.Fprint(r.cfg.Out, tbl)
+	fmt.Fprintln(r.cfg.Out, "(paper GEOMEAN: EVES 1.047, Constable 1.051, EVES+Constable 1.085, EVES+Ideal 1.103)")
+	return nil
+}
+
+// Fig12 reproduces Fig. 12: the per-workload speedup line graph, sorted by
+// EVES's gain, highlighting where Constable beats EVES and vice versa.
+func (r *Runner) Fig12() error {
+	configs := []perfConfig{
+		{name: "base"},
+		{name: "EVES", mech: sim.Mechanism{EVES: true}},
+		{name: "Constable", mech: sim.Mechanism{Constable: true}},
+		{name: "EVES+Constable", mech: sim.Mechanism{EVES: true, Constable: true}},
+	}
+	specs := r.cfg.suite()
+	results, _, err := r.runPerf(configs, 1)
+	if err != nil {
+		return err
+	}
+	type row struct {
+		name             string
+		eves, cons, both float64
+	}
+	rows := make([]row, len(specs))
+	for wi, spec := range specs {
+		rows[wi] = row{
+			name: spec.Name,
+			eves: sim.Speedup(results[wi][0], results[wi][1]),
+			cons: sim.Speedup(results[wi][0], results[wi][2]),
+			both: sim.Speedup(results[wi][0], results[wi][3]),
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].eves < rows[j].eves })
+	consWins := 0
+	fmt.Fprintf(r.cfg.Out, "  %-30s %8s %10s %10s\n", "workload (sorted by EVES)", "EVES", "Constable", "E+C")
+	for _, row := range rows {
+		marker := " "
+		if row.cons > row.eves {
+			marker = "*"
+			consWins++
+		}
+		fmt.Fprintf(r.cfg.Out, "%s %-30s %8.3f %10.3f %10.3f\n", marker, row.name, row.eves, row.cons, row.both)
+	}
+	fmt.Fprintf(r.cfg.Out, "Constable beats EVES in %d of %d workloads (paper: 60 of 90)\n", consWins, len(rows))
+	return nil
+}
+
+// Fig13 reproduces Fig. 13: Constable restricted to eliminating only
+// PC-relative, only stack-relative, or only register-relative loads.
+func (r *Runner) Fig13() error {
+	modeCfg := func(m isa.AddrMode) sim.Mechanism {
+		cfg := constable.DefaultConfig()
+		cfg.ModeFilter = m
+		return sim.Mechanism{Constable: true, ConstableConfig: &cfg}
+	}
+	configs := []perfConfig{
+		{name: "base"},
+		{name: "PC-rel", mech: modeCfg(isa.AddrPCRel)},
+		{name: "Stack-rel", mech: modeCfg(isa.AddrStackRel)},
+		{name: "Reg-rel", mech: modeCfg(isa.AddrRegRel)},
+		{name: "All", mech: sim.Mechanism{Constable: true}},
+	}
+	results, names, err := r.runPerf(configs, 1)
+	if err != nil {
+		return err
+	}
+	tbl := categoryGeomeans(r.cfg.suite(), results, names)
+	fmt.Fprint(r.cfg.Out, tbl)
+	fmt.Fprintln(r.cfg.Out, "(paper GEOMEAN: PC-rel 1.011, Stack-rel 1.026, Reg-rel 1.018, All 1.051)")
+	return nil
+}
+
+// Fig14 reproduces Fig. 14: SMT2 speedups of EVES, Constable and
+// EVES+Constable over the SMT2 baseline.
+func (r *Runner) Fig14() error {
+	configs := []perfConfig{
+		{name: "base"},
+		{name: "EVES", mech: sim.Mechanism{EVES: true}},
+		{name: "Constable", mech: sim.Mechanism{Constable: true}},
+		{name: "EVES+Constable", mech: sim.Mechanism{EVES: true, Constable: true}},
+	}
+	results, names, err := r.runPerf(configs, 2)
+	if err != nil {
+		return err
+	}
+	tbl := categoryGeomeans(r.cfg.suite(), results, names)
+	fmt.Fprint(r.cfg.Out, tbl)
+	fmt.Fprintln(r.cfg.Out, "(paper GEOMEAN: EVES 1.036, Constable 1.088, EVES+Constable 1.113;")
+	fmt.Fprintln(r.cfg.Out, " the key shape: under SMT2 Constable clearly beats EVES)")
+	return nil
+}
+
+// Fig15 reproduces Fig. 15: ELAR and RFP standalone and combined with
+// Constable.
+func (r *Runner) Fig15() error {
+	configs := []perfConfig{
+		{name: "base"},
+		{name: "ELAR", mech: sim.Mechanism{ELAR: true}},
+		{name: "RFP", mech: sim.Mechanism{RFP: true}},
+		{name: "Constable", mech: sim.Mechanism{Constable: true}},
+		{name: "ELAR+Cons", mech: sim.Mechanism{ELAR: true, Constable: true}},
+		{name: "RFP+Cons", mech: sim.Mechanism{RFP: true, Constable: true}},
+	}
+	results, names, err := r.runPerf(configs, 1)
+	if err != nil {
+		return err
+	}
+	tbl := categoryGeomeans(r.cfg.suite(), results, names)
+	fmt.Fprint(r.cfg.Out, tbl)
+	fmt.Fprintln(r.cfg.Out, "(paper GEOMEAN: ELAR 1.007, RFP 1.045, Constable 1.051, ELAR+C 1.054, RFP+C 1.081)")
+	return nil
+}

@@ -1,0 +1,271 @@
+package fsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"constable/internal/isa"
+	"constable/internal/prog"
+)
+
+// buildLoop returns a tiny counted loop program:
+//
+//	r8 = n
+//	loop: r9 += 1; r8 -= 1; br r8, loop
+//	jmp loop0 (infinite outer)
+func buildLoop(n int64) *prog.Program {
+	b := prog.NewBuilder("loop")
+	b.Label("outer")
+	b.MovImm(isa.R8, n)
+	b.Zero(isa.R9)
+	b.Label("loop")
+	b.ALUImm(isa.ALUInc, isa.R9, isa.R9, 0)
+	b.ALUImm(isa.ALUDec, isa.R8, isa.R8, 0)
+	b.Branch(isa.R8, "loop")
+	b.Jump("outer")
+	return b.MustBuild()
+}
+
+func TestCountedLoop(t *testing.T) {
+	cpu := New(buildLoop(5))
+	// Execute one full outer iteration: movi, zero, then 5×(inc,dec,br), jmp.
+	var branches, takens int
+	for i := 0; i < 2+5*3+1; i++ {
+		d := cpu.Step()
+		if d.Op == isa.OpBranch {
+			branches++
+			if d.Taken {
+				takens++
+			}
+		}
+	}
+	if branches != 5 || takens != 4 {
+		t.Errorf("got %d branches (%d taken), want 5 (4 taken)", branches, takens)
+	}
+	if got := cpu.Reg(isa.R9); got != 5 {
+		t.Errorf("r9 = %d, want 5", got)
+	}
+}
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	b := prog.NewBuilder("ldst")
+	addr := prog.HeapBase
+	b.Label("outer")
+	b.MovImm(isa.R6, int64(addr))
+	b.MovImm(isa.R7, 1234)
+	b.Store(isa.R6, 0, isa.R7)
+	b.Load(isa.R9, isa.R6, 0)
+	b.Jump("outer")
+	cpu := New(b.MustBuild())
+
+	var st, ld isa.DynInst
+	for i := 0; i < 4; i++ {
+		d := cpu.Step()
+		switch d.Op {
+		case isa.OpStore:
+			st = d
+		case isa.OpLoad:
+			ld = d
+		}
+	}
+	if st.Addr != addr || st.Value != 1234 {
+		t.Errorf("store = %+v", st)
+	}
+	if ld.Addr != addr || ld.Value != 1234 {
+		t.Errorf("load = %+v", ld)
+	}
+	if ld.ProducerStore != st.Seq {
+		t.Errorf("load producer = %d, want store seq %d", ld.ProducerStore, st.Seq)
+	}
+}
+
+func TestSilentStoreDetection(t *testing.T) {
+	b := prog.NewBuilder("silent")
+	b.Label("outer")
+	b.MovImm(isa.R6, int64(prog.GlobalBase))
+	b.MovImm(isa.R7, 7)
+	b.Store(isa.R6, 0, isa.R7)
+	b.Jump("outer")
+	cpu := New(b.MustBuild())
+
+	var stores []isa.DynInst
+	for len(stores) < 3 {
+		d := cpu.Step()
+		if d.Op == isa.OpStore {
+			stores = append(stores, d)
+		}
+	}
+	if stores[0].Silent {
+		t.Error("first store must not be silent")
+	}
+	if !stores[1].Silent || !stores[2].Silent {
+		t.Error("repeated identical stores must be silent")
+	}
+}
+
+func TestPCRelativeLoadHasStableAddress(t *testing.T) {
+	b := prog.NewBuilder("pcrel")
+	g := prog.GlobalBase + 0x100
+	b.SetMem(g, 0xDEAD)
+	b.Label("outer")
+	b.LoadGlobal(isa.R9, g)
+	b.Jump("outer")
+	cpu := New(b.MustBuild())
+
+	for i := 0; i < 6; i++ {
+		d := cpu.Step()
+		if d.Op != isa.OpLoad {
+			continue
+		}
+		if d.Mode != isa.AddrPCRel {
+			t.Fatalf("mode = %v", d.Mode)
+		}
+		if d.Addr != g || d.Value != 0xDEAD {
+			t.Fatalf("instance %d: addr=%#x value=%#x", i, d.Addr, d.Value)
+		}
+		if d.Src1 != isa.RegNone {
+			t.Fatal("PC-relative load must have no source register")
+		}
+	}
+}
+
+func TestCallRet(t *testing.T) {
+	b := prog.NewBuilder("callret")
+	b.Label("outer")
+	b.Call("fn")
+	b.ALUImm(isa.ALUInc, isa.R10, isa.R10, 0) // return lands here
+	b.Jump("outer")
+	b.Label("fn")
+	b.ALUImm(isa.ALUInc, isa.R9, isa.R9, 0)
+	b.Ret()
+	cpu := New(b.MustBuild())
+
+	for i := 0; i < 10; i++ {
+		d := cpu.Step()
+		if d.Op == isa.OpRet && !d.Taken {
+			t.Error("ret must be taken")
+		}
+	}
+	if cpu.Reg(isa.R9) != cpu.Reg(isa.R10) {
+		t.Errorf("call body ran %d times but return path %d times",
+			cpu.Reg(isa.R9), cpu.Reg(isa.R10))
+	}
+}
+
+func TestDivByZero(t *testing.T) {
+	b := prog.NewBuilder("div0")
+	b.Label("outer")
+	b.MovImm(isa.R6, 10)
+	b.Zero(isa.R7)
+	b.Div(isa.R9, isa.R6, isa.R7)
+	b.Jump("outer")
+	cpu := New(b.MustBuild())
+	for i := 0; i < 4; i++ {
+		cpu.Step()
+	}
+	if got := cpu.Reg(isa.R9); got != ^uint64(0) {
+		t.Errorf("div by zero = %#x, want all-ones", got)
+	}
+}
+
+func TestInitialWordDeterministic(t *testing.T) {
+	f := func(addr uint64) bool {
+		return InitialWord(addr) == InitialWord(addr)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if InitialWord(8) == InitialWord(16) {
+		t.Error("distinct addresses should give distinct initial words")
+	}
+}
+
+func TestUninitializedLoadIsStable(t *testing.T) {
+	b := prog.NewBuilder("uninit")
+	b.Label("outer")
+	b.MovImm(isa.R6, int64(prog.HeapBase+0x7000))
+	b.Load(isa.R9, isa.R6, 0)
+	b.Jump("outer")
+	cpu := New(b.MustBuild())
+	var first uint64
+	seen := 0
+	for seen < 3 {
+		d := cpu.Step()
+		if d.Op != isa.OpLoad {
+			continue
+		}
+		if seen == 0 {
+			first = d.Value
+		} else if d.Value != first {
+			t.Fatalf("uninitialized load value changed: %#x vs %#x", d.Value, first)
+		}
+		seen++
+	}
+	if first != InitialWord(prog.HeapBase+0x7000) {
+		t.Error("uninitialized load must return InitialWord")
+	}
+}
+
+func TestStreamBounds(t *testing.T) {
+	s := NewStream(New(buildLoop(3)), 10)
+	n := 0
+	for {
+		_, ok := s.Next()
+		if !ok {
+			break
+		}
+		n++
+	}
+	if n != 10 {
+		t.Errorf("stream yielded %d instructions, want 10", n)
+	}
+	if s.CPU().Seq() != 10 {
+		t.Errorf("cpu seq = %d", s.CPU().Seq())
+	}
+}
+
+func TestALUFunctions(t *testing.T) {
+	cases := []struct {
+		fn   isa.ALUFn
+		a, b uint64
+		want uint64
+	}{
+		{isa.ALUAdd, 3, 4, 7},
+		{isa.ALUSub, 9, 4, 5},
+		{isa.ALUXor, 0xF0, 0x0F, 0xFF},
+		{isa.ALUAnd, 0xF0, 0x3C, 0x30},
+		{isa.ALUOr, 0xF0, 0x0F, 0xFF},
+		{isa.ALUShl, 1, 4, 16},
+		{isa.ALUCmpLT, 2, 3, 1},
+		{isa.ALUCmpLT, 3, 2, 0},
+		{isa.ALUDec, 5, 0, 4},
+		{isa.ALUInc, 5, 0, 6},
+	}
+	for _, tc := range cases {
+		b := prog.NewBuilder("alu")
+		b.Label("outer")
+		b.MovImm(isa.R1, int64(tc.a))
+		b.MovImm(isa.R2, int64(tc.b))
+		b.ALU(tc.fn, isa.R3, isa.R1, isa.R2)
+		b.Jump("outer")
+		cpu := New(b.MustBuild())
+		for i := 0; i < 3; i++ {
+			cpu.Step()
+		}
+		if got := cpu.Reg(isa.R3); got != tc.want {
+			t.Errorf("fn %d: got %d, want %d", tc.fn, got, tc.want)
+		}
+	}
+}
+
+func TestSequenceNumbersMonotonic(t *testing.T) {
+	cpu := New(buildLoop(4))
+	var prev uint64
+	for i := 0; i < 50; i++ {
+		d := cpu.Step()
+		if i > 0 && d.Seq != prev+1 {
+			t.Fatalf("seq jumped from %d to %d", prev, d.Seq)
+		}
+		prev = d.Seq
+	}
+}

@@ -1,0 +1,208 @@
+// Package inspector reproduces the paper's Load Inspector tool (§4.1–4.2,
+// appendix B): it analyzes a dynamic instruction stream and classifies every
+// static load as global-stable (all dynamic instances fetched the same value
+// from the same address) or not, with breakdowns by addressing mode and
+// inter-occurrence distance, mirroring Fig. 3 and Figs. 23–24.
+package inspector
+
+import (
+	"fmt"
+	"strings"
+
+	"constable/internal/isa"
+)
+
+// DistanceBuckets are the paper's inter-occurrence-distance bins (Fig. 3c):
+// [0,50), [50,100), [100,250), 250+.
+var DistanceBuckets = []string{"[0-50)", "[50-100)", "[100-250)", "250+"}
+
+func distanceBucket(d uint64) int {
+	switch {
+	case d < 50:
+		return 0
+	case d < 100:
+		return 1
+	case d < 250:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// loadRecord accumulates the history of one static load PC.
+type loadRecord struct {
+	mode      isa.AddrMode
+	addr      uint64
+	value     uint64
+	count     uint64
+	stable    bool
+	lastSeq   uint64
+	distances [4]uint64 // histogram of inter-occurrence distances
+}
+
+// Inspector consumes dynamic instructions and accumulates the global-stable
+// load analysis. The zero value is not usable; call New.
+type Inspector struct {
+	loads     map[uint64]*loadRecord
+	dynInsts  uint64
+	dynLoads  uint64
+	dynStores uint64
+}
+
+// New returns an empty Inspector.
+func New() *Inspector {
+	return &Inspector{loads: make(map[uint64]*loadRecord)}
+}
+
+// Observe feeds one dynamic instruction into the analysis. Wrong-path
+// instructions must not be fed (the paper instruments committed execution).
+func (ins *Inspector) Observe(d *isa.DynInst) {
+	ins.dynInsts++
+	switch d.Op {
+	case isa.OpStore:
+		ins.dynStores++
+	case isa.OpLoad:
+		ins.dynLoads++
+		r, ok := ins.loads[d.PC]
+		if !ok {
+			ins.loads[d.PC] = &loadRecord{
+				mode:    d.Mode,
+				addr:    d.Addr,
+				value:   d.Value,
+				count:   1,
+				stable:  true,
+				lastSeq: d.Seq,
+			}
+			return
+		}
+		r.count++
+		if r.stable && (r.addr != d.Addr || r.value != d.Value) {
+			r.stable = false
+		}
+		r.distances[distanceBucket(d.Seq-r.lastSeq)]++
+		r.lastSeq = d.Seq
+	}
+}
+
+// Report is the result of the analysis.
+type Report struct {
+	DynInsts  uint64
+	DynLoads  uint64
+	DynStores uint64
+
+	// GlobalStableDynLoads is the number of dynamic loads issued by
+	// global-stable static loads (Fig. 3a numerator).
+	GlobalStableDynLoads uint64
+	// StaticLoads and GlobalStableStaticLoads count static load PCs.
+	StaticLoads             uint64
+	GlobalStableStaticLoads uint64
+
+	// ByMode breaks global-stable dynamic loads down by addressing mode
+	// (Fig. 3b); keys are isa.AddrMode strings.
+	ByMode map[string]uint64
+	// ByDistance is the inter-occurrence-distance histogram of global-stable
+	// dynamic loads (Fig. 3c), keyed by DistanceBuckets.
+	ByDistance map[string]uint64
+	// ByModeDistance is the per-mode distance histogram (Fig. 3d).
+	ByModeDistance map[string]map[string]uint64
+}
+
+// GlobalStableFraction returns the fraction of dynamic loads that are
+// global-stable (Fig. 3a).
+func (r *Report) GlobalStableFraction() float64 {
+	if r.DynLoads == 0 {
+		return 0
+	}
+	return float64(r.GlobalStableDynLoads) / float64(r.DynLoads)
+}
+
+// Report computes the analysis over everything observed so far. A static
+// load that executed only once is counted as global-stable (its single
+// instance trivially repeated nothing, matching the tool's definition of
+// "same value from the same address across all dynamic instances").
+func (ins *Inspector) Report() *Report {
+	rep := &Report{
+		DynInsts:       ins.dynInsts,
+		DynLoads:       ins.dynLoads,
+		DynStores:      ins.dynStores,
+		ByMode:         make(map[string]uint64),
+		ByDistance:     make(map[string]uint64),
+		ByModeDistance: make(map[string]map[string]uint64),
+	}
+	for _, mode := range []isa.AddrMode{isa.AddrPCRel, isa.AddrStackRel, isa.AddrRegRel} {
+		rep.ByModeDistance[mode.String()] = make(map[string]uint64)
+	}
+	for _, r := range ins.loads {
+		rep.StaticLoads++
+		if !r.stable {
+			continue
+		}
+		rep.GlobalStableStaticLoads++
+		rep.GlobalStableDynLoads += r.count
+		rep.ByMode[r.mode.String()] += r.count
+		md := rep.ByModeDistance[r.mode.String()]
+		for b, n := range r.distances {
+			rep.ByDistance[DistanceBuckets[b]] += n
+			if md != nil {
+				md[DistanceBuckets[b]] += n
+			}
+		}
+	}
+	return rep
+}
+
+// StableLoadPCs returns the set of global-stable static load PCs, the oracle
+// input for the Ideal Constable and Ideal Stable LVP configurations (§4.4).
+func (ins *Inspector) StableLoadPCs() map[uint64]bool {
+	out := make(map[uint64]bool)
+	for pc, r := range ins.loads {
+		if r.stable {
+			out[pc] = true
+		}
+	}
+	return out
+}
+
+// StableLoadModes returns the addressing mode of each global-stable load PC.
+func (ins *Inspector) StableLoadModes() map[uint64]isa.AddrMode {
+	out := make(map[uint64]isa.AddrMode)
+	for pc, r := range ins.loads {
+		if r.stable {
+			out[pc] = r.mode
+		}
+	}
+	return out
+}
+
+// String renders the report in the shape of Fig. 3.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "dynamic instructions: %d (loads %d, stores %d)\n",
+		r.DynInsts, r.DynLoads, r.DynStores)
+	fmt.Fprintf(&b, "global-stable: %.1f%% of dynamic loads (%d/%d static loads)\n",
+		100*r.GlobalStableFraction(), r.GlobalStableStaticLoads, r.StaticLoads)
+	total := float64(r.GlobalStableDynLoads)
+	if total > 0 {
+		fmt.Fprintf(&b, "by addressing mode: pc-rel %.1f%%  stack-rel %.1f%%  reg-rel %.1f%%\n",
+			100*float64(r.ByMode["pc-rel"])/total,
+			100*float64(r.ByMode["stack-rel"])/total,
+			100*float64(r.ByMode["reg-rel"])/total)
+		fmt.Fprintf(&b, "by inter-occurrence distance:")
+		var dtotal uint64
+		for _, k := range DistanceBuckets {
+			dtotal += r.ByDistance[k]
+		}
+		for _, k := range DistanceBuckets {
+			fmt.Fprintf(&b, "  %s %.1f%%", k, 100*float64(r.ByDistance[k])/float64(maxU64(dtotal, 1)))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

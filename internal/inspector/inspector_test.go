@@ -1,0 +1,137 @@
+package inspector
+
+import (
+	"strings"
+	"testing"
+
+	"constable/internal/isa"
+)
+
+func load(seq, pc, addr, value uint64, mode isa.AddrMode) isa.DynInst {
+	return isa.DynInst{Seq: seq, PC: pc, Op: isa.OpLoad, Addr: addr, Value: value, Mode: mode}
+}
+
+func TestStableLoadDetection(t *testing.T) {
+	ins := New()
+	// PC 100: always same address and value → stable.
+	// PC 200: value changes → unstable.
+	// PC 300: address changes → unstable.
+	script := []isa.DynInst{
+		load(0, 100, 0x1000, 7, isa.AddrPCRel),
+		load(1, 200, 0x2000, 1, isa.AddrRegRel),
+		load(2, 300, 0x3000, 5, isa.AddrStackRel),
+		load(3, 100, 0x1000, 7, isa.AddrPCRel),
+		load(4, 200, 0x2000, 2, isa.AddrRegRel),
+		load(5, 300, 0x3008, 5, isa.AddrStackRel),
+		load(6, 100, 0x1000, 7, isa.AddrPCRel),
+	}
+	for i := range script {
+		ins.Observe(&script[i])
+	}
+	rep := ins.Report()
+	if rep.DynLoads != 7 {
+		t.Fatalf("dyn loads = %d", rep.DynLoads)
+	}
+	if rep.GlobalStableDynLoads != 3 {
+		t.Errorf("stable dyn loads = %d, want 3", rep.GlobalStableDynLoads)
+	}
+	if rep.GlobalStableStaticLoads != 1 || rep.StaticLoads != 3 {
+		t.Errorf("static: %d/%d, want 1/3", rep.GlobalStableStaticLoads, rep.StaticLoads)
+	}
+	if rep.ByMode["pc-rel"] != 3 {
+		t.Errorf("pc-rel stable loads = %d", rep.ByMode["pc-rel"])
+	}
+	stable := ins.StableLoadPCs()
+	if !stable[100] || stable[200] || stable[300] {
+		t.Errorf("stable PCs = %v", stable)
+	}
+	modes := ins.StableLoadModes()
+	if modes[100] != isa.AddrPCRel {
+		t.Errorf("stable mode = %v", modes[100])
+	}
+}
+
+func TestInstabilityIsSticky(t *testing.T) {
+	ins := New()
+	seq := uint64(0)
+	add := func(v uint64) {
+		d := load(seq, 100, 0x1000, v, isa.AddrRegRel)
+		ins.Observe(&d)
+		seq++
+	}
+	add(1)
+	add(2) // breaks stability
+	for i := 0; i < 10; i++ {
+		add(2) // stable *again*, but global stability is across the whole trace
+	}
+	if ins.Report().GlobalStableDynLoads != 0 {
+		t.Error("a load that ever changed value must not be global-stable")
+	}
+}
+
+func TestDistanceBuckets(t *testing.T) {
+	cases := map[uint64]int{0: 0, 49: 0, 50: 1, 99: 1, 100: 2, 249: 2, 250: 3, 10000: 3}
+	for d, want := range cases {
+		if got := distanceBucket(d); got != want {
+			t.Errorf("distanceBucket(%d) = %d, want %d", d, got, want)
+		}
+	}
+}
+
+func TestInterOccurrenceHistogram(t *testing.T) {
+	ins := New()
+	// Three instances at seq 0, 10, 500: distances 10 (bucket 0) and 490 (bucket 3).
+	for _, seq := range []uint64{0, 10, 500} {
+		d := load(seq, 100, 0x1000, 7, isa.AddrStackRel)
+		ins.Observe(&d)
+	}
+	rep := ins.Report()
+	if rep.ByDistance["[0-50)"] != 1 || rep.ByDistance["250+"] != 1 {
+		t.Errorf("distance histogram = %v", rep.ByDistance)
+	}
+	if rep.ByModeDistance["stack-rel"]["[0-50)"] != 1 {
+		t.Errorf("per-mode histogram = %v", rep.ByModeDistance)
+	}
+}
+
+func TestNonLoadsCountedSeparately(t *testing.T) {
+	ins := New()
+	st := isa.DynInst{Seq: 0, Op: isa.OpStore, Addr: 8, Value: 1}
+	alu := isa.DynInst{Seq: 1, Op: isa.OpALU}
+	ins.Observe(&st)
+	ins.Observe(&alu)
+	rep := ins.Report()
+	if rep.DynInsts != 2 || rep.DynStores != 1 || rep.DynLoads != 0 {
+		t.Errorf("report = %+v", rep)
+	}
+}
+
+func TestSingleInstanceLoadIsStable(t *testing.T) {
+	ins := New()
+	d := load(0, 100, 0x1000, 7, isa.AddrRegRel)
+	ins.Observe(&d)
+	rep := ins.Report()
+	if rep.GlobalStableStaticLoads != 1 {
+		t.Error("a single-instance load is trivially global-stable")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	ins := New()
+	for i := uint64(0); i < 5; i++ {
+		d := load(i, 100, 0x1000, 7, isa.AddrPCRel)
+		ins.Observe(&d)
+	}
+	s := ins.Report().String()
+	for _, frag := range []string{"global-stable", "pc-rel", "dynamic instructions"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("report string missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+func TestGlobalStableFractionEmpty(t *testing.T) {
+	if f := New().Report().GlobalStableFraction(); f != 0 {
+		t.Errorf("empty fraction = %v", f)
+	}
+}

@@ -1,0 +1,322 @@
+// Package isa defines the synthetic micro-ISA used by the Constable
+// reproduction: opcodes, architectural registers, addressing modes, and the
+// static and dynamic instruction representations shared by the functional
+// simulator (internal/fsim) and the timing model (internal/pipeline).
+//
+// The ISA is deliberately x86-64-flavoured where the paper depends on it:
+// 16 general-purpose registers by default (32 in APX mode), RSP/RBP as the
+// stack registers, loads with PC-relative, stack-relative and
+// register-relative addressing, and 64-bit data.
+package isa
+
+import "fmt"
+
+// Reg identifies an architectural register.
+type Reg uint8
+
+// Architectural register conventions. R4 and R5 play the roles of RSP and
+// RBP; the workload generator honours that convention so that the paper's
+// stack-relative addressing-mode classification is meaningful.
+const (
+	R0 Reg = iota
+	R1
+	R2
+	R3
+	RSP // stack pointer
+	RBP // frame pointer
+	R6
+	R7
+	R8
+	R9
+	R10
+	R11
+	R12
+	R13
+	R14
+	R15
+	// Registers R16..R31 exist only in APX (32-register) mode.
+	R16
+	R17
+	R18
+	R19
+	R20
+	R21
+	R22
+	R23
+	R24
+	R25
+	R26
+	R27
+	R28
+	R29
+	R30
+	R31
+
+	// RegNone marks an absent register operand.
+	RegNone Reg = 0xFF
+)
+
+// NumRegs is the number of architectural registers in the default (x86-64
+// like) configuration; NumRegsAPX is the APX (appendix B) configuration.
+const (
+	NumRegs    = 16
+	NumRegsAPX = 32
+)
+
+// IsStackReg reports whether r is one of the two stack registers (RSP/RBP).
+// The paper's RMT gives these registers deeper load-PC lists (Table 1).
+func IsStackReg(r Reg) bool { return r == RSP || r == RBP }
+
+// String returns the conventional register name.
+func (r Reg) String() string {
+	switch r {
+	case RSP:
+		return "rsp"
+	case RBP:
+		return "rbp"
+	case RegNone:
+		return "none"
+	default:
+		return fmt.Sprintf("r%d", uint8(r))
+	}
+}
+
+// Op is an opcode class. The timing model cares about resource usage and
+// latency classes rather than exact semantics, but every opcode has real
+// functional semantics in internal/fsim so that values and addresses are
+// architecturally meaningful.
+type Op uint8
+
+const (
+	// OpNop does nothing.
+	OpNop Op = iota
+	// OpALU is a single-cycle integer operation (add/sub/logic): dst = src1 op src2.
+	OpALU
+	// OpMul is a 3-cycle integer multiply.
+	OpMul
+	// OpDiv is a 12-cycle integer divide.
+	OpDiv
+	// OpFP is a 4-cycle floating-point operation (modelled on the ALU ports
+	// used for vector instructions).
+	OpFP
+	// OpMovImm loads an immediate into dst.
+	OpMovImm
+	// OpMov copies src1 to dst (candidate for move elimination).
+	OpMov
+	// OpLoad reads 8 bytes from memory into dst.
+	OpLoad
+	// OpStore writes src2 (data) to memory addressed by src1+disp.
+	OpStore
+	// OpBranch is a conditional branch on src1 (taken if src1 != 0).
+	OpBranch
+	// OpJump is an unconditional direct jump.
+	OpJump
+	// OpCall is a direct call (pushes return address semantics are modelled
+	// by the generator; the timing model treats it as a taken branch).
+	OpCall
+	// OpRet is a return (indirect taken branch).
+	OpRet
+)
+
+// String returns a short mnemonic.
+func (o Op) String() string {
+	switch o {
+	case OpNop:
+		return "nop"
+	case OpALU:
+		return "alu"
+	case OpMul:
+		return "mul"
+	case OpDiv:
+		return "div"
+	case OpFP:
+		return "fp"
+	case OpMovImm:
+		return "movi"
+	case OpMov:
+		return "mov"
+	case OpLoad:
+		return "ld"
+	case OpStore:
+		return "st"
+	case OpBranch:
+		return "br"
+	case OpJump:
+		return "jmp"
+	case OpCall:
+		return "call"
+	case OpRet:
+		return "ret"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// IsBranch reports whether the opcode redirects control flow.
+func (o Op) IsBranch() bool {
+	return o == OpBranch || o == OpJump || o == OpCall || o == OpRet
+}
+
+// IsMem reports whether the opcode accesses memory.
+func (o Op) IsMem() bool { return o == OpLoad || o == OpStore }
+
+// AddrMode classifies a memory instruction's addressing mode, following the
+// paper's three-way taxonomy (§4.1.1).
+type AddrMode uint8
+
+const (
+	// AddrNone is used for non-memory instructions.
+	AddrNone AddrMode = iota
+	// AddrPCRel is PC-relative addressing (e.g. loads of global-scope
+	// variables); such loads have no source register.
+	AddrPCRel
+	// AddrStackRel uses RSP or RBP as the only source register.
+	AddrStackRel
+	// AddrRegRel uses a general-purpose register (optionally plus an index)
+	// as the base.
+	AddrRegRel
+)
+
+// String returns the paper's name for the addressing mode.
+func (m AddrMode) String() string {
+	switch m {
+	case AddrNone:
+		return "none"
+	case AddrPCRel:
+		return "pc-rel"
+	case AddrStackRel:
+		return "stack-rel"
+	case AddrRegRel:
+		return "reg-rel"
+	default:
+		return fmt.Sprintf("mode(%d)", uint8(m))
+	}
+}
+
+// ALUFn selects the functional behaviour of an OpALU instruction.
+type ALUFn uint8
+
+const (
+	ALUAdd ALUFn = iota
+	ALUSub
+	ALUXor
+	ALUAnd
+	ALUOr
+	ALUShl
+	ALUCmpLT // dst = 1 if src1 < src2 else 0
+	ALUDec   // dst = src1 - 1 (src2 ignored)
+	ALUInc   // dst = src1 + 1
+)
+
+// Inst is a static instruction: one entry in a program's code image. The
+// same static instruction produces many dynamic instances at runtime.
+type Inst struct {
+	Op   Op
+	Fn   ALUFn // for OpALU
+	Dst  Reg   // destination register (RegNone if none)
+	Src1 Reg   // first source (base register for memory ops; RegNone for PC-relative)
+	Src2 Reg   // second source (data register for stores; RegNone if unused)
+	Imm  int64 // immediate / displacement / branch target (static PC index)
+
+	// Mode is the addressing mode for memory instructions.
+	Mode AddrMode
+}
+
+// SrcRegs appends the architectural source registers of the instruction to
+// dst and returns the result. PC-relative loads have no source registers.
+func (in *Inst) SrcRegs(dst []Reg) []Reg {
+	if in.Src1 != RegNone {
+		dst = append(dst, in.Src1)
+	}
+	if in.Src2 != RegNone {
+		dst = append(dst, in.Src2)
+	}
+	return dst
+}
+
+// HasDst reports whether the instruction writes an architectural register.
+func (in *Inst) HasDst() bool { return in.Dst != RegNone }
+
+// DynInst is one dynamic instruction as produced by the functional
+// simulator. It carries the architecturally-correct outcome of the
+// instruction (address, value, branch direction), which the timing model
+// uses both to drive simulation and to verify Constable's correctness via
+// the golden check at retirement.
+type DynInst struct {
+	Seq uint64 // dynamic sequence number (program order)
+	PC  uint64 // static PC (byte-granular, 4 bytes per instruction)
+
+	Op   Op
+	Fn   ALUFn
+	Dst  Reg
+	Src1 Reg
+	Src2 Reg
+	Mode AddrMode
+
+	// Addr is the effective (physical) memory address for loads and stores.
+	Addr uint64
+	// Value is the architecturally-correct result: the loaded value for
+	// loads, the stored value for stores, the ALU result for register
+	// writers.
+	Value uint64
+
+	// Taken and Target describe the architectural branch outcome.
+	Taken  bool
+	Target uint64
+
+	// ProducerStore is the sequence number of the dynamic store that wrote
+	// the word a load reads (0 when the word still holds its initial value).
+	// Memory renaming trains on and is verified against this link.
+	ProducerStore uint64
+	// Silent marks a store that wrote the value the word already held
+	// (a silent store, §9.3.1 loss reason b).
+	Silent bool
+
+	// WrongPath marks instructions injected on the mispredicted path. They
+	// never retire and carry no architectural outcome.
+	WrongPath bool
+}
+
+// IsLoad reports whether the dynamic instruction is a load.
+func (d *DynInst) IsLoad() bool { return d.Op == OpLoad }
+
+// IsStore reports whether the dynamic instruction is a store.
+func (d *DynInst) IsStore() bool { return d.Op == OpStore }
+
+// SrcRegs appends the architectural source registers to dst.
+func (d *DynInst) SrcRegs(dst []Reg) []Reg {
+	if d.Src1 != RegNone {
+		dst = append(dst, d.Src1)
+	}
+	if d.Src2 != RegNone {
+		dst = append(dst, d.Src2)
+	}
+	return dst
+}
+
+// ExecLatency returns the execution latency in cycles for non-memory
+// instructions (memory latency is decided by the cache hierarchy).
+func (d *DynInst) ExecLatency() int {
+	switch d.Op {
+	case OpMul:
+		return 3
+	case OpDiv:
+		return 12
+	case OpFP:
+		return 4
+	default:
+		return 1
+	}
+}
+
+// InstBytes is the size of one instruction in the synthetic ISA; PCs advance
+// by this amount. Four bytes keeps PC arithmetic realistic without modelling
+// variable-length decode.
+const InstBytes = 4
+
+// CachelineBytes is the cacheline size assumed throughout (AMT granularity,
+// cache models, CV-bit tracking).
+const CachelineBytes = 64
+
+// WordBytes is the data word size; all loads and stores move 8 bytes.
+const WordBytes = 8

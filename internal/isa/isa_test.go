@@ -1,0 +1,144 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRegString(t *testing.T) {
+	cases := map[Reg]string{
+		R0:      "r0",
+		RSP:     "rsp",
+		RBP:     "rbp",
+		R15:     "r15",
+		RegNone: "none",
+	}
+	for r, want := range cases {
+		if got := r.String(); got != want {
+			t.Errorf("Reg(%d).String() = %q, want %q", r, got, want)
+		}
+	}
+}
+
+func TestIsStackReg(t *testing.T) {
+	if !IsStackReg(RSP) || !IsStackReg(RBP) {
+		t.Error("RSP/RBP must be stack registers")
+	}
+	for _, r := range []Reg{R0, R6, R15, R31} {
+		if IsStackReg(r) {
+			t.Errorf("%v must not be a stack register", r)
+		}
+	}
+}
+
+func TestOpClassification(t *testing.T) {
+	branches := []Op{OpBranch, OpJump, OpCall, OpRet}
+	for _, o := range branches {
+		if !o.IsBranch() {
+			t.Errorf("%v.IsBranch() = false", o)
+		}
+		if o.IsMem() {
+			t.Errorf("%v.IsMem() = true", o)
+		}
+	}
+	if !OpLoad.IsMem() || !OpStore.IsMem() {
+		t.Error("loads and stores must be memory ops")
+	}
+	for _, o := range []Op{OpALU, OpMul, OpMov, OpMovImm, OpNop, OpFP, OpDiv} {
+		if o.IsBranch() || o.IsMem() {
+			t.Errorf("%v misclassified", o)
+		}
+	}
+}
+
+func TestOpString(t *testing.T) {
+	for o := OpNop; o <= OpRet; o++ {
+		if s := o.String(); s == "" {
+			t.Errorf("Op(%d) has empty mnemonic", o)
+		}
+	}
+}
+
+func TestAddrModeString(t *testing.T) {
+	want := map[AddrMode]string{
+		AddrNone:     "none",
+		AddrPCRel:    "pc-rel",
+		AddrStackRel: "stack-rel",
+		AddrRegRel:   "reg-rel",
+	}
+	for m, s := range want {
+		if m.String() != s {
+			t.Errorf("AddrMode(%d).String() = %q, want %q", m, m.String(), s)
+		}
+	}
+}
+
+func TestInstSrcRegs(t *testing.T) {
+	in := Inst{Op: OpALU, Dst: R0, Src1: R1, Src2: R2}
+	got := in.SrcRegs(nil)
+	if len(got) != 2 || got[0] != R1 || got[1] != R2 {
+		t.Errorf("SrcRegs = %v, want [r1 r2]", got)
+	}
+
+	pcrel := Inst{Op: OpLoad, Dst: R0, Src1: RegNone, Src2: RegNone, Mode: AddrPCRel}
+	if got := pcrel.SrcRegs(nil); len(got) != 0 {
+		t.Errorf("PC-relative load must have no source registers, got %v", got)
+	}
+
+	st := Inst{Op: OpStore, Dst: RegNone, Src1: RSP, Src2: R3}
+	if got := st.SrcRegs(nil); len(got) != 2 || got[0] != RSP || got[1] != R3 {
+		t.Errorf("store SrcRegs = %v, want [rsp r3]", got)
+	}
+}
+
+func TestDynInstSrcRegsMatchesInst(t *testing.T) {
+	f := func(s1, s2 uint8) bool {
+		r1, r2 := Reg(s1%17), Reg(s2%17)
+		if r1 == 16 {
+			r1 = RegNone
+		}
+		if r2 == 16 {
+			r2 = RegNone
+		}
+		in := Inst{Op: OpALU, Dst: R0, Src1: r1, Src2: r2}
+		d := DynInst{Op: OpALU, Dst: R0, Src1: r1, Src2: r2}
+		a := in.SrcRegs(nil)
+		b := d.SrcRegs(nil)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExecLatency(t *testing.T) {
+	cases := map[Op]int{
+		OpALU: 1, OpMov: 1, OpMovImm: 1, OpNop: 1, OpBranch: 1,
+		OpMul: 3, OpFP: 4, OpDiv: 12,
+	}
+	for op, want := range cases {
+		d := DynInst{Op: op}
+		if got := d.ExecLatency(); got != want {
+			t.Errorf("%v latency = %d, want %d", op, got, want)
+		}
+	}
+}
+
+func TestLoadStoreHelpers(t *testing.T) {
+	ld := DynInst{Op: OpLoad}
+	st := DynInst{Op: OpStore}
+	if !ld.IsLoad() || ld.IsStore() {
+		t.Error("load helper misclassified")
+	}
+	if !st.IsStore() || st.IsLoad() {
+		t.Error("store helper misclassified")
+	}
+}

@@ -1,0 +1,207 @@
+// Package pipeline implements the cycle-level out-of-order core model the
+// reproduction's experiments run on: a 6-wide Golden Cove-like machine
+// (Table 2 of the paper) with TAGE branch prediction, rename-stage dynamic
+// optimizations (memory renaming, move/zero elimination, constant and branch
+// folding), a reservation-station/port scheduler (5 ALU, 3 AGU+load, 2
+// store-address, 2 store-data ports), aggressive out-of-order load issue
+// with memory-dependence prediction and disambiguation flushes, optional
+// 2-way SMT, and hooks for Constable, EVES, ELAR and RFP.
+package pipeline
+
+import (
+	"constable/internal/constable"
+	"constable/internal/isa"
+	"constable/internal/vpred"
+)
+
+// Config parameterizes one core. DefaultConfig matches Table 2.
+type Config struct {
+	FetchWidth  int
+	RenameWidth int
+	IssueWidth  int
+	RetireWidth int
+
+	IDQSize int
+	ROBSize int
+	LBSize  int
+	SBSize  int
+	RSSize  int
+	IntPRF  int // physical integer registers available for in-flight writers
+
+	NumALUPorts  int
+	NumLoadPorts int
+	NumStaPorts  int
+	NumStdPorts  int
+
+	// RedirectPenalty is the front-end refill delay after any pipeline
+	// flush (branch mispredict, value mispredict, ordering violation).
+	RedirectPenalty int
+
+	// Baseline rename-stage dynamic optimizations (always on in the paper's
+	// baseline).
+	MoveElimination  bool
+	ZeroElimination  bool
+	ConstantFolding  bool
+	BranchFolding    bool
+	MemoryRenaming   bool
+	MemDepPrediction bool
+
+	// WrongPathUpdates lets wrong-path instructions update Constable's
+	// structures (the paper's default; §6.7.2 measures the alternative).
+	WrongPathUpdates bool
+
+	// ContextSwitchInterval, when non-zero, simulates a physical-address-
+	// mapping change every N retired instructions: Constable resets every
+	// can_eliminate flag and invalidates the RMT and AMT (§6.7.3).
+	ContextSwitchInterval uint64
+
+	// SMT threads (1 or 2). With 2 threads the ROB/LB/SB are statically
+	// partitioned and the RS and ports are shared (§8.1).
+	Threads int
+}
+
+// DefaultConfig returns the Table 2 baseline core.
+func DefaultConfig() Config {
+	return Config{
+		FetchWidth:  8,
+		RenameWidth: 6,
+		IssueWidth:  6,
+		RetireWidth: 6,
+
+		IDQSize: 144,
+		ROBSize: 512,
+		LBSize:  240,
+		SBSize:  112,
+		RSSize:  248,
+		IntPRF:  288,
+
+		NumALUPorts:  5,
+		NumLoadPorts: 3,
+		NumStaPorts:  2,
+		NumStdPorts:  2,
+
+		RedirectPenalty: 20,
+
+		MoveElimination:  true,
+		ZeroElimination:  true,
+		ConstantFolding:  true,
+		BranchFolding:    true,
+		MemoryRenaming:   true,
+		MemDepPrediction: true,
+
+		WrongPathUpdates: true,
+
+		Threads: 1,
+	}
+}
+
+// Attachments wires the optional mechanisms into the core. Nil fields are
+// simply absent.
+type Attachments struct {
+	Constable *constable.Constable
+	EVES      *vpred.EVES
+	RFP       *vpred.RFP
+	ELAR      *vpred.ELAR
+
+	// IdealElimPCs eliminates every instance of the listed (global-stable)
+	// load PCs at rename — the Ideal Constable oracle of §4.4.
+	IdealElimPCs map[uint64]bool
+	// IdealLVPPCs perfectly value-predicts every instance of the listed
+	// load PCs; the loads still execute to verify (Ideal Stable LVP).
+	IdealLVPPCs map[uint64]bool
+	// IdealDataFetchElim upgrades Ideal Stable LVP: predicted loads execute
+	// only through address generation, skipping the load port and L1-D
+	// access (the middle bar of Fig. 7).
+	IdealDataFetchElim bool
+
+	// StablePCs classifies load PCs as global-stable for the resource-
+	// dependence accounting of Fig. 6 (offline analysis input; optional).
+	StablePCs map[uint64]bool
+}
+
+// Stream supplies the committed-path dynamic instruction stream of one
+// hardware thread.
+type Stream interface {
+	Next() (isa.DynInst, bool)
+}
+
+// Stats aggregates the core's counters for the experiment drivers.
+type Stats struct {
+	Cycles           uint64
+	Retired          uint64
+	RetiredLoads     uint64
+	RetiredStores    uint64
+	RetiredPerThread [2]uint64
+
+	// Resource events.
+	ROBAllocs   uint64
+	RSAllocs    uint64
+	LBAllocs    uint64
+	SBAllocs    uint64
+	FetchedUops uint64
+	RenamedUops uint64
+
+	// Rename-stage optimization events.
+	MoveEliminated uint64
+	ZeroEliminated uint64
+	ConstFolded    uint64
+	BranchFolded   uint64
+	MRNForwarded   uint64
+	MRNMispredicts uint64
+
+	// Constable events observed at retirement.
+	EliminatedLoads  uint64
+	EliminatedByMode map[string]uint64
+	// Global-stable attribution (needs Attachments.StablePCs): retired and
+	// eliminated loads split by stability and addressing mode (Fig. 17).
+	RetiredStableByMode    map[string]uint64
+	EliminatedStableByMode map[string]uint64
+	EliminatedNonStable    uint64
+	GoldenChecks           uint64
+	OrderingViolations     uint64 // flushes caused by eliminated/early loads
+	EliminatedThatViolated uint64
+
+	// Value prediction events (retired loads).
+	ValuePredicted   uint64
+	ValueMispredicts uint64
+
+	// Branch events.
+	Branches          uint64
+	BranchMispredicts uint64
+
+	// Flushes.
+	Flushes uint64
+	// ContextSwitches counts simulated physical-mapping changes (§6.7.3).
+	ContextSwitches uint64
+
+	// Load-port utilization (Fig. 6). A cycle is load-utilized when at
+	// least one load port is busy.
+	LoadUtilizedCycles uint64
+	// StableWhileNonStableWaits counts load-utilized cycles where a
+	// global-stable load held a port while a non-global-stable load was
+	// ready but un-issued; StableNoWaiter counts stable-on-port cycles with
+	// no such waiter; NonStableOnly the rest.
+	StableWhileNonStableWaits uint64
+	StableNoWaiter            uint64
+	NonStableOnly             uint64
+
+	// SLD write-port pressure (Fig. 9a).
+	SLDUpdateCycles     uint64 // cycles with at least one SLD update
+	SLDUpdates          uint64
+	SLDUpdatesLE2Cycles uint64 // cycles with ≤2 SLD updates (always counted)
+	RenameStallsSLD     uint64 // rename stalls from SLD port pressure
+
+	// Execution-unit events for the power model.
+	ALUOps     uint64
+	AGUOps     uint64
+	LoadExecs  uint64 // loads that actually accessed the L1-D
+	StoreExecs uint64
+}
+
+// IPC returns retired instructions per cycle (all threads combined).
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Retired) / float64(s.Cycles)
+}

@@ -1,0 +1,234 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"constable/internal/bpred"
+	"constable/internal/cache"
+	"constable/internal/isa"
+	"constable/internal/vpred"
+)
+
+// threadState is the per-hardware-thread front-end and in-order state.
+type threadState struct {
+	stream     Stream
+	streamDone bool
+
+	// window holds fetched-but-not-retired committed-path instructions;
+	// window[0].Seq == windowBase. replayPos is the dynamic sequence number
+	// of the next committed-path instruction to fetch (rewound on flushes).
+	window     []isa.DynInst
+	windowBase uint64
+	replayPos  uint64
+
+	wrongPath       bool
+	wpCounter       uint64
+	fetchStall      uint64 // no fetch until this cycle
+	pendingRedirect *uop
+
+	seqCounter uint64
+	// trainedUpTo is the lowest committed-path dynamic sequence number the
+	// branch predictor has NOT been trained on; replayed branches after a
+	// flush predict without retraining, so history is not double-shifted.
+	trainedUpTo uint64
+	lastWriter  [isa.NumRegsAPX]*uop
+
+	idq []*uop
+	rob []*uop
+	lb  []*uop
+	sb  []*uop
+
+	elar *vpred.ELAR
+
+	retired uint64
+}
+
+// memDepEntry is a store-set-style conflict predictor entry.
+type memDepEntry struct {
+	pc    uint64
+	conf  uint8
+	valid bool
+}
+
+// mrnEntry predicts the store-buffer distance a load forwards from.
+type mrnEntry struct {
+	pc       uint64
+	dist     int
+	conf     uint8
+	misses   uint8
+	poisoned bool
+	valid    bool
+}
+
+// Core is one simulated core (1 or 2 hardware threads).
+type Core struct {
+	cfg Config
+	att Attachments
+
+	hier *cache.Hierarchy
+	bp   *bpred.Predictor
+
+	threads []*threadState
+
+	cycle    uint64
+	rsCount  int
+	prfInUse int
+
+	aluPorts  []uint64 // busy-until cycle per port
+	loadPorts []uint64
+	staPorts  []uint64
+	stdPorts  []uint64
+
+	memDep []memDepEntry
+	mrn    []mrnEntry
+
+	lastSLDWrites uint64
+
+	// loadPortStableUse marks, for the current cycle, whether any issued
+	// load on a port was global-stable (Fig. 6 accounting).
+	Stats Stats
+
+	err error
+}
+
+// loadPortOccupancy is how many cycles a full load execution holds its
+// AGU+load port (address generation + L1-D read slot); AGU-only execution
+// (Ideal Stable LVP + data-fetch elimination) holds it for one.
+const (
+	loadPortOccupancy    = 2
+	aguOnlyPortOccupancy = 1
+	divPortOccupancy     = 6
+)
+
+// NewCore builds a core over the given hierarchy and per-thread streams.
+func NewCore(cfg Config, att Attachments, hier *cache.Hierarchy, streams ...Stream) *Core {
+	if cfg.Threads != len(streams) {
+		panic(fmt.Sprintf("pipeline: config has %d threads but %d streams supplied", cfg.Threads, len(streams)))
+	}
+	c := &Core{
+		cfg:       cfg,
+		att:       att,
+		hier:      hier,
+		bp:        bpred.New(),
+		aluPorts:  make([]uint64, cfg.NumALUPorts),
+		loadPorts: make([]uint64, cfg.NumLoadPorts),
+		staPorts:  make([]uint64, cfg.NumStaPorts),
+		stdPorts:  make([]uint64, cfg.NumStdPorts),
+		memDep:    make([]memDepEntry, 4096),
+		mrn:       make([]mrnEntry, 4096),
+	}
+	c.Stats.EliminatedByMode = make(map[string]uint64)
+	c.Stats.RetiredStableByMode = make(map[string]uint64)
+	c.Stats.EliminatedStableByMode = make(map[string]uint64)
+	for i, s := range streams {
+		t := &threadState{stream: s}
+		if att.ELAR != nil {
+			// ELAR state is per hardware context: thread 0 uses the caller's
+			// instance (so its counters are observable), extra threads get
+			// their own trackers.
+			if i == 0 {
+				t.elar = att.ELAR
+			} else {
+				t.elar = vpred.NewELAR()
+			}
+		}
+		c.threads = append(c.threads, t)
+	}
+	// Constable-AMT-I: hook the L1-D eviction stream.
+	if att.Constable != nil && att.Constable.Config().InvalidateOnL1Evict {
+		prev := hier.L1D.OnEvict
+		hier.L1D.OnEvict = func(lineAddr uint64) {
+			att.Constable.OnL1Evict(lineAddr)
+			if prev != nil {
+				prev(lineAddr)
+			}
+		}
+	}
+	return c
+}
+
+// Hierarchy returns the core's memory hierarchy.
+func (c *Core) Hierarchy() *cache.Hierarchy { return c.hier }
+
+// Branch returns the branch predictor (for inspection).
+func (c *Core) Branch() *bpred.Predictor { return c.bp }
+
+// perThreadCap returns the statically-partitioned size of a resource.
+func (c *Core) perThreadCap(total int) int { return total / len(c.threads) }
+
+// Run simulates until every thread's stream is exhausted and drained, or
+// maxCycles elapses. It returns an error if the golden check ever fails —
+// which would mean Constable returned an architecturally-wrong load value.
+func (c *Core) Run(maxCycles uint64) error {
+	for c.cycle = 1; c.cycle <= maxCycles; c.cycle++ {
+		c.retire()
+		if c.err != nil {
+			return c.err
+		}
+		c.complete()
+		c.issue()
+		c.rename()
+		c.fetch()
+		c.Stats.Cycles = c.cycle
+		c.accountSLDUpdates()
+
+		if c.done() {
+			break
+		}
+	}
+	return c.err
+}
+
+func (c *Core) done() bool {
+	for _, t := range c.threads {
+		if !t.streamDone || len(t.rob) > 0 || len(t.idq) > 0 {
+			return false
+		}
+		// A flush may have rewound the replay cursor into the window; those
+		// instructions still need to be refetched and retired.
+		if t.replayPos < t.windowBase+uint64(len(t.window)) {
+			return false
+		}
+	}
+	return true
+}
+
+// accountSLDUpdates tracks SLD write-port pressure per cycle (Fig. 9a).
+func (c *Core) accountSLDUpdates() {
+	if c.att.Constable == nil {
+		return
+	}
+	w := c.att.Constable.Stats.SLDWriteOps
+	delta := w - c.lastSLDWrites
+	c.lastSLDWrites = w
+	if delta > 0 {
+		c.Stats.SLDUpdateCycles++
+	}
+	c.Stats.SLDUpdates += delta
+	if delta <= 2 {
+		c.Stats.SLDUpdatesLE2Cycles++
+	}
+}
+
+// InjectSnoop delivers an invalidating snoop to the core: Constable drops
+// the AMT entry, the private caches invalidate the line, and — mirroring the
+// existing memory-disambiguation logic — any in-flight load whose address
+// falls in the line is flushed and re-executed (§6.6).
+func (c *Core) InjectSnoop(lineAddr uint64) {
+	if c.att.Constable != nil {
+		c.att.Constable.OnSnoop(lineAddr)
+	}
+	c.hier.InvalidateLine(lineAddr)
+	for _, t := range c.threads {
+		for _, u := range t.lb {
+			if u.squashed || !(u.completed || u.eliminatedLoad()) {
+				continue
+			}
+			if cache.LineAddr(u.effAddr()) == lineAddr {
+				c.Stats.OrderingViolations++
+				c.flushFrom(u, true)
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package pipeline
+
+import "constable/internal/isa"
+
+// flushAfter squashes every uop of u's thread younger than u (exclusive).
+func (c *Core) flushAfter(u *uop) {
+	c.flushYounger(c.threads[u.thread], u.seq, false)
+}
+
+// flushFrom squashes younger uops and redirects fetch; inclusive squashes u
+// itself as well (memory-ordering violations re-execute the load, value
+// mispredictions re-execute only its dependents).
+func (c *Core) flushFrom(u *uop, inclusive bool) {
+	t := c.threads[u.thread]
+	c.flushYounger(t, u.seq, inclusive)
+	if inclusive {
+		t.replayPos = u.dyn.Seq
+	} else {
+		t.replayPos = u.dyn.Seq + 1
+	}
+	// The flush also abandons any wrong path younger than u.
+	if t.pendingRedirect != nil && t.pendingRedirect.seq >= u.seq {
+		t.pendingRedirect = nil
+		t.wrongPath = false
+	}
+	t.fetchStall = c.cycle + uint64(c.cfg.RedirectPenalty)
+	c.Stats.Flushes++
+}
+
+// flushYounger removes all uops of t with seq beyond the boundary from every
+// pipeline structure and rebuilds the rename table from the survivors.
+func (c *Core) flushYounger(t *threadState, seq uint64, inclusive bool) {
+	squash := func(u *uop) bool {
+		if inclusive {
+			return u.seq >= seq
+		}
+		return u.seq > seq
+	}
+
+	for _, u := range t.rob {
+		if !squash(u) {
+			continue
+		}
+		u.squashed = true
+		if u.inRS {
+			u.inRS = false
+			c.rsCount--
+		}
+		if u.usesXPRF && c.att.Constable != nil {
+			c.att.Constable.ReleaseXPRF()
+			u.usesXPRF = false
+		}
+		if u.dyn.Dst != isa.RegNone && u.elim != elimMove && u.elim != elimConstable && u.elim != elimIdeal {
+			c.prfInUse--
+		}
+	}
+	t.rob = filterSquashed(t.rob)
+	t.lb = filterSquashed(t.lb)
+	t.sb = filterSquashed(t.sb)
+
+	// The IDQ holds not-yet-renamed uops; all squashed ones leave too.
+	kept := t.idq[:0]
+	for _, u := range t.idq {
+		if squash(u) {
+			u.squashed = true
+			continue
+		}
+		kept = append(kept, u)
+	}
+	t.idq = kept
+
+	c.rebuildLastWriter(t)
+}
+
+func filterSquashed(s []*uop) []*uop {
+	kept := s[:0]
+	for _, u := range s {
+		if !u.squashed {
+			kept = append(kept, u)
+		}
+	}
+	return kept
+}
+
+// rebuildLastWriter restores the rename table to the youngest surviving
+// writer of each architectural register (squashed writers fall back to older
+// survivors or to the architectural state).
+func (c *Core) rebuildLastWriter(t *threadState) {
+	for r := range t.lastWriter {
+		t.lastWriter[r] = nil
+	}
+	for _, u := range t.rob {
+		if u.dyn.Dst != isa.RegNone {
+			t.lastWriter[u.dyn.Dst] = u
+		}
+	}
+	_ = isa.RegNone
+}

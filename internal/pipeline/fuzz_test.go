@@ -1,0 +1,113 @@
+package pipeline
+
+import (
+	"math/rand"
+	"testing"
+
+	"constable/internal/cache"
+	"constable/internal/constable"
+	"constable/internal/fsim"
+	"constable/internal/workload"
+)
+
+// TestConfigFuzz is the failure-injection property test: across randomly
+// shrunken and skewed core geometries (down to single-entry queues and one
+// port of each kind), every run must (1) retire all instructions without
+// deadlock and (2) pass every golden check — Constable's safety must not
+// depend on the machine being comfortable.
+func TestConfigFuzz(t *testing.T) {
+	if testing.Short() {
+		t.Skip("config fuzzing is slow")
+	}
+	rng := rand.New(rand.NewSource(20260613))
+	suite := workload.SmallSuite()
+	const n = 6000
+
+	for trial := 0; trial < 30; trial++ {
+		cfg := DefaultConfig()
+		cfg.FetchWidth = 1 + rng.Intn(8)
+		cfg.RenameWidth = 1 + rng.Intn(6)
+		cfg.IssueWidth = 1 + rng.Intn(6)
+		cfg.RetireWidth = 1 + rng.Intn(6)
+		cfg.IDQSize = 4 + rng.Intn(140)
+		cfg.ROBSize = 16 + rng.Intn(500)
+		cfg.LBSize = 8 + rng.Intn(230)
+		cfg.SBSize = 8 + rng.Intn(100)
+		cfg.RSSize = 8 + rng.Intn(240)
+		cfg.IntPRF = 48 + rng.Intn(240)
+		cfg.NumALUPorts = 1 + rng.Intn(5)
+		cfg.NumLoadPorts = 1 + rng.Intn(3)
+		cfg.NumStaPorts = 1 + rng.Intn(2)
+		cfg.NumStdPorts = 1 + rng.Intn(2)
+		cfg.RedirectPenalty = 1 + rng.Intn(30)
+		cfg.MoveElimination = rng.Intn(2) == 0
+		cfg.ZeroElimination = rng.Intn(2) == 0
+		cfg.ConstantFolding = rng.Intn(2) == 0
+		cfg.BranchFolding = rng.Intn(2) == 0
+		cfg.MemoryRenaming = rng.Intn(2) == 0
+		cfg.MemDepPrediction = rng.Intn(2) == 0
+		cfg.WrongPathUpdates = rng.Intn(2) == 0
+		if rng.Intn(3) == 0 {
+			cfg.ContextSwitchInterval = uint64(500 + rng.Intn(3000))
+		}
+
+		ccfg := constable.DefaultConfig()
+		ccfg.XPRFSize = 1 + rng.Intn(32)
+		ccfg.ConfThreshold = uint8(2 + rng.Intn(29))
+		ccfg.FullAddressAMT = rng.Intn(2) == 0
+		ccfg.InvalidateOnL1Evict = rng.Intn(2) == 0
+
+		spec := suite[rng.Intn(len(suite))]
+		cpu, err := spec.NewCPU(false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		core := NewCore(cfg, Attachments{Constable: constable.New(ccfg)},
+			cache.NewHierarchy(cache.DefaultHierarchyConfig()),
+			fsim.NewStream(cpu, n))
+		if err := core.Run(n * 400); err != nil {
+			t.Fatalf("trial %d (%s, cfg %+v): %v", trial, spec.Name, cfg, err)
+		}
+		if core.Stats.Retired != n {
+			t.Fatalf("trial %d (%s): deadlock — retired %d of %d in %d cycles\ncfg: %+v",
+				trial, spec.Name, core.Stats.Retired, n, core.Stats.Cycles, cfg)
+		}
+	}
+}
+
+// TestSMTConfigFuzz repeats the exercise with two hardware threads sharing
+// the shrunken machine.
+func TestSMTConfigFuzz(t *testing.T) {
+	if testing.Short() {
+		t.Skip("config fuzzing is slow")
+	}
+	rng := rand.New(rand.NewSource(777))
+	suite := workload.SmallSuite()
+	const n = 4000
+
+	for trial := 0; trial < 10; trial++ {
+		cfg := DefaultConfig()
+		cfg.Threads = 2
+		cfg.ROBSize = 32 + rng.Intn(480)
+		cfg.LBSize = 16 + rng.Intn(220)
+		cfg.SBSize = 16 + rng.Intn(96)
+		cfg.RSSize = 16 + rng.Intn(230)
+		cfg.NumLoadPorts = 1 + rng.Intn(3)
+		cfg.IDQSize = 8 + rng.Intn(136)
+
+		specA := suite[rng.Intn(len(suite))]
+		specB := suite[rng.Intn(len(suite))]
+		cpuA, _ := specA.NewCPU(false)
+		cpuB, _ := specB.NewCPU(false)
+		core := NewCore(cfg, Attachments{Constable: constable.New(constable.DefaultConfig())},
+			cache.NewHierarchy(cache.DefaultHierarchyConfig()),
+			fsim.NewStream(cpuA, n), fsim.NewStream(cpuB, n))
+		if err := core.Run(n * 800); err != nil {
+			t.Fatalf("trial %d (%s+%s): %v", trial, specA.Name, specB.Name, err)
+		}
+		if core.Stats.RetiredPerThread[0] != n || core.Stats.RetiredPerThread[1] != n {
+			t.Fatalf("trial %d (%s+%s): retired %v of %d each",
+				trial, specA.Name, specB.Name, core.Stats.RetiredPerThread, n)
+		}
+	}
+}

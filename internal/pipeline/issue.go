@@ -1,0 +1,274 @@
+package pipeline
+
+import (
+	"constable/internal/isa"
+)
+
+// issue scans the reservation stations in age order and dispatches up to
+// IssueWidth ready uops to free execution ports (5 ALU, 3 AGU+load, 2 STA,
+// 2 STD per Table 2). Loads hold their AGU+load port for two cycles (address
+// generation + L1-D read slot); AGU-only execution holds it for one.
+func (c *Core) issue() {
+	issued := 0
+	var stableOnPort, nonStableOnPort, nonStableWaiting bool
+
+	// Collect ready candidates across threads in age order (shared RS).
+	for _, t := range c.threads {
+		for _, u := range t.rob {
+			if issued >= c.cfg.IssueWidth {
+				break
+			}
+			if !u.inRS || u.issued || u.squashed {
+				continue
+			}
+			if !c.sourcesReady(u) {
+				continue
+			}
+			if u.isLoad() && !c.loadMayIssue(t, u) {
+				continue
+			}
+			if !c.portAvailable(u) {
+				if u.isLoad() {
+					// A ready load that found no port: resource dependence.
+					if c.att.StablePCs != nil && !c.att.StablePCs[u.dyn.PC] {
+						nonStableWaiting = true
+					}
+				}
+				continue
+			}
+			c.issueOne(t, u)
+			issued++
+			if u.isLoad() && c.att.StablePCs != nil {
+				if c.att.StablePCs[u.dyn.PC] {
+					stableOnPort = true
+				} else {
+					nonStableOnPort = true
+				}
+			}
+		}
+	}
+
+	// Fig. 6 accounting: load-utilized cycles and their categorization.
+	anyLoadPortBusy := false
+	for _, busy := range c.loadPorts {
+		if busy > c.cycle {
+			anyLoadPortBusy = true
+			break
+		}
+	}
+	if anyLoadPortBusy {
+		c.Stats.LoadUtilizedCycles++
+		switch {
+		case stableOnPort && nonStableWaiting:
+			c.Stats.StableWhileNonStableWaits++
+		case stableOnPort:
+			c.Stats.StableNoWaiter++
+		case nonStableOnPort || anyLoadPortBusy:
+			c.Stats.NonStableOnly++
+		}
+	}
+}
+
+// sourcesReady reports whether every producer's value is consumable this
+// cycle.
+func (c *Core) sourcesReady(u *uop) bool {
+	for _, p := range u.producers {
+		if p == nil || p.squashed {
+			continue
+		}
+		if p.valueAvailAt() > c.cycle {
+			return false
+		}
+	}
+	return true
+}
+
+// loadMayIssue enforces memory-dependence prediction: a conflict-predicted
+// load waits until every older store in its thread has generated its
+// address.
+func (c *Core) loadMayIssue(t *threadState, u *uop) bool {
+	if !u.depPredicted {
+		return true
+	}
+	for _, s := range t.sb {
+		if s.squashed || s.seq >= u.seq {
+			continue
+		}
+		if !s.issued {
+			return false
+		}
+	}
+	return true
+}
+
+// portAvailable finds and reserves the port class the uop needs; it returns
+// false (reserving nothing) when all ports of the class are busy.
+func (c *Core) portAvailable(u *uop) bool {
+	switch {
+	case u.isLoad():
+		occ := uint64(loadPortOccupancy)
+		if u.aguOnly {
+			occ = aguOnlyPortOccupancy
+		}
+		return reservePort(c.loadPorts, c.cycle, occ)
+	case u.isStore():
+		// A store needs an STA and an STD slot in its issue cycle.
+		staIdx := findPort(c.staPorts, c.cycle)
+		stdIdx := findPort(c.stdPorts, c.cycle)
+		if staIdx < 0 || stdIdx < 0 {
+			return false
+		}
+		c.staPorts[staIdx] = c.cycle + 1
+		c.stdPorts[stdIdx] = c.cycle + 1
+		return true
+	default:
+		occ := uint64(1)
+		if u.dyn.Op == isa.OpDiv {
+			occ = divPortOccupancy
+		}
+		return reservePort(c.aluPorts, c.cycle, occ)
+	}
+}
+
+func findPort(ports []uint64, now uint64) int {
+	for i, busy := range ports {
+		if busy <= now {
+			return i
+		}
+	}
+	return -1
+}
+
+func reservePort(ports []uint64, now, occupancy uint64) bool {
+	i := findPort(ports, now)
+	if i < 0 {
+		return false
+	}
+	ports[i] = now + occupancy
+	return true
+}
+
+// issueOne dispatches the uop and computes its completion time.
+func (c *Core) issueOne(t *threadState, u *uop) {
+	u.issued = true
+	u.issuedAt = c.cycle
+	u.inRS = false
+	c.rsCount--
+
+	switch {
+	case u.isLoad():
+		c.executeLoad(t, u)
+	case u.isStore():
+		c.executeStore(t, u)
+	default:
+		c.Stats.ALUOps++
+		u.completeAt = c.cycle + uint64(u.dyn.ExecLatency())
+	}
+}
+
+// executeLoad models address generation (1 cycle) plus the memory access.
+func (c *Core) executeLoad(t *threadState, u *uop) {
+	c.Stats.AGUOps++
+	addr := u.dyn.Addr
+
+	if u.aguOnly {
+		// Ideal Stable LVP + data-fetch elimination: stop after address
+		// generation — no load port data slot, no L1-D access.
+		u.completeAt = c.cycle + 1
+		return
+	}
+
+	// Store-to-load forwarding: an older in-flight store to the same word
+	// whose address is known supplies the data at L1-hit-like latency.
+	if fwd := c.forwardingStore(t, u, addr); fwd != nil {
+		c.Stats.LoadExecs++
+		u.completeAt = c.cycle + 1 + uint64(c.hier.L1D.Config().Latency)
+		// Forwarding still reads the store buffer, not the L1-D; don't
+		// count an L1-D access. Account a DTLB access only.
+		return
+	}
+
+	if u.rfpPred && u.rfpAddr == addr {
+		// The register-file prefetch already started this access at rename;
+		// the data arrives relative to rename time. The stride prefetcher
+		// still sees the demand stream.
+		c.hier.TrainStride(u.dyn.PC, addr)
+		arrival := u.renamedAt + 1 + uint64(u.rfpLat)
+		if arrival < c.cycle+2 {
+			arrival = c.cycle + 2 // verification still takes the pipeline
+		}
+		u.completeAt = arrival
+		c.Stats.LoadExecs++
+		return
+	}
+
+	memLat := c.hier.Load(u.dyn.PC, addr)
+	c.Stats.LoadExecs++
+	u.completeAt = c.cycle + 1 + uint64(memLat)
+}
+
+// forwardingStore returns the youngest older in-flight store to the same
+// word address whose address is already generated, or nil.
+func (c *Core) forwardingStore(t *threadState, u *uop, addr uint64) *uop {
+	for i := len(t.sb) - 1; i >= 0; i-- {
+		s := t.sb[i]
+		if s.squashed || s.seq >= u.seq {
+			continue
+		}
+		if s.issued && s.dyn.Addr == addr {
+			return s
+		}
+	}
+	return nil
+}
+
+// executeStore models store-address generation: the STA both arms memory
+// disambiguation (catching younger already-done loads to the same address)
+// and updates Constable's AMT ( 9 in Fig. 8).
+func (c *Core) executeStore(t *threadState, u *uop) {
+	c.Stats.AGUOps++
+	c.Stats.StoreExecs++
+	u.completeAt = c.cycle + 1
+	addr := u.dyn.Addr
+
+	if c.att.Constable != nil && (!u.wrongPath || c.cfg.WrongPathUpdates) {
+		c.att.Constable.OnStoreAddr(addr)
+	}
+
+	// Memory disambiguation: find the oldest younger load to the same word
+	// that already obtained its value (executed or eliminated). Such a load
+	// consumed stale data and must re-execute, flushing everything younger.
+	// An eliminated load whose SLD value still equals the architectural
+	// value was not actually made stale by this store (the silent-store
+	// case): the forwarded data is correct, so no flush is needed.
+	var victim *uop
+	for _, l := range t.lb {
+		if l.squashed || l.seq <= u.seq || l.wrongPath {
+			continue
+		}
+		done := l.completed || l.eliminatedLoad()
+		if !done {
+			continue
+		}
+		if l.effAddr() != addr {
+			continue
+		}
+		if l.eliminatedLoad() && l.elimValue == l.dyn.Value {
+			continue
+		}
+		if victim == nil || l.seq < victim.seq {
+			victim = l
+		}
+	}
+	if victim != nil {
+		c.Stats.OrderingViolations++
+		if victim.eliminatedLoad() {
+			c.Stats.EliminatedThatViolated++
+			if c.att.Constable != nil {
+				c.att.Constable.OnViolation(victim.dyn.PC, victim.thread)
+			}
+		}
+		c.memDepMark(victim.dyn.PC)
+		c.flushFrom(victim, true)
+	}
+}

@@ -1,0 +1,403 @@
+package pipeline
+
+import (
+	"testing"
+
+	"constable/internal/cache"
+	"constable/internal/constable"
+	"constable/internal/fsim"
+	"constable/internal/isa"
+	"constable/internal/prog"
+	"constable/internal/vpred"
+	"constable/internal/workload"
+)
+
+// buildAndRun assembles a program, runs n instructions on a fresh core and
+// returns it.
+func buildAndRun(t *testing.T, p *prog.Program, att Attachments, cfg Config, n uint64) *Core {
+	t.Helper()
+	core := NewCore(cfg, att, cache.NewHierarchy(cache.DefaultHierarchyConfig()),
+		fsim.NewStream(fsim.New(p), n))
+	if err := core.Run(n * 100); err != nil {
+		t.Fatal(err)
+	}
+	if core.Stats.Retired != n {
+		t.Fatalf("retired %d of %d (cycles %d)", core.Stats.Retired, n, core.Stats.Cycles)
+	}
+	return core
+}
+
+// stableLoadLoop is a minimal program with one global-stable load. The load
+// feeds no serial chain, so retirement keeps pace with rename and the xPRF
+// never saturates.
+func stableLoadLoop() *prog.Program {
+	b := prog.NewBuilder("stable-loop")
+	b.SetMem(prog.HeapBase, 77)
+	b.MovImm(isa.R6, int64(prog.HeapBase))
+	b.Label("loop")
+	b.Load(isa.R9, isa.R6, 0)
+	// Independent filler keeps the load density moderate so the in-flight
+	// eliminated-load count stays inside the 32-entry xPRF.
+	b.ALUImm(isa.ALUAdd, isa.R10, isa.R10, 1)
+	b.ALUImm(isa.ALUAdd, isa.R11, isa.R11, 1)
+	b.ALUImm(isa.ALUAdd, isa.R12, isa.R12, 1)
+	b.ALUImm(isa.ALUAdd, isa.R13, isa.R13, 1)
+	b.Jump("loop")
+	return b.MustBuild()
+}
+
+func TestStableLoadGetsEliminated(t *testing.T) {
+	cons := constable.New(constable.DefaultConfig())
+	core := buildAndRun(t, stableLoadLoop(), Attachments{Constable: cons}, DefaultConfig(), 2000)
+	st := &core.Stats
+	if st.EliminatedLoads == 0 {
+		t.Fatalf("no eliminations (conf events: %+v)", cons.Stats)
+	}
+	// After warmup (~32 instances at threshold 30) most instances should be
+	// eliminated; the 32-entry xPRF bounds how many eliminated loads can be
+	// in flight, so the fraction saturates below 1.0 in a tight loop.
+	if frac := float64(st.EliminatedLoads) / float64(st.RetiredLoads); frac < 0.45 {
+		t.Errorf("elimination fraction %.2f too low for a perfectly stable load", frac)
+	}
+	if st.EliminatedByMode["reg-rel"] != st.EliminatedLoads {
+		t.Errorf("mode attribution wrong: %v", st.EliminatedByMode)
+	}
+}
+
+func TestStorePreventsStaleElimination(t *testing.T) {
+	// A loop that increments a counter in memory: load must never retire an
+	// eliminated stale value (golden check would fail the run).
+	b := prog.NewBuilder("counter")
+	ctr := prog.GlobalBase
+	b.SetMem(ctr, 0)
+	b.MovImm(isa.R6, int64(ctr))
+	b.Label("loop")
+	b.Load(isa.R9, isa.R6, 0)
+	b.ALUImm(isa.ALUInc, isa.R9, isa.R9, 0)
+	b.Store(isa.R6, 0, isa.R9)
+	b.Jump("loop")
+	core := buildAndRun(t, b.MustBuild(),
+		Attachments{Constable: constable.New(constable.DefaultConfig())},
+		DefaultConfig(), 4000)
+	// The run completing means every golden check passed; the load's value
+	// changes every iteration so it must essentially never be eliminated.
+	if core.Stats.EliminatedLoads > core.Stats.RetiredLoads/10 {
+		t.Errorf("%d of %d changing-value loads eliminated",
+			core.Stats.EliminatedLoads, core.Stats.RetiredLoads)
+	}
+}
+
+func TestMoveAndZeroElimination(t *testing.T) {
+	b := prog.NewBuilder("movzero")
+	b.Label("loop")
+	b.MovImm(isa.R6, 5)
+	b.Mov(isa.R7, isa.R6)
+	b.Zero(isa.R8)
+	b.Jump("loop")
+	core := buildAndRun(t, b.MustBuild(), Attachments{}, DefaultConfig(), 1000)
+	st := &core.Stats
+	if st.MoveEliminated == 0 || st.ZeroEliminated == 0 || st.ConstFolded == 0 || st.BranchFolded == 0 {
+		t.Errorf("rename optimizations inactive: %+v", st)
+	}
+	// Eliminated uops must not allocate reservation stations.
+	if st.RSAllocs != 0 {
+		t.Errorf("fully-foldable loop allocated %d RS entries", st.RSAllocs)
+	}
+}
+
+func TestOptimizationsCanBeDisabled(t *testing.T) {
+	b := prog.NewBuilder("mov")
+	b.Label("loop")
+	b.MovImm(isa.R6, 5)
+	b.Mov(isa.R7, isa.R6)
+	b.Jump("loop")
+	cfg := DefaultConfig()
+	cfg.MoveElimination = false
+	cfg.ConstantFolding = false
+	cfg.BranchFolding = false
+	core := buildAndRun(t, b.MustBuild(), Attachments{}, cfg, 900)
+	if core.Stats.MoveEliminated != 0 || core.Stats.ConstFolded != 0 {
+		t.Error("disabled optimizations still fired")
+	}
+	if core.Stats.RSAllocs == 0 {
+		t.Error("without folding the uops must use the RS")
+	}
+}
+
+func TestBranchMispredictsCostCycles(t *testing.T) {
+	// A data-dependent unpredictable branch (LCG low bit).
+	spec := workload.SmallSuite()[0]
+	cpu, err := spec.NewCPU(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core := NewCore(DefaultConfig(), Attachments{}, cache.NewHierarchy(cache.DefaultHierarchyConfig()),
+		fsim.NewStream(cpu, 20_000))
+	if err := core.Run(2_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if core.Stats.BranchMispredicts == 0 {
+		t.Error("workload with an LCG branch must mispredict sometimes")
+	}
+	if core.Stats.Flushes < core.Stats.BranchMispredicts {
+		t.Errorf("every resolved mispredict flushes: flushes=%d mispredicts=%d",
+			core.Stats.Flushes, core.Stats.BranchMispredicts)
+	}
+}
+
+func TestEVESMispredictFlushesAndRecovers(t *testing.T) {
+	// A single static load whose value is constant for 200 instances, then
+	// changes: EVES gains confidence, mispredicts at the switch, and the
+	// machine must recover architecturally (run completes, golden checks
+	// pass). The utility filter then retires the PC.
+	b := prog.NewBuilder("vpswitch")
+	flag := prog.GlobalBase
+	b.SetMem(flag, 1)
+	b.MovImm(isa.R6, int64(flag))
+	b.Label("outer")
+	b.MovImm(isa.R8, 200)
+	b.Label("warm")
+	b.Load(isa.R9, isa.R6, 0)
+	b.ALUImm(isa.ALUDec, isa.R8, isa.R8, 0)
+	b.Branch(isa.R8, "warm")
+	// Switch the value once per outer iteration.
+	b.ALUImm(isa.ALUInc, isa.R9, isa.R9, 0)
+	b.Store(isa.R6, 0, isa.R9)
+	b.Jump("outer")
+
+	eves := vpred.NewEVES(vpred.DefaultEVESConfig())
+	core := buildAndRun(t, b.MustBuild(), Attachments{EVES: eves}, DefaultConfig(), 3000)
+	if eves.Predictions == 0 {
+		t.Fatal("EVES never predicted the constant load")
+	}
+	if core.Stats.ValueMispredicts == 0 {
+		t.Error("the value switch must cause one mispredict")
+	}
+}
+
+func TestSMT2PartitionsAndProgresses(t *testing.T) {
+	specA := workload.SmallSuite()[0]
+	cpuA, _ := specA.NewCPU(false)
+	cpuB, _ := specA.NewCPU(false)
+	cfg := DefaultConfig()
+	cfg.Threads = 2
+	core := NewCore(cfg, Attachments{}, cache.NewHierarchy(cache.DefaultHierarchyConfig()),
+		fsim.NewStream(cpuA, 10_000), fsim.NewStream(cpuB, 10_000))
+	if err := core.Run(5_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if core.Stats.RetiredPerThread[0] != 10_000 || core.Stats.RetiredPerThread[1] != 10_000 {
+		t.Fatalf("per-thread retired = %v", core.Stats.RetiredPerThread)
+	}
+	// Two identical threads on shared ports must take longer than one.
+	solo := NewCore(DefaultConfig(), Attachments{}, cache.NewHierarchy(cache.DefaultHierarchyConfig()),
+		fsim.NewStream(mustCPU(t, specA), 10_000))
+	if err := solo.Run(5_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if core.Stats.Cycles <= solo.Stats.Cycles {
+		t.Errorf("SMT2 (%d cycles) should be slower than one thread (%d) at double the work",
+			core.Stats.Cycles, solo.Stats.Cycles)
+	}
+}
+
+func mustCPU(t *testing.T, s *workload.Spec) *fsim.CPU {
+	t.Helper()
+	cpu, err := s.NewCPU(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cpu
+}
+
+func TestInjectSnoopResetsElimination(t *testing.T) {
+	cons := constable.New(constable.DefaultConfig())
+	p := stableLoadLoop()
+	core := NewCore(DefaultConfig(), Attachments{Constable: cons},
+		cache.NewHierarchy(cache.DefaultHierarchyConfig()),
+		fsim.NewStream(fsim.New(p), 3000))
+	// Run halfway, snoop the stable line, finish.
+	if err := core.Run(400); err != nil {
+		t.Fatal(err)
+	}
+	before := cons.Stats.CanElimResetsSn
+	core.InjectSnoop(prog.HeapBase / 64)
+	if cons.Stats.CanElimResetsSn <= before {
+		t.Error("snoop must reset the stable load's can_eliminate")
+	}
+	if err := core.Run(600_000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestELARResolvesStackLoads(t *testing.T) {
+	b := prog.NewBuilder("stack")
+	b.Store(isa.RSP, -8, isa.R6)
+	b.Label("loop")
+	b.Load(isa.R9, isa.RSP, -8)
+	b.Jump("loop")
+	elar := vpred.NewELAR()
+	buildAndRun(t, b.MustBuild(), Attachments{ELAR: elar}, DefaultConfig(), 1000)
+	if elar.EarlyResolved == 0 {
+		t.Error("ELAR never resolved a stack load early")
+	}
+}
+
+func TestRFPPredictsStridedLoads(t *testing.T) {
+	b := prog.NewBuilder("stream")
+	b.Label("outer")
+	b.MovImm(isa.R6, int64(prog.HeapBase))
+	b.MovImm(isa.R8, 200)
+	b.Label("loop")
+	b.Load(isa.R9, isa.R6, 0)
+	b.ALUImm(isa.ALUAdd, isa.R6, isa.R6, 8)
+	b.ALUImm(isa.ALUDec, isa.R8, isa.R8, 0)
+	b.Branch(isa.R8, "loop")
+	b.Jump("outer")
+	rfp := vpred.NewRFP(vpred.DefaultRFPConfig())
+	buildAndRun(t, b.MustBuild(), Attachments{RFP: rfp}, DefaultConfig(), 3000)
+	if rfp.Predictions == 0 || rfp.Correct == 0 {
+		t.Errorf("RFP predictions=%d correct=%d on a perfect stride", rfp.Predictions, rfp.Correct)
+	}
+}
+
+func TestIdealConstableEliminatesEverything(t *testing.T) {
+	p := stableLoadLoop()
+	// The loop's single load PC: instruction index 2 (movi, label/loop →
+	// load is the second instruction emitted).
+	loadPC := prog.PCOf(1)
+	core := buildAndRun(t, p, Attachments{IdealElimPCs: map[uint64]bool{loadPC: true}},
+		DefaultConfig(), 1500)
+	if core.Stats.EliminatedLoads != core.Stats.RetiredLoads {
+		t.Errorf("ideal oracle eliminated %d of %d loads",
+			core.Stats.EliminatedLoads, core.Stats.RetiredLoads)
+	}
+}
+
+func TestIdealLVPCoversLoadsWithoutEliminating(t *testing.T) {
+	p := stableLoadLoop()
+	loadPC := prog.PCOf(1)
+	core := buildAndRun(t, p, Attachments{IdealLVPPCs: map[uint64]bool{loadPC: true}},
+		DefaultConfig(), 1500)
+	if core.Stats.EliminatedLoads != 0 {
+		t.Error("ideal LVP must not eliminate loads")
+	}
+	if core.Stats.ValuePredicted != core.Stats.RetiredLoads {
+		t.Errorf("ideal LVP covered %d of %d loads",
+			core.Stats.ValuePredicted, core.Stats.RetiredLoads)
+	}
+	if core.Stats.LoadExecs == 0 {
+		t.Error("value-predicted loads must still execute")
+	}
+}
+
+func TestAGUOnlySkipsL1D(t *testing.T) {
+	p := stableLoadLoop()
+	loadPC := prog.PCOf(1)
+	hier := cache.NewHierarchy(cache.DefaultHierarchyConfig())
+	core := NewCore(DefaultConfig(), Attachments{
+		IdealLVPPCs:        map[uint64]bool{loadPC: true},
+		IdealDataFetchElim: true,
+	}, hier, fsim.NewStream(fsim.New(p), 1500))
+	if err := core.Run(200_000); err != nil {
+		t.Fatal(err)
+	}
+	if hier.L1DLoadAccesses > 5 {
+		t.Errorf("data-fetch-eliminated loads performed %d L1-D accesses", hier.L1DLoadAccesses)
+	}
+}
+
+func TestWrongPathUpdatesToggle(t *testing.T) {
+	// With wrong-path updates on, Constable sees extra (safe) register-write
+	// resets from synthesized wrong-path uops.
+	spec := workload.SmallSuite()[9] // ispec17-intbranchy: many mispredicts
+	run := func(wp bool) *constable.Stats {
+		cpu := mustCPU(t, spec)
+		cons := constable.New(constable.DefaultConfig())
+		cfg := DefaultConfig()
+		cfg.WrongPathUpdates = wp
+		core := NewCore(cfg, Attachments{Constable: cons},
+			cache.NewHierarchy(cache.DefaultHierarchyConfig()), fsim.NewStream(cpu, 30_000))
+		if err := core.Run(3_000_000); err != nil {
+			t.Fatal(err)
+		}
+		return &cons.Stats
+	}
+	on := run(true)
+	off := run(false)
+	if on.Eliminated == 0 || off.Eliminated == 0 {
+		t.Fatal("both configurations must eliminate loads")
+	}
+	t.Logf("eliminations: wrong-path-updates on=%d off=%d", on.Eliminated, off.Eliminated)
+}
+
+func TestConstableReducesLoadPortPressure(t *testing.T) {
+	spec := workload.SmallSuite()[13] // server workload, load-heavy
+	base := runWorkload(t, spec, Attachments{}, DefaultConfig(), 40_000)
+	cons := runWorkload(t, spec, Attachments{Constable: constable.New(constable.DefaultConfig())},
+		DefaultConfig(), 40_000)
+	if cons.Stats.LoadExecs >= base.Stats.LoadExecs {
+		t.Errorf("eliminations must reduce executed loads: %d vs %d",
+			cons.Stats.LoadExecs, base.Stats.LoadExecs)
+	}
+}
+
+func TestXPRFReleasedOnFlush(t *testing.T) {
+	// After any run the xPRF must drain back to zero occupancy (releases on
+	// both retirement and squash).
+	cons := constable.New(constable.DefaultConfig())
+	spec := workload.SmallSuite()[4]
+	runWorkload(t, spec, Attachments{Constable: cons}, DefaultConfig(), 30_000)
+	if got := cons.XPRFInUse(); got != 0 {
+		t.Errorf("xPRF leak: %d entries still in use after drain", got)
+	}
+}
+
+func TestContextSwitchResetsConstable(t *testing.T) {
+	cons := constable.New(constable.DefaultConfig())
+	cfg := DefaultConfig()
+	cfg.ContextSwitchInterval = 500
+	core := buildAndRun(t, stableLoadLoop(), Attachments{Constable: cons}, cfg, 4000)
+	if core.Stats.ContextSwitches != 4000/500 {
+		t.Errorf("context switches = %d, want %d", core.Stats.ContextSwitches, 4000/500)
+	}
+	// Elimination must still work between switches (confidence survives, so
+	// one likely-stable execution re-arms after each flush).
+	if core.Stats.EliminatedLoads == 0 {
+		t.Error("no eliminations despite surviving confidence")
+	}
+	// And the flushes must cost some coverage versus the no-switch run.
+	base := buildAndRun(t, stableLoadLoop(),
+		Attachments{Constable: constable.New(constable.DefaultConfig())}, DefaultConfig(), 4000)
+	if core.Stats.EliminatedLoads > base.Stats.EliminatedLoads {
+		t.Errorf("context switches increased coverage: %d vs %d",
+			core.Stats.EliminatedLoads, base.Stats.EliminatedLoads)
+	}
+}
+
+func TestSMTContextsDoNotAliasInSLD(t *testing.T) {
+	// Regression test: two SMT contexts running *different* programs share
+	// the PC-indexed SLD. Without context tagging, thread B's load at the
+	// same virtual PC as thread A's would be eliminated with thread A's
+	// value — an unsafe cross-context aliasing the golden check catches.
+	// (Found by TestSMTConfigFuzz.)
+	specA := workload.SmallSuite()[6]  // fspec17 workload
+	specB := workload.SmallSuite()[14] // server workload: same PCs, different program
+	cpuA, _ := specA.NewCPU(false)
+	cpuB, _ := specB.NewCPU(false)
+	cfg := DefaultConfig()
+	cfg.Threads = 2
+	cons := constable.New(constable.DefaultConfig())
+	core := NewCore(cfg, Attachments{Constable: cons},
+		cache.NewHierarchy(cache.DefaultHierarchyConfig()),
+		fsim.NewStream(cpuA, 20_000), fsim.NewStream(cpuB, 20_000))
+	if err := core.Run(8_000_000); err != nil {
+		t.Fatalf("cross-context SLD aliasing: %v", err)
+	}
+	if core.Stats.RetiredPerThread[0] != 20_000 || core.Stats.RetiredPerThread[1] != 20_000 {
+		t.Fatalf("retired %v", core.Stats.RetiredPerThread)
+	}
+	if core.Stats.EliminatedLoads == 0 {
+		t.Error("context tagging must not disable elimination")
+	}
+}

@@ -1,0 +1,326 @@
+package pipeline
+
+import (
+	"constable/internal/isa"
+)
+
+// rename pulls up to RenameWidth uops from the IDQs, applies the rename-
+// stage dynamic optimizations (move/zero elimination, constant and branch
+// folding, memory renaming), performs Constable's SLD lookup and the value/
+// address predictions, and allocates ROB/RS/LB/SB entries. It models the
+// SLD port constraints of §6.7.1: at most SLDReadPorts load lookups and
+// SLDWritePorts RMT-driven updates per cycle; excess stalls the group.
+func (c *Core) rename() {
+	sldReads := 0
+	sldWrites := 0
+	for slot := 0; slot < c.cfg.RenameWidth; slot++ {
+		t := c.threads[slot%len(c.threads)]
+		if len(t.idq) == 0 {
+			continue
+		}
+		u := t.idq[0]
+		if !c.canAllocate(t, u) {
+			continue
+		}
+		// SLD read-port constraint: a rename group with too many loads
+		// stalls (§6.7.1).
+		if c.att.Constable != nil && u.isLoad() && sldReads >= c.att.Constable.Config().SLDReadPorts {
+			c.Stats.RenameStallsSLD++
+			break
+		}
+		if c.att.Constable != nil && sldWrites >= c.att.Constable.Config().SLDWritePorts {
+			c.Stats.RenameStallsSLD++
+			break
+		}
+		t.idq = t.idq[1:]
+		w := c.renameOne(t, u)
+		sldWrites += w
+		if u.isLoad() && c.att.Constable != nil {
+			sldReads++
+		}
+		c.Stats.RenamedUops++
+	}
+}
+
+// canAllocate checks every structural resource the uop will need.
+func (c *Core) canAllocate(t *threadState, u *uop) bool {
+	if len(t.rob) >= c.perThreadCap(c.cfg.ROBSize) {
+		return false
+	}
+	if u.isLoad() && len(t.lb) >= c.perThreadCap(c.cfg.LBSize) {
+		return false
+	}
+	if u.isStore() && len(t.sb) >= c.perThreadCap(c.cfg.SBSize) {
+		return false
+	}
+	// Conservatively assume an RS entry is needed; elimination decisions
+	// happen during rename itself.
+	if !c.mightEliminate(u) && c.rsCount >= c.cfg.RSSize {
+		return false
+	}
+	if u.dyn.Dst != isa.RegNone && c.prfInUse >= c.cfg.IntPRF-isa.NumRegsAPX {
+		return false
+	}
+	return true
+}
+
+// mightEliminate is a cheap pre-check used only for the RS-full stall
+// decision.
+func (c *Core) mightEliminate(u *uop) bool {
+	switch u.dyn.Op {
+	case isa.OpNop, isa.OpMov, isa.OpMovImm, isa.OpJump, isa.OpCall:
+		return true
+	}
+	return false
+}
+
+// renameOne processes a single uop through the rename stage and returns the
+// number of SLD write operations it caused (for the port model).
+func (c *Core) renameOne(t *threadState, u *uop) int {
+	u.renamedAt = c.cycle
+	d := &u.dyn
+	sldWrites := 0
+
+	// Constable structure updates on register writes ( 7 / 8 in Fig. 8):
+	// every renamed instruction that writes a register resets the
+	// can_eliminate flag of loads sourcing that register. Wrong-path
+	// instructions participate per the paper's default (§6.7.2).
+	if c.att.Constable != nil && d.Dst != isa.RegNone {
+		if !u.wrongPath || c.cfg.WrongPathUpdates {
+			sldWrites += c.att.Constable.OnRegWrite(d.Dst, u.thread)
+		}
+	}
+
+	// ELAR stack-pointer tracking: immediate adjustments keep the decode-
+	// stage copy valid, any other write invalidates it.
+	if t.elar != nil && d.Dst != isa.RegNone && isa.IsStackReg(d.Dst) {
+		immOnly := d.Op == isa.OpMovImm ||
+			(d.Op == isa.OpALU && d.Src2 == isa.RegNone && d.Src1 == d.Dst)
+		t.elar.OnStackPointerWrite(immOnly)
+	}
+
+	// Rename-stage optimizations of the baseline.
+	switch d.Op {
+	case isa.OpNop:
+		u.elim = elimNop
+	case isa.OpMov:
+		if c.cfg.MoveElimination {
+			u.elim = elimMove
+			c.Stats.MoveEliminated++
+		}
+	case isa.OpMovImm:
+		if c.cfg.ConstantFolding {
+			u.elim = elimConst
+			c.Stats.ConstFolded++
+		}
+	case isa.OpALU:
+		if c.cfg.ZeroElimination && d.Fn == isa.ALUXor && d.Src1 == d.Src2 && d.Src2 != isa.RegNone {
+			u.elim = elimZero
+			c.Stats.ZeroEliminated++
+		}
+	case isa.OpJump, isa.OpCall:
+		if c.cfg.BranchFolding {
+			u.elim = elimBranchFold
+			c.Stats.BranchFolded++
+		}
+	case isa.OpLoad:
+		sldWrites += c.renameLoad(t, u)
+	}
+
+	// Producer linking for dependency wake-up.
+	if u.elim == elimNone || u.elim == elimMove {
+		c.linkProducers(t, u)
+	}
+
+	// Allocate structures.
+	t.rob = append(t.rob, u)
+	c.Stats.ROBAllocs++
+	if u.isLoad() {
+		t.lb = append(t.lb, u)
+		c.Stats.LBAllocs++
+	}
+	if u.isStore() {
+		t.sb = append(t.sb, u)
+		c.Stats.SBAllocs++
+	}
+	if u.elim == elimNone {
+		u.inRS = true
+		c.rsCount++
+		c.Stats.RSAllocs++
+	}
+	if d.Dst != isa.RegNone && u.elim != elimMove && u.elim != elimConstable && u.elim != elimIdeal {
+		c.prfInUse++
+	}
+
+	// Track the newest writer of each architectural register.
+	if d.Dst != isa.RegNone {
+		t.lastWriter[d.Dst] = u
+	}
+	return sldWrites
+}
+
+// renameLoad applies Constable / the oracles / EVES / RFP / ELAR to a load
+// and returns SLD write operations caused.
+func (c *Core) renameLoad(t *threadState, u *uop) int {
+	d := &u.dyn
+
+	// Ideal Constable oracle: every instance of a global-stable load is
+	// eliminated outright (§4.4).
+	if !u.wrongPath && c.att.IdealElimPCs != nil && c.att.IdealElimPCs[d.PC] {
+		u.elim = elimIdeal
+		u.elimValue = d.Value
+		u.elimAddr = d.Addr
+		return 0
+	}
+
+	// Constable: SLD lookup ( 1 / 2 / 3 in Fig. 8). A load the memory-
+	// dependence predictor marks as store-conflicting is not eliminated:
+	// its address is being written by in-flight stores, so elimination
+	// would keep tripping the disambiguation flush.
+	conflicting := false
+	if c.cfg.MemDepPrediction {
+		if e := c.memDepLookup(d.PC); e != nil && e.conf >= 2 {
+			conflicting = true
+		}
+	}
+	if c.att.Constable != nil && !u.wrongPath && !conflicting {
+		dec := c.att.Constable.LookupRename(d.PC, d.Mode, u.thread)
+		if dec.Eliminate {
+			u.elim = elimConstable
+			u.usesXPRF = true
+			u.elimValue = dec.Value
+			u.elimAddr = dec.Addr
+			return 0
+		}
+		u.likelyStable = dec.LikelyStable
+	}
+
+	// Ideal Stable LVP: perfect value prediction of global-stable loads;
+	// the load still executes (optionally only through address generation).
+	if !u.wrongPath && c.att.IdealLVPPCs != nil && c.att.IdealLVPPCs[d.PC] {
+		u.idealLVP = true
+		if c.att.IdealDataFetchElim {
+			u.aguOnly = true
+		}
+	}
+
+	// EVES value prediction.
+	if c.att.EVES != nil && !u.wrongPath && !u.idealLVP {
+		if v, ok := c.att.EVES.Predict(d.PC); ok {
+			u.valuePred = true
+			u.predVal = v
+		}
+	}
+
+	// RFP address prediction: begin the memory access now. The prefetch
+	// must not train the stride prefetcher (its own address stream would
+	// poison the per-PC stride state).
+	if c.att.RFP != nil && !u.wrongPath {
+		if addr, ok := c.att.RFP.PredictAddr(d.PC); ok {
+			u.rfpPred = true
+			u.rfpAddr = addr
+			u.rfpLat = c.hier.LoadPrefetch(addr)
+		}
+	}
+
+	// ELAR: stack loads with a tracked stack pointer resolve their address
+	// in decode and need not wait for their base register.
+	if t.elar != nil && d.Mode == isa.AddrStackRel && t.elar.CanResolveEarly() {
+		u.elarEarly = true
+	}
+
+	// Memory renaming: predict the forwarding store by store-buffer
+	// distance and break the data dependence onto the store.
+	if c.cfg.MemoryRenaming && !u.wrongPath {
+		if e := c.mrnLookup(d.PC); e != nil && !e.poisoned && e.conf >= 3 && e.dist <= len(t.sb) {
+			u.mrnPred = true
+			u.mrnStore = t.sb[len(t.sb)-e.dist]
+			c.Stats.MRNForwarded++
+		}
+	}
+
+	// Memory-dependence prediction: loads with a conflict history wait for
+	// older store addresses.
+	if c.cfg.MemDepPrediction {
+		if e := c.memDepLookup(d.PC); e != nil && e.conf >= 2 {
+			u.depPredicted = true
+		}
+	}
+	return 0
+}
+
+// linkProducers records the newest in-flight writers of the uop's source
+// registers. Eliminated loads and folded instructions need no producers.
+func (c *Core) linkProducers(t *threadState, u *uop) {
+	d := &u.dyn
+	n := 0
+	if d.Src1 != isa.RegNone {
+		// ELAR-resolved loads do not wait for their base register.
+		if !(u.elarEarly && u.isLoad()) {
+			u.producers[n] = t.lastWriter[d.Src1]
+			n++
+		}
+	}
+	if d.Src2 != isa.RegNone {
+		u.producers[n] = t.lastWriter[d.Src2]
+	}
+}
+
+func (c *Core) mrnLookup(pc uint64) *mrnEntry {
+	e := &c.mrn[(pc>>2)%uint64(len(c.mrn))]
+	if e.valid && e.pc == pc {
+		return e
+	}
+	return nil
+}
+
+func (c *Core) mrnTrain(pc uint64, dist int, correctPred, hadPred bool) {
+	e := &c.mrn[(pc>>2)%uint64(len(c.mrn))]
+	if !e.valid || e.pc != pc {
+		if dist > 0 {
+			*e = mrnEntry{pc: pc, dist: dist, conf: 1, valid: true}
+		}
+		return
+	}
+	if hadPred && !correctPred {
+		e.conf = 0
+		// Utility filter: a load whose forwarding distance proves unstable
+		// at runtime stops being renamed — the flush cost of one wrong
+		// forwarding dwarfs many correct ones.
+		if e.misses < 255 {
+			e.misses++
+		}
+		if e.misses >= 2 {
+			e.poisoned = true
+		}
+	}
+	if dist > 0 {
+		if dist == e.dist {
+			if e.conf < 7 {
+				e.conf++
+			}
+		} else {
+			e.dist = dist
+			e.conf = 0
+		}
+	}
+}
+
+func (c *Core) memDepLookup(pc uint64) *memDepEntry {
+	e := &c.memDep[(pc>>2)%uint64(len(c.memDep))]
+	if e.valid && e.pc == pc {
+		return e
+	}
+	return nil
+}
+
+func (c *Core) memDepMark(pc uint64) {
+	e := &c.memDep[(pc>>2)%uint64(len(c.memDep))]
+	if e.valid && e.pc == pc {
+		if e.conf < 3 {
+			e.conf++
+		}
+		return
+	}
+	*e = memDepEntry{pc: pc, conf: 2, valid: true}
+}

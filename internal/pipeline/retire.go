@@ -1,0 +1,132 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"constable/internal/isa"
+)
+
+// retire commits up to RetireWidth completed uops in program order,
+// round-robin over threads. Loads pass the golden check of §8.5: the value
+// (and for eliminated loads, the address) the timing model produced must
+// match the functional simulation; a mismatch aborts the run. Stores commit
+// their data to the memory hierarchy here.
+func (c *Core) retire() {
+	retired := 0
+	for slot := 0; slot < c.cfg.RetireWidth; slot++ {
+		t := c.threads[slot%len(c.threads)]
+		if len(t.rob) == 0 {
+			continue
+		}
+		u := t.rob[0]
+		if !u.completed || u.completeAt > c.cycle || u.wrongPath {
+			continue
+		}
+		if err := c.goldenCheck(u); err != nil {
+			c.err = err
+			return
+		}
+		c.retireOne(t, u)
+		retired++
+	}
+	_ = retired
+}
+
+// goldenCheck verifies every retiring load against the functional model.
+func (c *Core) goldenCheck(u *uop) error {
+	if !u.isLoad() {
+		return nil
+	}
+	c.Stats.GoldenChecks++
+	if u.eliminatedLoad() {
+		if u.elimValue != u.dyn.Value || u.elimAddr != u.dyn.Addr {
+			return fmt.Errorf(
+				"golden check failed: eliminated load pc=%#x seq=%d: got value=%#x addr=%#x, functional value=%#x addr=%#x",
+				u.dyn.PC, u.dyn.Seq, u.elimValue, u.elimAddr, u.dyn.Value, u.dyn.Addr)
+		}
+	}
+	return nil
+}
+
+func (c *Core) retireOne(t *threadState, u *uop) {
+	t.rob = t.rob[1:]
+	c.Stats.Retired++
+	c.Stats.RetiredPerThread[u.thread]++
+	t.retired++
+
+	// Simulated context switch: the physical mapping changes, so Constable
+	// must drop every armed elimination and its monitor tables (§6.7.3).
+	if iv := c.cfg.ContextSwitchInterval; iv != 0 && c.Stats.Retired%iv == 0 {
+		c.Stats.ContextSwitches++
+		if c.att.Constable != nil {
+			c.att.Constable.OnContextSwitch()
+		}
+	}
+
+	if u.dyn.Dst != isa.RegNone && u.elim != elimMove && u.elim != elimConstable && u.elim != elimIdeal {
+		c.prfInUse--
+	}
+	if u.usesXPRF && c.att.Constable != nil {
+		c.att.Constable.ReleaseXPRF()
+	}
+
+	switch {
+	case u.isLoad():
+		c.Stats.RetiredLoads++
+		if len(t.lb) > 0 && t.lb[0] == u {
+			t.lb = t.lb[1:]
+		} else {
+			t.lb = removeUop(t.lb, u)
+		}
+		if u.eliminatedLoad() {
+			c.Stats.EliminatedLoads++
+			c.Stats.EliminatedByMode[u.dyn.Mode.String()]++
+		}
+		if c.att.StablePCs != nil {
+			mode := u.dyn.Mode.String()
+			if c.att.StablePCs[u.dyn.PC] {
+				c.Stats.RetiredStableByMode[mode]++
+				if u.eliminatedLoad() {
+					c.Stats.EliminatedStableByMode[mode]++
+				}
+			} else if u.eliminatedLoad() {
+				c.Stats.EliminatedNonStable++
+			}
+		}
+		if u.valuePred || u.idealLVP {
+			c.Stats.ValuePredicted++
+		}
+	case u.isStore():
+		c.Stats.RetiredStores++
+		if len(t.sb) > 0 && t.sb[0] == u {
+			t.sb = t.sb[1:]
+		} else {
+			t.sb = removeUop(t.sb, u)
+		}
+		// The store's data becomes globally visible: write the hierarchy
+		// (and, through it, the coherence directory).
+		c.hier.Store(u.dyn.Addr)
+	}
+
+	// Clear the last-writer entry if this uop is still the newest writer
+	// (its value now lives in the architectural state, always ready).
+	if u.dyn.Dst != isa.RegNone && t.lastWriter[u.dyn.Dst] == u {
+		t.lastWriter[u.dyn.Dst] = nil
+	}
+
+	// Trim the replay window: everything at or before this committed-path
+	// instruction can never be refetched.
+	if u.dyn.Seq == t.windowBase && len(t.window) > 0 {
+		t.window = t.window[1:]
+		t.windowBase++
+	}
+}
+
+func removeUop(s []*uop, u *uop) []*uop {
+	for i, x := range s {
+		if x == u {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}

@@ -1,0 +1,61 @@
+package pipeline
+
+import (
+	"testing"
+
+	"constable/internal/cache"
+	"constable/internal/constable"
+	"constable/internal/fsim"
+	"constable/internal/workload"
+)
+
+// runWorkload simulates n committed-path instructions of the named suite
+// workload under the given attachments and returns the core.
+func runWorkload(t testing.TB, spec *workload.Spec, att Attachments, cfg Config, n uint64) *Core {
+	t.Helper()
+	cpu, err := spec.NewCPU(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core := NewCore(cfg, att, cache.NewHierarchy(cache.DefaultHierarchyConfig()), fsim.NewStream(cpu, n))
+	if err := core.Run(n * 40); err != nil {
+		t.Fatalf("%s: %v", spec.Name, err)
+	}
+	return core
+}
+
+func TestSmokeBaseline(t *testing.T) {
+	spec := workload.SmallSuite()[0]
+	core := runWorkload(t, spec, Attachments{}, DefaultConfig(), 30_000)
+	st := &core.Stats
+	if st.Retired != 30_000 {
+		t.Fatalf("retired %d of 30000 (cycles=%d, done=%v)", st.Retired, st.Cycles, core.done())
+	}
+	ipc := st.IPC()
+	if ipc < 0.5 || ipc > 6 {
+		t.Errorf("IPC %.2f implausible", ipc)
+	}
+	if st.RetiredLoads == 0 || st.Branches == 0 {
+		t.Errorf("loads=%d branches=%d", st.RetiredLoads, st.Branches)
+	}
+	t.Logf("%s: IPC=%.2f cycles=%d loads=%d mispredicts=%d flushes=%d",
+		spec.Name, ipc, st.Cycles, st.RetiredLoads, st.BranchMispredicts, st.Flushes)
+}
+
+func TestSmokeConstable(t *testing.T) {
+	spec := workload.SmallSuite()[0]
+	base := runWorkload(t, spec, Attachments{}, DefaultConfig(), 30_000)
+	cons := runWorkload(t, spec,
+		Attachments{Constable: constable.New(constable.DefaultConfig())},
+		DefaultConfig(), 30_000)
+	if cons.Stats.EliminatedLoads == 0 {
+		t.Fatalf("Constable eliminated no loads (SLD lookups=%d, likely-stable=%d, canElimSets=%d)",
+			cons.att.Constable.Stats.SLDLookups,
+			cons.att.Constable.Stats.LikelyStableExec,
+			cons.att.Constable.Stats.CanElimSets)
+	}
+	t.Logf("baseline IPC=%.3f constable IPC=%.3f eliminated=%d/%d violations=%d",
+		base.Stats.IPC(), cons.Stats.IPC(),
+		cons.Stats.EliminatedLoads, cons.Stats.RetiredLoads,
+		cons.Stats.EliminatedThatViolated)
+}

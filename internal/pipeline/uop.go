@@ -1,0 +1,111 @@
+package pipeline
+
+import "constable/internal/isa"
+
+// elimKind classifies why a uop completed in the rename stage without
+// executing.
+type elimKind uint8
+
+const (
+	elimNone elimKind = iota
+	elimMove
+	elimZero
+	elimConst
+	elimBranchFold
+	elimConstable // SLD-driven load elimination (converted register move)
+	elimIdeal     // Ideal Constable oracle
+	elimNop
+)
+
+const farFuture = ^uint64(0) >> 1
+
+// uop is one in-flight micro-operation.
+type uop struct {
+	seq       uint64 // per-thread fetch order, including wrong-path uops
+	thread    int
+	dyn       isa.DynInst
+	wrongPath bool
+
+	// Rename-stage outcome.
+	renamedAt    uint64
+	elim         elimKind
+	usesXPRF     bool
+	elimValue    uint64
+	elimAddr     uint64
+	likelyStable bool
+
+	valuePred bool
+	predVal   uint64
+	idealLVP  bool
+	aguOnly   bool // Ideal Stable LVP + data-fetch elimination
+
+	rfpPred   bool
+	rfpAddr   uint64
+	rfpLat    int
+	elarEarly bool
+
+	mrnPred  bool
+	mrnStore *uop
+
+	producers [2]*uop
+
+	// Scheduling state.
+	inRS       bool
+	issued     bool
+	issuedAt   uint64
+	completed  bool
+	completeAt uint64
+
+	// Memory-dependence prediction: the load waits for all older stores'
+	// addresses before issuing.
+	depPredicted bool
+
+	squashed bool
+}
+
+// isLoad/isStore/isBranch are on the dynamic record.
+func (u *uop) isLoad() bool   { return u.dyn.Op == isa.OpLoad }
+func (u *uop) isStore() bool  { return u.dyn.Op == isa.OpStore }
+func (u *uop) isBranch() bool { return u.dyn.Op.IsBranch() }
+
+// eliminatedLoad reports whether this load's execution was eliminated
+// (Constable or the ideal oracle).
+func (u *uop) eliminatedLoad() bool {
+	return u.elim == elimConstable || (u.elim == elimIdeal && u.isLoad())
+}
+
+// renameComplete reports whether the uop finished in the rename stage and
+// never enters the RS.
+func (u *uop) renameComplete() bool { return u.elim != elimNone }
+
+// valueAvailAt returns the cycle from which dependents may consume the
+// uop's result. Value speculation (EVES, ideal LVP), elimination and memory
+// renaming make the value available before execution completes.
+func (u *uop) valueAvailAt() uint64 {
+	if u.renameComplete() {
+		return u.renamedAt
+	}
+	if u.valuePred || u.idealLVP {
+		return u.renamedAt + 1
+	}
+	if u.mrnPred && u.mrnStore != nil {
+		if u.mrnStore.completed {
+			return u.mrnStore.completeAt
+		}
+		return farFuture
+	}
+	if u.completed {
+		return u.completeAt
+	}
+	return farFuture
+}
+
+// effAddr returns the address the timing model uses for this memory uop:
+// the SLD-provided address for eliminated loads (which goes into the LB for
+// disambiguation), the architectural address otherwise.
+func (u *uop) effAddr() uint64 {
+	if u.eliminatedLoad() {
+		return u.elimAddr
+	}
+	return u.dyn.Addr
+}

@@ -1,0 +1,136 @@
+package power
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleEvents() Events {
+	return Events{
+		FetchedUops:  1000,
+		RenamedUops:  900,
+		RSAllocs:     700,
+		RSIssues:     700,
+		ROBAllocs:    900,
+		ALUOps:       500,
+		AGUOps:       300,
+		L1DAccesses:  400,
+		DTLBAccesses: 400,
+		L2Accesses:   50,
+		LLCAccesses:  10,
+		SLDReads:     300,
+		SLDWrites:    20,
+		RMTOps:       900,
+		AMTReads:     100,
+		AMTWrites:    15,
+		Cycles:       500,
+	}
+}
+
+func TestBreakdownAddsUp(t *testing.T) {
+	b := Compute(sampleEvents())
+	sum := b.FE + b.RS + b.RAT + b.ROB + b.EU + b.L1D + b.DTLB
+	if math.Abs(sum-b.Total()) > 1e-9 {
+		t.Errorf("units sum %.2f != total %.2f", sum, b.Total())
+	}
+	if b.OOO() != b.RS+b.RAT+b.ROB {
+		t.Error("OOO != RS+RAT+ROB")
+	}
+	if b.MEU() != b.L1D+b.DTLB {
+		t.Error("MEU != L1D+DTLB")
+	}
+}
+
+func TestEliminationReducesPower(t *testing.T) {
+	base := sampleEvents()
+	// Constable run: 20% fewer L1-D accesses and RS allocations, small SLD
+	// overhead — total must drop (the Fig. 19 result).
+	cons := base
+	cons.L1DAccesses = 320
+	cons.RSAllocs = 560
+	cons.RSIssues = 560
+	cons.AGUOps = 240
+	pb, pc := Compute(base), Compute(cons)
+	if pc.Total() >= pb.Total() {
+		t.Errorf("constable-style run uses more energy: %.1f vs %.1f", pc.Total(), pb.Total())
+	}
+	if pc.L1D >= pb.L1D || pc.RS >= pb.RS {
+		t.Error("L1D and RS components must drop")
+	}
+	if pc.RAT <= pb.RAT-1e-9 {
+		// Same SLD events here, so RAT equal; with SLD events it grows.
+		t.Error("RAT must not drop")
+	}
+}
+
+func TestSLDEventsChargeRAT(t *testing.T) {
+	e := sampleEvents()
+	noSLD := e
+	noSLD.SLDReads, noSLD.SLDWrites, noSLD.RMTOps = 0, 0, 0
+	withB, noB := Compute(e), Compute(noSLD)
+	if withB.RAT <= noB.RAT {
+		t.Error("SLD/RMT events must increase RAT energy")
+	}
+	wantDelta := 300*SLDReadPJ + 20*SLDWritePJ + 900*RMTAccessPJ
+	if math.Abs((withB.RAT-noB.RAT)-wantDelta) > 1e-9 {
+		t.Errorf("RAT delta = %.2f, want %.2f", withB.RAT-noB.RAT, wantDelta)
+	}
+}
+
+func TestAMTEventsChargeL1D(t *testing.T) {
+	e := sampleEvents()
+	noAMT := e
+	noAMT.AMTReads, noAMT.AMTWrites = 0, 0
+	delta := Compute(e).L1D - Compute(noAMT).L1D
+	want := 100*AMTReadPJ + 15*AMTWritePJ
+	if math.Abs(delta-want) > 1e-9 {
+		t.Errorf("AMT delta = %.2f, want %.2f", delta, want)
+	}
+}
+
+func TestPowerZeroCycles(t *testing.T) {
+	var b Breakdown
+	if b.Power() != 0 {
+		t.Error("zero-cycle power must be 0")
+	}
+	if !strings.Contains(b.String(), "no events") {
+		t.Error("empty breakdown should say so")
+	}
+}
+
+func TestStringSharesSumTo100(t *testing.T) {
+	s := Compute(sampleEvents()).String()
+	for _, frag := range []string{"FE", "OOO", "RS", "RAT", "ROB", "EU", "MEU", "L1D", "DTLB"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("breakdown string missing %s: %s", frag, s)
+		}
+	}
+}
+
+func TestMonotonicity(t *testing.T) {
+	// Property: adding events never decreases total energy.
+	f := func(extraL1D, extraRS uint16) bool {
+		a := sampleEvents()
+		b := a
+		b.L1DAccesses += uint64(extraL1D)
+		b.RSAllocs += uint64(extraRS)
+		return Compute(b).Total() >= Compute(a).Total()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTable3ConstantsMatchPaper(t *testing.T) {
+	if SLDReadPJ != 10.76 || SLDWritePJ != 16.70 {
+		t.Error("SLD energies must match Table 3")
+	}
+	if SLDLeakageMW != 1.02 || RMTLeakageMW != 0.31 || AMTLeakageMW != 0.74 {
+		t.Error("leakage must match Table 3")
+	}
+	if SLDAreaMM2 != 0.211 || RMTAreaMM2 != 0.004 || AMTAreaMM2 != 0.017 {
+		t.Error("area must match Table 3")
+	}
+}

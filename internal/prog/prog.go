@@ -1,0 +1,250 @@
+// Package prog provides a small assembler-like builder for programs in the
+// synthetic micro-ISA (internal/isa). The workload library (internal/workload)
+// uses it to construct kernels whose dynamic load behaviour reproduces the
+// structures the paper identifies as sources of global-stable loads:
+// PC-relative accesses to runtime constants, stack-relative accesses to
+// inlined-function arguments, and register-relative accesses in tight loops.
+package prog
+
+import (
+	"fmt"
+
+	"constable/internal/isa"
+)
+
+// Memory-layout conventions shared by the builder, the functional simulator
+// and the workload generators. All regions are 8-byte aligned and far apart
+// so kernels never collide accidentally.
+const (
+	// CodeBase is the byte address of the first instruction.
+	CodeBase uint64 = 0x0040_0000
+	// GlobalBase is where global variables (runtime constants, counters) live.
+	GlobalBase uint64 = 0x1000_0000
+	// HeapBase is where arrays and linked structures live.
+	HeapBase uint64 = 0x2000_0000
+	// StackBase is the initial RSP value; stacks grow down.
+	StackBase uint64 = 0x7FF0_0000
+)
+
+// Program is an executable code image for the functional simulator.
+type Program struct {
+	Name string
+	Code []isa.Inst
+	// Entry is the index of the first instruction to execute.
+	Entry int
+	// InitRegs maps registers to their initial values (missing regs start
+	// at zero; RSP defaults to StackBase).
+	InitRegs map[isa.Reg]uint64
+	// InitMem maps 8-byte-aligned addresses to initial memory words.
+	InitMem map[uint64]uint64
+}
+
+// PCOf returns the byte PC of the instruction at index idx.
+func PCOf(idx int) uint64 { return CodeBase + uint64(idx)*isa.InstBytes }
+
+// IndexOf returns the instruction index for byte PC pc.
+func IndexOf(pc uint64) int { return int((pc - CodeBase) / isa.InstBytes) }
+
+// Builder incrementally assembles a Program. Branch targets are referenced
+// by string labels and resolved at Build time, so code can branch forward.
+type Builder struct {
+	name   string
+	code   []isa.Inst
+	labels map[string]int
+	fixups []fixup
+	regs   map[isa.Reg]uint64
+	mem    map[uint64]uint64
+	errs   []error
+}
+
+type fixup struct {
+	at    int // instruction index whose Imm is a label reference
+	label string
+}
+
+// NewBuilder returns an empty Builder for a program with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{
+		name:   name,
+		labels: make(map[string]int),
+		regs:   make(map[isa.Reg]uint64),
+		mem:    make(map[uint64]uint64),
+	}
+}
+
+// Len returns the number of instructions emitted so far.
+func (b *Builder) Len() int { return len(b.code) }
+
+// Label binds name to the next emitted instruction.
+func (b *Builder) Label(name string) {
+	if _, dup := b.labels[name]; dup {
+		b.errs = append(b.errs, fmt.Errorf("prog: duplicate label %q", name))
+		return
+	}
+	b.labels[name] = len(b.code)
+}
+
+// SetReg sets the initial value of a register.
+func (b *Builder) SetReg(r isa.Reg, v uint64) { b.regs[r] = v }
+
+// SetMem sets the initial value of the memory word at addr, which must be
+// 8-byte aligned.
+func (b *Builder) SetMem(addr, v uint64) {
+	if addr%isa.WordBytes != 0 {
+		b.errs = append(b.errs, fmt.Errorf("prog: unaligned initial memory address %#x", addr))
+		return
+	}
+	b.mem[addr] = v
+}
+
+func (b *Builder) emit(in isa.Inst) { b.code = append(b.code, in) }
+
+// Nop emits a no-op.
+func (b *Builder) Nop() {
+	b.emit(isa.Inst{Op: isa.OpNop, Dst: isa.RegNone, Src1: isa.RegNone, Src2: isa.RegNone})
+}
+
+// ALU emits dst = fn(src1, src2).
+func (b *Builder) ALU(fn isa.ALUFn, dst, src1, src2 isa.Reg) {
+	b.emit(isa.Inst{Op: isa.OpALU, Fn: fn, Dst: dst, Src1: src1, Src2: src2})
+}
+
+// ALUImm emits dst = fn(src1, imm) by encoding the immediate in Imm with
+// Src2 = RegNone.
+func (b *Builder) ALUImm(fn isa.ALUFn, dst, src1 isa.Reg, imm int64) {
+	b.emit(isa.Inst{Op: isa.OpALU, Fn: fn, Dst: dst, Src1: src1, Src2: isa.RegNone, Imm: imm})
+}
+
+// Mul emits dst = src1 * src2 (3-cycle latency class).
+func (b *Builder) Mul(dst, src1, src2 isa.Reg) {
+	b.emit(isa.Inst{Op: isa.OpMul, Dst: dst, Src1: src1, Src2: src2})
+}
+
+// Div emits dst = src1 / src2 (12-cycle latency class; divide-by-zero yields
+// all-ones, as the functional simulator defines).
+func (b *Builder) Div(dst, src1, src2 isa.Reg) {
+	b.emit(isa.Inst{Op: isa.OpDiv, Dst: dst, Src1: src1, Src2: src2})
+}
+
+// FP emits a 4-cycle floating-point-class operation on the integer registers.
+func (b *Builder) FP(dst, src1, src2 isa.Reg) {
+	b.emit(isa.Inst{Op: isa.OpFP, Dst: dst, Src1: src1, Src2: src2})
+}
+
+// MovImm emits dst = imm.
+func (b *Builder) MovImm(dst isa.Reg, imm int64) {
+	b.emit(isa.Inst{Op: isa.OpMovImm, Dst: dst, Src1: isa.RegNone, Src2: isa.RegNone, Imm: imm})
+}
+
+// Mov emits dst = src (a move-elimination candidate in the rename stage).
+func (b *Builder) Mov(dst, src isa.Reg) {
+	b.emit(isa.Inst{Op: isa.OpMov, Dst: dst, Src1: src, Src2: isa.RegNone})
+}
+
+// Zero emits the zero idiom xor dst,dst, eliminated at rename in the
+// baseline core.
+func (b *Builder) Zero(dst isa.Reg) {
+	b.emit(isa.Inst{Op: isa.OpALU, Fn: isa.ALUXor, Dst: dst, Src1: dst, Src2: dst})
+}
+
+// Load emits dst = mem[base + disp] with register-relative or stack-relative
+// addressing (decided by the base register).
+func (b *Builder) Load(dst, base isa.Reg, disp int64) {
+	mode := isa.AddrRegRel
+	if isa.IsStackReg(base) {
+		mode = isa.AddrStackRel
+	}
+	b.emit(isa.Inst{Op: isa.OpLoad, Dst: dst, Src1: base, Src2: isa.RegNone, Imm: disp, Mode: mode})
+}
+
+// LoadGlobal emits dst = mem[addr] with PC-relative addressing. Like an
+// x86-64 RIP-relative load, the effective address is a per-static-instruction
+// constant and the instruction has no source register.
+func (b *Builder) LoadGlobal(dst isa.Reg, addr uint64) {
+	b.emit(isa.Inst{Op: isa.OpLoad, Dst: dst, Src1: isa.RegNone, Src2: isa.RegNone,
+		Imm: int64(addr), Mode: isa.AddrPCRel})
+}
+
+// Store emits mem[base + disp] = data.
+func (b *Builder) Store(base isa.Reg, disp int64, data isa.Reg) {
+	mode := isa.AddrRegRel
+	if isa.IsStackReg(base) {
+		mode = isa.AddrStackRel
+	}
+	b.emit(isa.Inst{Op: isa.OpStore, Dst: isa.RegNone, Src1: base, Src2: data, Imm: disp, Mode: mode})
+}
+
+// StoreGlobal emits mem[addr] = data with PC-relative addressing.
+func (b *Builder) StoreGlobal(addr uint64, data isa.Reg) {
+	b.emit(isa.Inst{Op: isa.OpStore, Dst: isa.RegNone, Src1: isa.RegNone, Src2: data,
+		Imm: int64(addr), Mode: isa.AddrPCRel})
+}
+
+// Branch emits a conditional branch to label, taken when cond != 0.
+func (b *Builder) Branch(cond isa.Reg, label string) {
+	b.fixups = append(b.fixups, fixup{at: len(b.code), label: label})
+	b.emit(isa.Inst{Op: isa.OpBranch, Dst: isa.RegNone, Src1: cond, Src2: isa.RegNone})
+}
+
+// Jump emits an unconditional jump to label.
+func (b *Builder) Jump(label string) {
+	b.fixups = append(b.fixups, fixup{at: len(b.code), label: label})
+	b.emit(isa.Inst{Op: isa.OpJump, Dst: isa.RegNone, Src1: isa.RegNone, Src2: isa.RegNone})
+}
+
+// Call emits a direct call to label. The return address is kept on the
+// functional simulator's shadow call stack rather than in memory, so calls
+// do not perturb the data-memory image.
+func (b *Builder) Call(label string) {
+	b.fixups = append(b.fixups, fixup{at: len(b.code), label: label})
+	b.emit(isa.Inst{Op: isa.OpCall, Dst: isa.RegNone, Src1: isa.RegNone, Src2: isa.RegNone})
+}
+
+// Ret emits a return to the most recent unmatched Call.
+func (b *Builder) Ret() {
+	b.emit(isa.Inst{Op: isa.OpRet, Dst: isa.RegNone, Src1: isa.RegNone, Src2: isa.RegNone})
+}
+
+// Build resolves labels and returns the finished Program. It fails if any
+// label is unresolved or duplicated, or if initial memory is malformed.
+func (b *Builder) Build() (*Program, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	for _, f := range b.fixups {
+		idx, ok := b.labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("prog: undefined label %q", f.label)
+		}
+		b.code[f.at].Imm = int64(idx)
+	}
+	if len(b.code) == 0 {
+		return nil, fmt.Errorf("prog: empty program %q", b.name)
+	}
+	regs := make(map[isa.Reg]uint64, len(b.regs)+1)
+	if _, ok := b.regs[isa.RSP]; !ok {
+		regs[isa.RSP] = StackBase
+	}
+	for r, v := range b.regs {
+		regs[r] = v
+	}
+	mem := make(map[uint64]uint64, len(b.mem))
+	for a, v := range b.mem {
+		mem[a] = v
+	}
+	return &Program{
+		Name:     b.name,
+		Code:     append([]isa.Inst(nil), b.code...),
+		InitRegs: regs,
+		InitMem:  mem,
+	}, nil
+}
+
+// MustBuild is Build that panics on error, for statically-known-good kernels.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

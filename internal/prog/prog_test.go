@@ -1,0 +1,156 @@
+package prog
+
+import (
+	"strings"
+	"testing"
+
+	"constable/internal/isa"
+)
+
+func TestPCIndexRoundTrip(t *testing.T) {
+	for _, idx := range []int{0, 1, 7, 1000} {
+		if got := IndexOf(PCOf(idx)); got != idx {
+			t.Errorf("IndexOf(PCOf(%d)) = %d", idx, got)
+		}
+	}
+}
+
+func TestLabelsResolveForwardAndBackward(t *testing.T) {
+	b := NewBuilder("t")
+	b.Label("top")
+	b.Jump("bottom") // forward reference
+	b.Label("mid")
+	b.Jump("top") // backward reference
+	b.Label("bottom")
+	b.Jump("mid")
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Code[0].Imm != 2 { // "bottom" is instruction index 2
+		t.Errorf("forward jump target = %d, want 2", p.Code[0].Imm)
+	}
+	if p.Code[1].Imm != 0 {
+		t.Errorf("backward jump target = %d, want 0", p.Code[1].Imm)
+	}
+}
+
+func TestUndefinedLabelFails(t *testing.T) {
+	b := NewBuilder("t")
+	b.Jump("nowhere")
+	if _, err := b.Build(); err == nil {
+		t.Fatal("expected error for undefined label")
+	} else if !strings.Contains(err.Error(), "nowhere") {
+		t.Errorf("error %q should name the label", err)
+	}
+}
+
+func TestDuplicateLabelFails(t *testing.T) {
+	b := NewBuilder("t")
+	b.Label("x")
+	b.Nop()
+	b.Label("x")
+	b.Nop()
+	if _, err := b.Build(); err == nil {
+		t.Fatal("expected error for duplicate label")
+	}
+}
+
+func TestEmptyProgramFails(t *testing.T) {
+	if _, err := NewBuilder("t").Build(); err == nil {
+		t.Fatal("expected error for empty program")
+	}
+}
+
+func TestUnalignedInitialMemoryFails(t *testing.T) {
+	b := NewBuilder("t")
+	b.SetMem(GlobalBase+3, 1)
+	b.Nop()
+	if _, err := b.Build(); err == nil {
+		t.Fatal("expected error for unaligned memory init")
+	}
+}
+
+func TestDefaultStackPointer(t *testing.T) {
+	b := NewBuilder("t")
+	b.Nop()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.InitRegs[isa.RSP] != StackBase {
+		t.Errorf("RSP = %#x, want StackBase", p.InitRegs[isa.RSP])
+	}
+
+	b2 := NewBuilder("t2")
+	b2.SetReg(isa.RSP, 0x1000)
+	b2.Nop()
+	p2, err := b2.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.InitRegs[isa.RSP] != 0x1000 {
+		t.Error("explicit RSP must not be overridden")
+	}
+}
+
+func TestAddressingModeSelection(t *testing.T) {
+	b := NewBuilder("t")
+	b.Load(isa.R1, isa.RSP, -8)
+	b.Load(isa.R1, isa.RBP, 16)
+	b.Load(isa.R1, isa.R6, 0)
+	b.LoadGlobal(isa.R1, GlobalBase)
+	b.Store(isa.RSP, -8, isa.R2)
+	b.Store(isa.R6, 0, isa.R2)
+	p := b.MustBuild()
+
+	wantModes := []isa.AddrMode{
+		isa.AddrStackRel, isa.AddrStackRel, isa.AddrRegRel, isa.AddrPCRel,
+		isa.AddrStackRel, isa.AddrRegRel,
+	}
+	for i, want := range wantModes {
+		if p.Code[i].Mode != want {
+			t.Errorf("inst %d mode = %v, want %v", i, p.Code[i].Mode, want)
+		}
+	}
+	if p.Code[3].Src1 != isa.RegNone {
+		t.Error("PC-relative load must have Src1 = RegNone")
+	}
+}
+
+func TestZeroIdiom(t *testing.T) {
+	b := NewBuilder("t")
+	b.Zero(isa.R7)
+	p := b.MustBuild()
+	in := p.Code[0]
+	if in.Op != isa.OpALU || in.Fn != isa.ALUXor || in.Src1 != isa.R7 || in.Src2 != isa.R7 {
+		t.Errorf("zero idiom = %+v", in)
+	}
+}
+
+func TestMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustBuild must panic on error")
+		}
+	}()
+	b := NewBuilder("t")
+	b.Jump("missing")
+	b.MustBuild()
+}
+
+func TestBuildIsolatesState(t *testing.T) {
+	b := NewBuilder("t")
+	b.SetMem(GlobalBase, 5)
+	b.Nop()
+	p := b.MustBuild()
+	p.InitMem[GlobalBase] = 99
+	p.Code[0].Op = isa.OpJump
+	p2 := b.MustBuild()
+	if p2.InitMem[GlobalBase] != 5 {
+		t.Error("Build must copy initial memory")
+	}
+	if p2.Code[0].Op != isa.OpNop {
+		t.Error("Build must copy code")
+	}
+}

@@ -1,0 +1,258 @@
+// Package sim wires workloads, the core model, the memory hierarchy,
+// Constable and the competing mechanisms into runnable configurations, and
+// is the entry point the experiment drivers, the CLI tools and the examples
+// use. It owns the golden-check methodology (§8.5): every run verifies each
+// retiring load against the functional model and fails loudly on a mismatch.
+package sim
+
+import (
+	"fmt"
+	"sync"
+
+	"constable/internal/cache"
+	"constable/internal/constable"
+	"constable/internal/fsim"
+	"constable/internal/inspector"
+	"constable/internal/pipeline"
+	"constable/internal/power"
+	"constable/internal/vpred"
+	"constable/internal/workload"
+)
+
+// Mechanism selects which latency-tolerance / elimination mechanisms a run
+// enables on top of the strong baseline (which always includes MRN, move and
+// zero elimination, constant and branch folding).
+type Mechanism struct {
+	EVES      bool
+	Constable bool
+	RFP       bool
+	ELAR      bool
+
+	// IdealConstable eliminates all global-stable loads (oracle, §4.4).
+	IdealConstable bool
+	// IdealStableLVP perfectly value-predicts all global-stable loads.
+	IdealStableLVP bool
+	// IdealDataFetchElim upgrades IdealStableLVP to skip the data fetch.
+	IdealDataFetchElim bool
+
+	// ConstableConfig overrides the default Constable configuration
+	// (AMT-I variant, mode filters, full-address AMT...).
+	ConstableConfig *constable.Config
+}
+
+// Options describes one simulation run.
+type Options struct {
+	Workload *workload.Spec
+	APX      bool
+	// Instructions is the committed-path instruction budget per thread.
+	Instructions uint64
+	// Threads selects noSMT (1) or SMT2 (2). With SMT2 the same workload
+	// runs in both hardware contexts.
+	Threads int
+
+	Mech Mechanism
+
+	// Core, when non-nil, overrides the default core configuration (load-
+	// width and depth scaling sweeps).
+	Core *pipeline.Config
+
+	// StablePCs primes the oracles and the Fig. 6 accounting; when nil and
+	// an oracle is requested, the stable-load pre-pass runs automatically.
+	StablePCs map[uint64]bool
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	Cycles uint64
+	IPC    float64
+
+	Pipeline  pipeline.Stats
+	Constable constable.Stats
+	Power     power.Breakdown
+
+	L1DAccesses  uint64
+	L2Accesses   uint64
+	LLCAccesses  uint64
+	DTLBAccesses uint64
+
+	EVESPredictions uint64
+	EVESMispredicts uint64
+}
+
+// stableCache memoizes the global-stable pre-pass per (workload, APX).
+var stableCache sync.Map
+
+type stableKey struct {
+	name string
+	apx  bool
+	n    uint64
+}
+
+// StableAnalysis runs the Load Inspector pre-pass over the first n
+// instructions of the workload and returns the analysis (memoized).
+func StableAnalysis(spec *workload.Spec, apx bool, n uint64) (*inspector.Inspector, error) {
+	key := stableKey{spec.Name, apx, n}
+	if v, ok := stableCache.Load(key); ok {
+		return v.(*inspector.Inspector), nil
+	}
+	cpu, err := spec.NewCPU(apx)
+	if err != nil {
+		return nil, err
+	}
+	ins := inspector.New()
+	for i := uint64(0); i < n; i++ {
+		d := cpu.Step()
+		ins.Observe(&d)
+	}
+	stableCache.Store(key, ins)
+	return ins, nil
+}
+
+// Run executes one simulation and returns its result. It returns an error if
+// the workload cannot be built or the golden check fails.
+func Run(opts Options) (*Result, error) {
+	if opts.Threads == 0 {
+		opts.Threads = 1
+	}
+	if opts.Instructions == 0 {
+		opts.Instructions = 100_000
+	}
+
+	cfg := pipeline.DefaultConfig()
+	if opts.Core != nil {
+		cfg = *opts.Core
+	}
+	cfg.Threads = opts.Threads
+
+	att, cons, eves, err := buildAttachments(opts)
+	if err != nil {
+		return nil, err
+	}
+
+	streams := make([]pipeline.Stream, opts.Threads)
+	for i := range streams {
+		cpu, err := opts.Workload.NewCPU(opts.APX)
+		if err != nil {
+			return nil, err
+		}
+		streams[i] = fsim.NewStream(cpu, opts.Instructions)
+	}
+
+	hier := cache.NewHierarchy(cache.DefaultHierarchyConfig())
+	core := pipeline.NewCore(cfg, att, hier, streams...)
+
+	// Generous cycle bound: IPC below 0.05 would indicate a deadlock.
+	maxCycles := opts.Instructions * uint64(opts.Threads) * 20
+	if maxCycles < 1_000_000 {
+		maxCycles = 1_000_000
+	}
+	if err := core.Run(maxCycles); err != nil {
+		return nil, fmt.Errorf("sim %s: %w", opts.Workload.Name, err)
+	}
+	st := core.Stats
+	want := opts.Instructions * uint64(opts.Threads)
+	if st.Retired < want {
+		return nil, fmt.Errorf("sim %s: retired only %d of %d instructions in %d cycles (deadlock?)",
+			opts.Workload.Name, st.Retired, want, st.Cycles)
+	}
+
+	res := &Result{
+		Cycles:       st.Cycles,
+		IPC:          st.IPC(),
+		Pipeline:     st,
+		L1DAccesses:  hier.L1DLoadAccesses + hier.L1DStoreAccesses,
+		L2Accesses:   hier.L2Accesses,
+		LLCAccesses:  hier.LLCAccesses,
+		DTLBAccesses: hier.DTLBAccesses,
+	}
+	if cons != nil {
+		res.Constable = cons.Stats
+	}
+	if eves != nil {
+		res.EVESPredictions = eves.Predictions
+		res.EVESMispredicts = eves.Mispredicts
+	}
+
+	ev := power.Events{
+		FetchedUops:  st.FetchedUops,
+		RenamedUops:  st.RenamedUops,
+		RSAllocs:     st.RSAllocs,
+		RSIssues:     st.RSAllocs,
+		ROBAllocs:    st.ROBAllocs,
+		ALUOps:       st.ALUOps,
+		AGUOps:       st.AGUOps,
+		L1DAccesses:  res.L1DAccesses,
+		DTLBAccesses: res.DTLBAccesses,
+		L2Accesses:   res.L2Accesses,
+		LLCAccesses:  res.LLCAccesses,
+		Cycles:       st.Cycles,
+	}
+	if cons != nil {
+		// Rename lookups and writeback confidence compares read the SLD;
+		// can_eliminate flag updates write it.
+		ev.SLDReads = cons.Stats.SLDLookups + cons.Stats.SLDConfUpdates
+		ev.SLDWrites = cons.Stats.SLDWriteOps + cons.Stats.CanElimSets
+		ev.RMTOps = st.RenamedUops
+		ev.AMTReads = st.StoreExecs
+		ev.AMTWrites = cons.Stats.CanElimSets
+	}
+	res.Power = power.Compute(ev)
+	return res, nil
+}
+
+// buildAttachments assembles the mechanism set for a run.
+func buildAttachments(opts Options) (pipeline.Attachments, *constable.Constable, *vpred.EVES, error) {
+	var att pipeline.Attachments
+	var cons *constable.Constable
+	var eves *vpred.EVES
+
+	m := opts.Mech
+	if m.Constable {
+		ccfg := constable.DefaultConfig()
+		if m.ConstableConfig != nil {
+			ccfg = *m.ConstableConfig
+		}
+		cons = constable.New(ccfg)
+		att.Constable = cons
+	}
+	if m.EVES {
+		eves = vpred.NewEVES(vpred.DefaultEVESConfig())
+		att.EVES = eves
+	}
+	if m.RFP {
+		att.RFP = vpred.NewRFP(vpred.DefaultRFPConfig())
+	}
+	if m.ELAR {
+		att.ELAR = vpred.NewELAR()
+	}
+
+	needStable := m.IdealConstable || m.IdealStableLVP || opts.StablePCs != nil
+	if needStable {
+		stable := opts.StablePCs
+		if stable == nil {
+			ins, err := StableAnalysis(opts.Workload, opts.APX, opts.Instructions)
+			if err != nil {
+				return att, nil, nil, err
+			}
+			stable = ins.StableLoadPCs()
+		}
+		att.StablePCs = stable
+		if m.IdealConstable {
+			att.IdealElimPCs = stable
+		}
+		if m.IdealStableLVP {
+			att.IdealLVPPCs = stable
+			att.IdealDataFetchElim = m.IdealDataFetchElim
+		}
+	}
+	return att, cons, eves, nil
+}
+
+// Speedup returns the relative performance of res over base at equal work
+// (same instruction count): base cycles / res cycles.
+func Speedup(base, res *Result) float64 {
+	if res.Cycles == 0 {
+		return 0
+	}
+	return float64(base.Cycles) / float64(res.Cycles)
+}

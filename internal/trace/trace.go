@@ -1,0 +1,266 @@
+// Package trace provides a compact binary serialization for dynamic
+// instruction streams, so workload executions can be captured once and
+// replayed into the timing model — the same trace-driven methodology as the
+// paper's snapshot traces (§8.3). The format is a varint-delta encoding:
+// sequence numbers and PCs are delta-encoded against the previous record,
+// which compresses loop-heavy streams well.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"constable/internal/isa"
+)
+
+// magic identifies a trace stream and versions the format.
+const magic uint32 = 0xC0715AB1
+
+// flag bits packed per record.
+const (
+	flagTaken = 1 << iota
+	flagWrongPath
+	flagSilent
+	flagHasAddr
+	flagHasTarget
+	flagHasProducer
+)
+
+// Writer serializes dynamic instructions to an io.Writer.
+type Writer struct {
+	w       *bufio.Writer
+	started bool
+	prevSeq uint64
+	prevPC  uint64
+	buf     [binary.MaxVarintLen64]byte
+	count   uint64
+}
+
+// NewWriter returns a Writer that emits the stream header immediately.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], magic)
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: writing header: %w", err)
+	}
+	return &Writer{w: bw}, nil
+}
+
+func (w *Writer) putUvarint(v uint64) error {
+	n := binary.PutUvarint(w.buf[:], v)
+	_, err := w.w.Write(w.buf[:n])
+	return err
+}
+
+func (w *Writer) putVarint(v int64) error {
+	n := binary.PutVarint(w.buf[:], v)
+	_, err := w.w.Write(w.buf[:n])
+	return err
+}
+
+// Write appends one dynamic instruction to the stream.
+func (w *Writer) Write(d *isa.DynInst) error {
+	var flags byte
+	if d.Taken {
+		flags |= flagTaken
+	}
+	if d.WrongPath {
+		flags |= flagWrongPath
+	}
+	if d.Silent {
+		flags |= flagSilent
+	}
+	hasAddr := d.Op.IsMem()
+	hasTarget := d.Op.IsBranch()
+	hasProducer := d.Op == isa.OpLoad && d.ProducerStore != 0
+	if hasAddr {
+		flags |= flagHasAddr
+	}
+	if hasTarget {
+		flags |= flagHasTarget
+	}
+	if hasProducer {
+		flags |= flagHasProducer
+	}
+
+	fixed := []byte{flags, byte(d.Op), byte(d.Fn), byte(d.Dst), byte(d.Src1), byte(d.Src2), byte(d.Mode)}
+	if _, err := w.w.Write(fixed); err != nil {
+		return err
+	}
+	var dSeq, dPC int64
+	if w.started {
+		dSeq = int64(d.Seq) - int64(w.prevSeq)
+		dPC = int64(d.PC) - int64(w.prevPC)
+	} else {
+		dSeq = int64(d.Seq)
+		dPC = int64(d.PC)
+		w.started = true
+	}
+	w.prevSeq, w.prevPC = d.Seq, d.PC
+	if err := w.putVarint(dSeq); err != nil {
+		return err
+	}
+	if err := w.putVarint(dPC); err != nil {
+		return err
+	}
+	if hasAddr {
+		if err := w.putUvarint(d.Addr); err != nil {
+			return err
+		}
+		if err := w.putUvarint(d.Value); err != nil {
+			return err
+		}
+	} else if d.Dst != isa.RegNone {
+		if err := w.putUvarint(d.Value); err != nil {
+			return err
+		}
+	}
+	if hasTarget {
+		if err := w.putUvarint(d.Target); err != nil {
+			return err
+		}
+	}
+	if hasProducer {
+		if err := w.putUvarint(d.ProducerStore); err != nil {
+			return err
+		}
+	}
+	w.count++
+	return nil
+}
+
+// Count returns the number of records written so far.
+func (w *Writer) Count() uint64 { return w.count }
+
+// Flush drains buffered output to the underlying writer.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Reader deserializes a trace stream. It implements the pipeline.Stream
+// interface, so a saved trace can drive the timing model directly.
+type Reader struct {
+	r       *bufio.Reader
+	started bool
+	prevSeq uint64
+	prevPC  uint64
+	err     error
+}
+
+// NewReader validates the header and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var hdr [4]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[:]) != magic {
+		return nil, errors.New("trace: bad magic (not a trace stream)")
+	}
+	return &Reader{r: br}, nil
+}
+
+// Read returns the next record. io.EOF signals a clean end of stream.
+func (r *Reader) Read() (isa.DynInst, error) {
+	var d isa.DynInst
+	var fixed [7]byte
+	if _, err := io.ReadFull(r.r, fixed[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return d, fmt.Errorf("trace: truncated record: %w", err)
+		}
+		return d, err
+	}
+	flags := fixed[0]
+	d.Op = isa.Op(fixed[1])
+	d.Fn = isa.ALUFn(fixed[2])
+	d.Dst = isa.Reg(fixed[3])
+	d.Src1 = isa.Reg(fixed[4])
+	d.Src2 = isa.Reg(fixed[5])
+	d.Mode = isa.AddrMode(fixed[6])
+	d.Taken = flags&flagTaken != 0
+	d.WrongPath = flags&flagWrongPath != 0
+	d.Silent = flags&flagSilent != 0
+
+	dSeq, err := binary.ReadVarint(r.r)
+	if err != nil {
+		return d, fmt.Errorf("trace: reading seq: %w", err)
+	}
+	dPC, err := binary.ReadVarint(r.r)
+	if err != nil {
+		return d, fmt.Errorf("trace: reading pc: %w", err)
+	}
+	if r.started {
+		d.Seq = uint64(int64(r.prevSeq) + dSeq)
+		d.PC = uint64(int64(r.prevPC) + dPC)
+	} else {
+		d.Seq = uint64(dSeq)
+		d.PC = uint64(dPC)
+		r.started = true
+	}
+	r.prevSeq, r.prevPC = d.Seq, d.PC
+
+	if flags&flagHasAddr != 0 {
+		if d.Addr, err = binary.ReadUvarint(r.r); err != nil {
+			return d, fmt.Errorf("trace: reading addr: %w", err)
+		}
+		if d.Value, err = binary.ReadUvarint(r.r); err != nil {
+			return d, fmt.Errorf("trace: reading value: %w", err)
+		}
+	} else if d.Dst != isa.RegNone {
+		if d.Value, err = binary.ReadUvarint(r.r); err != nil {
+			return d, fmt.Errorf("trace: reading value: %w", err)
+		}
+	}
+	if flags&flagHasTarget != 0 {
+		if d.Target, err = binary.ReadUvarint(r.r); err != nil {
+			return d, fmt.Errorf("trace: reading target: %w", err)
+		}
+	}
+	if flags&flagHasProducer != 0 {
+		if d.ProducerStore, err = binary.ReadUvarint(r.r); err != nil {
+			return d, fmt.Errorf("trace: reading producer: %w", err)
+		}
+	}
+	return d, nil
+}
+
+// Next adapts Read to the pipeline.Stream interface: it returns false on a
+// clean EOF and remembers any decode error (check Err after the run).
+func (r *Reader) Next() (isa.DynInst, bool) {
+	if r.err != nil {
+		return isa.DynInst{}, false
+	}
+	d, err := r.Read()
+	if err != nil {
+		if err != io.EOF {
+			r.err = err
+		}
+		return isa.DynInst{}, false
+	}
+	return d, true
+}
+
+// Err returns the first non-EOF decode error Next encountered, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Capture runs src for n records and writes them to w.
+func Capture(w io.Writer, src interface {
+	Next() (isa.DynInst, bool)
+}, n uint64) (uint64, error) {
+	tw, err := NewWriter(w)
+	if err != nil {
+		return 0, err
+	}
+	for i := uint64(0); i < n; i++ {
+		d, ok := src.Next()
+		if !ok {
+			break
+		}
+		if err := tw.Write(&d); err != nil {
+			return tw.Count(), err
+		}
+	}
+	return tw.Count(), tw.Flush()
+}

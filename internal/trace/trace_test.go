@@ -1,0 +1,225 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"constable/internal/cache"
+	"constable/internal/fsim"
+	"constable/internal/isa"
+	"constable/internal/pipeline"
+	"constable/internal/workload"
+)
+
+func TestRoundTripWorkload(t *testing.T) {
+	spec := workload.SmallSuite()[0]
+	cpu, err := spec.NewCPU(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 5000
+	orig := make([]isa.DynInst, n)
+	for i := range orig {
+		orig[i] = cpu.Step()
+	}
+
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range orig {
+		if err := w.Write(&orig[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != n {
+		t.Fatalf("count = %d", w.Count())
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range orig {
+		got, err := r.Read()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if got != orig[i] {
+			t.Fatalf("record %d: got %+v, want %+v", i, got, orig[i])
+		}
+	}
+	if _, err := r.Read(); err != io.EOF {
+		t.Fatalf("expected clean EOF, got %v", err)
+	}
+}
+
+func TestCompression(t *testing.T) {
+	spec := workload.SmallSuite()[0]
+	cpu, err := spec.NewCPU(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	const n = 10_000
+	count, err := Capture(&buf, fsim.NewStream(cpu, n), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != n {
+		t.Fatalf("captured %d", count)
+	}
+	perRecord := float64(buf.Len()) / float64(n)
+	// A naive fixed encoding of DynInst is ~60 bytes; delta-varint should
+	// be far smaller on loopy code.
+	if perRecord > 20 {
+		t.Errorf("%.1f bytes/record — delta encoding ineffective", perRecord)
+	}
+	t.Logf("trace size: %.1f bytes/record", perRecord)
+}
+
+func TestReaderDrivesPipeline(t *testing.T) {
+	// A captured trace must drive the timing model to the same cycle count
+	// as the live functional stream.
+	spec := workload.SmallSuite()[1]
+	const n = 8000
+
+	run := func(stream pipeline.Stream) uint64 {
+		core := pipeline.NewCore(pipeline.DefaultConfig(), pipeline.Attachments{},
+			cache.NewHierarchy(cache.DefaultHierarchyConfig()), stream)
+		if err := core.Run(2_000_000); err != nil {
+			t.Fatal(err)
+		}
+		if core.Stats.Retired != n {
+			t.Fatalf("retired %d", core.Stats.Retired)
+		}
+		return core.Stats.Cycles
+	}
+
+	cpuLive, _ := spec.NewCPU(false)
+	liveCycles := run(fsim.NewStream(cpuLive, n))
+
+	cpuCap, _ := spec.NewCPU(false)
+	var buf bytes.Buffer
+	if _, err := Capture(&buf, fsim.NewStream(cpuCap, n), n); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayCycles := run(r)
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+	if liveCycles != replayCycles {
+		t.Errorf("replay diverged: live %d cycles, replay %d cycles", liveCycles, replayCycles)
+	}
+}
+
+func TestBadMagicRejected(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte{1, 2, 3, 4, 5})); err == nil {
+		t.Fatal("garbage header must be rejected")
+	}
+	if _, err := NewReader(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty stream must be rejected")
+	}
+}
+
+func TestTruncatedStreamReported(t *testing.T) {
+	spec := workload.SmallSuite()[0]
+	cpu, _ := spec.NewCPU(false)
+	var buf bytes.Buffer
+	if _, err := Capture(&buf, fsim.NewStream(cpu, 100), 100); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-3]
+	r, err := NewReader(bytes.NewReader(trunc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, ok := r.Next(); !ok {
+			break
+		}
+	}
+	if r.Err() == nil {
+		t.Fatal("truncated stream must surface a decode error")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	// Property: any syntactically-valid DynInst sequence round-trips.
+	f := func(seeds []uint64) bool {
+		var recs []isa.DynInst
+		seq := uint64(0)
+		for _, s := range seeds {
+			d := isa.DynInst{
+				Seq:  seq,
+				PC:   0x400000 + (s%1024)*4,
+				Dst:  isa.Reg(s % 16),
+				Src1: isa.Reg(s >> 4 % 16),
+				Src2: isa.RegNone,
+			}
+			switch s % 4 {
+			case 0:
+				d.Op = isa.OpALU
+				d.Value = s * 3
+			case 1:
+				d.Op = isa.OpLoad
+				d.Addr = (s % 100000) * 8
+				d.Value = s ^ 0xABCD
+				d.Mode = isa.AddrRegRel
+				d.ProducerStore = s % 7
+			case 2:
+				d.Op = isa.OpStore
+				d.Dst = isa.RegNone
+				d.Addr = (s % 100000) * 8
+				d.Value = s
+				d.Silent = s%3 == 0
+				d.Mode = isa.AddrStackRel
+			case 3:
+				d.Op = isa.OpBranch
+				d.Dst = isa.RegNone
+				d.Taken = s%2 == 0
+				d.Target = 0x400000 + (s%512)*4
+			}
+			recs = append(recs, d)
+			seq += 1 + s%3
+		}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			return false
+		}
+		for i := range recs {
+			if w.Write(&recs[i]) != nil {
+				return false
+			}
+		}
+		if w.Flush() != nil {
+			return false
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		for i := range recs {
+			got, err := r.Read()
+			if err != nil || got != recs[i] {
+				return false
+			}
+		}
+		_, err = r.Read()
+		return err == io.EOF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,228 @@
+// Package vpred implements the latency-tolerance mechanisms Constable is
+// evaluated against (§8.4, Table 2):
+//
+//   - EVES: a confidence-gated load value predictor (last-value + stride,
+//     the behavioural core of Seznec's CVP-1 winner). A confident
+//     prediction breaks load data dependence; the load still executes to
+//     verify, and a misprediction flushes the pipeline.
+//   - RFP: register-file prefetching — a stride-based load *address*
+//     predictor; a correct prediction lets the memory access overlap the
+//     front end, hiding latency, but the load still consumes its load port.
+//   - ELAR: early load address resolution for stack loads — the stack
+//     pointer is tracked in the decode stage, so stack-relative loads can
+//     begin their memory access without waiting for address generation.
+package vpred
+
+// EVESConfig tunes the value predictor.
+type EVESConfig struct {
+	Entries       int
+	ConfThreshold uint8 // predict only at full confidence
+	ConfMax       uint8
+}
+
+// DefaultEVESConfig matches the 32 KB CVP-1 budget in spirit: 4K entries of
+// (value, stride, confidence), with the very high confidence gating that
+// characterizes EVES — it only predicts when a misprediction is nearly
+// impossible, because the flush cost of a wrong value dwarfs the benefit of
+// many correct ones.
+func DefaultEVESConfig() EVESConfig {
+	return EVESConfig{Entries: 4096, ConfThreshold: 40, ConfMax: 63}
+}
+
+type evesEntry struct {
+	pc       uint64
+	value    uint64
+	stride   int64
+	conf     uint8
+	misses   uint8 // lifetime mispredict count: the utility filter
+	valid    bool
+	poisoned bool // PCs that mispredicted repeatedly are never predicted again
+}
+
+// EVES is the load value predictor. Create with NewEVES.
+type EVES struct {
+	cfg   EVESConfig
+	table []evesEntry
+
+	Predictions uint64 // confident predictions issued
+	Correct     uint64
+	Mispredicts uint64
+}
+
+// NewEVES builds the predictor.
+func NewEVES(cfg EVESConfig) *EVES {
+	return &EVES{cfg: cfg, table: make([]evesEntry, cfg.Entries)}
+}
+
+func (e *EVES) entry(pc uint64) *evesEntry {
+	return &e.table[(pc>>2)%uint64(len(e.table))]
+}
+
+// Predict returns the predicted value for the load at pc and whether the
+// predictor is confident enough to use it.
+func (e *EVES) Predict(pc uint64) (uint64, bool) {
+	en := e.entry(pc)
+	if !en.valid || en.pc != pc || en.poisoned || en.conf < e.cfg.ConfThreshold {
+		return 0, false
+	}
+	return en.value + uint64(en.stride), true
+}
+
+// Train updates the predictor with the architectural value of the load at
+// pc. predicted reports whether a confident prediction was issued for this
+// instance, and predVal what it was; Train returns whether that prediction
+// was wrong (pipeline flush required).
+func (e *EVES) Train(pc, actual uint64, predicted bool, predVal uint64) (mispredict bool) {
+	en := e.entry(pc)
+	if predicted {
+		e.Predictions++
+		if predVal == actual {
+			e.Correct++
+		} else {
+			e.Mispredicts++
+			mispredict = true
+		}
+	}
+	if !en.valid || en.pc != pc {
+		*e.entry(pc) = evesEntry{pc: pc, value: actual, valid: true}
+		return mispredict
+	}
+	if mispredict {
+		// Utility filter: a PC whose values looked predictable but broke at
+		// runtime (e.g. stride streams with periodic resets) quickly stops
+		// being predicted at all.
+		if en.misses < 255 {
+			en.misses++
+		}
+		if en.misses >= 2 {
+			en.poisoned = true
+		}
+	}
+	newStride := int64(actual) - int64(en.value)
+	if en.value+uint64(en.stride) == actual {
+		if en.conf < e.cfg.ConfMax {
+			en.conf++
+		}
+	} else {
+		// Wrong expectation: relearn the stride, decay confidence hard
+		// (high-confidence gating is what keeps EVES's mispredict cost low).
+		en.conf = 0
+		en.stride = newStride
+	}
+	en.value = actual
+	return mispredict
+}
+
+// Coverage returns the fraction of trained loads that were predicted.
+func (e *EVES) Coverage(totalLoads uint64) float64 {
+	if totalLoads == 0 {
+		return 0
+	}
+	return float64(e.Predictions) / float64(totalLoads)
+}
+
+// RFPConfig tunes the register-file prefetcher (Table 2: 2K-entry prefetch
+// table).
+type RFPConfig struct {
+	Entries       int
+	ConfThreshold uint8
+}
+
+// DefaultRFPConfig matches Table 2.
+func DefaultRFPConfig() RFPConfig { return RFPConfig{Entries: 2048, ConfThreshold: 3} }
+
+type rfpEntry struct {
+	pc       uint64
+	lastAddr uint64
+	stride   int64
+	conf     uint8
+	valid    bool
+}
+
+// RFP is the stride-based load-address predictor used by register-file
+// prefetching.
+type RFP struct {
+	cfg   RFPConfig
+	table []rfpEntry
+
+	Predictions uint64
+	Correct     uint64
+}
+
+// NewRFP builds the predictor.
+func NewRFP(cfg RFPConfig) *RFP {
+	return &RFP{cfg: cfg, table: make([]rfpEntry, cfg.Entries)}
+}
+
+func (r *RFP) entry(pc uint64) *rfpEntry {
+	return &r.table[(pc>>2)%uint64(len(r.table))]
+}
+
+// PredictAddr returns the predicted address of the next instance of the
+// load at pc.
+func (r *RFP) PredictAddr(pc uint64) (uint64, bool) {
+	en := r.entry(pc)
+	if !en.valid || en.pc != pc || en.conf < r.cfg.ConfThreshold {
+		return 0, false
+	}
+	return uint64(int64(en.lastAddr) + en.stride), true
+}
+
+// Train updates the address predictor with the actual address; predicted /
+// predAddr describe the prediction issued at rename, and the return value
+// reports whether the prefetched data was useful (address matched).
+func (r *RFP) Train(pc, actual uint64, predicted bool, predAddr uint64) (useful bool) {
+	en := r.entry(pc)
+	if predicted {
+		r.Predictions++
+		if predAddr == actual {
+			r.Correct++
+			useful = true
+		}
+	}
+	if !en.valid || en.pc != pc {
+		*en = rfpEntry{pc: pc, lastAddr: actual, valid: true}
+		return useful
+	}
+	stride := int64(actual) - int64(en.lastAddr)
+	if stride == en.stride {
+		if en.conf < 7 {
+			en.conf++
+		}
+	} else {
+		en.conf = 0
+		en.stride = stride
+	}
+	en.lastAddr = actual
+	return useful
+}
+
+// ELAR tracks whether the stack pointer value is known in the decode stage
+// (it is, as long as RSP is only updated by immediate adjustments, which the
+// rename-stage constant folding already tracks). While tracked, stack-
+// relative loads resolve their address early and skip the AGU dependency
+// wait.
+type ELAR struct {
+	tracked bool
+
+	EarlyResolved uint64
+}
+
+// NewELAR returns a tracker; RSP is architecturally known at reset.
+func NewELAR() *ELAR { return &ELAR{tracked: true} }
+
+// OnStackPointerWrite informs the tracker of a write to RSP/RBP.
+// immediateOnly is true when the write is of the RSP←RSP±imm form that the
+// decode-stage adder can follow.
+func (e *ELAR) OnStackPointerWrite(immediateOnly bool) {
+	e.tracked = immediateOnly
+}
+
+// CanResolveEarly reports whether a stack-relative load's address is known
+// at decode, and counts it.
+func (e *ELAR) CanResolveEarly() bool {
+	if e.tracked {
+		e.EarlyResolved++
+	}
+	return e.tracked
+}

@@ -1,0 +1,160 @@
+package vpred
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEVESLearnsConstantValue(t *testing.T) {
+	e := NewEVES(DefaultEVESConfig())
+	pc := uint64(0x400100)
+	for i := 0; i < 100; i++ {
+		if _, ok := e.Predict(pc); ok && i < int(e.cfg.ConfThreshold) {
+			t.Fatalf("predicted before confidence built (i=%d)", i)
+		}
+		e.Train(pc, 42, false, 0)
+	}
+	v, ok := e.Predict(pc)
+	if !ok || v != 42 {
+		t.Fatalf("Predict = %d,%v after constant training", v, ok)
+	}
+}
+
+func TestEVESLearnsStride(t *testing.T) {
+	e := NewEVES(DefaultEVESConfig())
+	pc := uint64(0x400200)
+	val := uint64(100)
+	for i := 0; i < 100; i++ {
+		e.Train(pc, val, false, 0)
+		val += 8
+	}
+	v, ok := e.Predict(pc)
+	if !ok || v != val {
+		t.Fatalf("stride predict = %d,%v, want %d", v, ok, val)
+	}
+}
+
+func TestEVESPoisoningStopsRepeatOffenders(t *testing.T) {
+	e := NewEVES(DefaultEVESConfig())
+	pc := uint64(0x400300)
+	mispredicts := 0
+	val := uint64(0)
+	// A value that is constant for a while then jumps, repeatedly.
+	for epoch := 0; epoch < 20; epoch++ {
+		for i := 0; i < 100; i++ {
+			pred, ok := e.Predict(pc)
+			if e.Train(pc, val, ok, pred) {
+				mispredicts++
+			}
+		}
+		val += 1000 // break the pattern at every epoch boundary
+	}
+	if mispredicts > 2 {
+		t.Errorf("utility filter allowed %d mispredicts, want <=2", mispredicts)
+	}
+	if _, ok := e.Predict(pc); ok {
+		t.Error("poisoned PC must never predict again")
+	}
+}
+
+func TestEVESMispredictReported(t *testing.T) {
+	e := NewEVES(DefaultEVESConfig())
+	pc := uint64(0x400400)
+	if !e.Train(pc, 5, true, 99) {
+		t.Error("wrong prediction must report a mispredict")
+	}
+	if e.Train(pc, 5, true, 5) {
+		t.Error("correct prediction must not report a mispredict")
+	}
+	if e.Predictions != 2 || e.Mispredicts != 1 || e.Correct != 1 {
+		t.Errorf("counters: %d/%d/%d", e.Predictions, e.Correct, e.Mispredicts)
+	}
+}
+
+func TestEVESCoverage(t *testing.T) {
+	e := NewEVES(DefaultEVESConfig())
+	if e.Coverage(0) != 0 {
+		t.Error("coverage of zero loads must be 0")
+	}
+	e.Predictions = 25
+	if c := e.Coverage(100); c != 0.25 {
+		t.Errorf("coverage = %v", c)
+	}
+}
+
+func TestEVESNeverPredictsUnstableValues(t *testing.T) {
+	// Property: feeding uncorrelated values never produces more than a
+	// handful of confident (and thus wrong-prone) predictions.
+	f := func(seed uint8) bool {
+		e := NewEVES(DefaultEVESConfig())
+		pc := uint64(0x400500)
+		x := uint64(seed) | 1
+		preds := 0
+		for i := 0; i < 500; i++ {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+			if _, ok := e.Predict(pc); ok {
+				preds++
+			}
+			e.Train(pc, x, false, 0)
+		}
+		return preds == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRFPLearnsAddressStride(t *testing.T) {
+	r := NewRFP(DefaultRFPConfig())
+	pc := uint64(0x400600)
+	addr := uint64(0x1000)
+	for i := 0; i < 10; i++ {
+		r.Train(pc, addr, false, 0)
+		addr += 64
+	}
+	got, ok := r.PredictAddr(pc)
+	if !ok || got != addr {
+		t.Fatalf("PredictAddr = %#x,%v, want %#x", got, ok, addr)
+	}
+	if !r.Train(pc, addr, true, got) {
+		t.Error("correct address prediction must be useful")
+	}
+}
+
+func TestRFPStrideBreakResetsConfidence(t *testing.T) {
+	r := NewRFP(DefaultRFPConfig())
+	pc := uint64(0x400700)
+	addr := uint64(0x1000)
+	for i := 0; i < 10; i++ {
+		r.Train(pc, addr, false, 0)
+		addr += 64
+	}
+	r.Train(pc, 0x9999998, false, 0) // break
+	if _, ok := r.PredictAddr(pc); ok {
+		t.Error("stride break must clear confidence")
+	}
+}
+
+func TestELARTracking(t *testing.T) {
+	e := NewELAR()
+	if !e.CanResolveEarly() {
+		t.Fatal("RSP is architecturally known at reset")
+	}
+	e.OnStackPointerWrite(true) // rsp += imm: still tracked
+	if !e.CanResolveEarly() {
+		t.Fatal("immediate adjustment must keep tracking")
+	}
+	e.OnStackPointerWrite(false) // arbitrary write: lost
+	if e.CanResolveEarly() {
+		t.Fatal("non-immediate write must stop tracking")
+	}
+	e.OnStackPointerWrite(true) // next immediate write re-establishes
+	if !e.CanResolveEarly() {
+		t.Fatal("tracking must resume")
+	}
+	if e.EarlyResolved != 3 {
+		t.Errorf("early-resolved count = %d, want 3", e.EarlyResolved)
+	}
+}

@@ -1,0 +1,531 @@
+// Package workload provides the synthetic workload suite that stands in for
+// the paper's 90 proprietary traces. Each workload is a deterministic
+// program built from kernels that reproduce the empirically-observed sources
+// of global-stable loads (§4.1–4.2 of the paper):
+//
+//   - runtime constants accessed via PC-relative loads across long
+//     inter-occurrence distances (the 541.leela_r s_rng pattern),
+//   - inlined-function arguments accessed via stack-relative loads across
+//     short distances (the 557.xz_r rc_shift_low pattern),
+//   - tight-loop register-relative loads off a stable base pointer,
+//
+// mixed with non-stable behaviour: streaming array loads, pointer chasing,
+// store-invalidated loads, silent stores, value-predictable-but-address-
+// changing loads (where EVES wins and Constable cannot), branchy control
+// flow, and compute-heavy stretches.
+//
+// In APX mode (Regs32) the generator keeps inlined-function arguments and
+// temporaries in the extra registers R16..R31 instead of stack slots,
+// modelling the appendix-B recompilation study.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"constable/internal/isa"
+	"constable/internal/prog"
+)
+
+// KernelParams tunes one kernel instance inside a workload program.
+type KernelParams struct {
+	// Iters is the inner-loop trip count for one activation of the kernel.
+	Iters int
+	// Spread separates this kernel's data region from others.
+	Region uint64
+	// APX enables 32-register code generation: stack temporaries become
+	// register-resident, removing most of this kernel's stack loads.
+	APX bool
+	// Pad inserts this many filler ALU instructions per loop body to
+	// stretch inter-occurrence distance.
+	Pad int
+}
+
+// Kernel emits one activation of a loop nest into b. reg allocators keep
+// kernels register-disjoint where needed; kernels are emitted sequentially
+// into one big outer loop by BuildProgram.
+type Kernel func(b *prog.Builder, id int, p KernelParams)
+
+// emitPad emits n dependent single-cycle ALU instructions on a scratch reg.
+func emitPad(b *prog.Builder, n int, scratch isa.Reg) {
+	for i := 0; i < n; i++ {
+		b.ALUImm(isa.ALUAdd, scratch, scratch, 1)
+	}
+}
+
+// loopHead/loopTail emit a counted down-loop using ctr.
+func loopHead(b *prog.Builder, label string) { b.Label(label) }
+
+func loopTail(b *prog.Builder, label string, ctr isa.Reg) {
+	b.ALUImm(isa.ALUDec, ctr, ctr, 0)
+	b.Branch(ctr, label)
+}
+
+// KernelRuntimeConst models the leela get_Rng pattern: a function that loads
+// a global object pointer via a PC-relative load and then dereferences a
+// field through it (register-relative). The global is written once during
+// program setup, so both loads are global-stable. Called from a loop with
+// padding, giving the long inter-occurrence distances Fig. 3(d) reports for
+// PC-relative loads.
+func KernelRuntimeConst(b *prog.Builder, id int, p KernelParams) {
+	global := prog.GlobalBase + p.Region
+	object := prog.HeapBase + p.Region
+	fn := fmt.Sprintf("k%d_get_rng", id)
+	loop := fmt.Sprintf("k%d_rc_loop", id)
+	skip := fmt.Sprintf("k%d_rc_skip", id)
+
+	// Setup (once per outer iteration; the stored value never changes, so
+	// after the first outer iteration these are silent stores that the
+	// setup branch skips anyway).
+	b.SetMem(global, object)
+	b.SetMem(object+8, 0x1234_5678) // object field: a runtime constant
+
+	b.MovImm(isa.R8, int64(p.Iters))
+	loopHead(b, loop)
+	b.Call(fn)
+	// Use the returned pointer (in R9): dereference a field — a stable
+	// register-relative load (base register rewritten with the same value
+	// each call, so Constable must re-learn unless RMT tolerates it; this
+	// is exactly loss-reason (a) in Fig. 17).
+	b.Load(isa.R10, isa.R9, 8)
+	b.ALU(isa.ALUAdd, isa.R11, isa.R11, isa.R10)
+	// Runtime-constant accesses recur across whole "function calls" worth
+	// of work: stretch the inter-occurrence distance accordingly (Fig. 3d
+	// gives PC-relative loads the longest distances).
+	emitPad(b, p.Pad*12, isa.R12)
+	loopTail(b, loop, isa.R8)
+	b.Jump(skip)
+
+	// The function body: PC-relative load of the global pointer.
+	b.Label(fn)
+	b.LoadGlobal(isa.R9, global)
+	b.Ret()
+	b.Label(skip)
+}
+
+// KernelInlinedArgs models the xz rc_shift_low pattern: a do-while loop that
+// re-loads function arguments from the stack every iteration. The arguments
+// never change during the loop, so the loads are global-stable with short
+// inter-occurrence distance. In APX mode the arguments live in R16/R17 and
+// the stack loads disappear.
+func KernelInlinedArgs(b *prog.Builder, id int, p KernelParams) {
+	out := prog.HeapBase + p.Region
+	loop := fmt.Sprintf("k%d_ia_loop", id)
+
+	// Spill the "arguments" to the stack frame (or keep in regs under APX).
+	b.MovImm(isa.R6, int64(out))       // out pointer
+	b.MovImm(isa.R7, int64(p.Iters*8)) // out_size
+	// Under APX only some call sites win registers: the compiler still
+	// spills when register pressure is high (appendix B sees a partial,
+	// not total, reduction of stack loads).
+	apx := p.APX && id%2 == 0
+	if !apx {
+		b.Store(isa.RSP, -16, isa.R6)
+		b.Store(isa.RSP, -24, isa.R7)
+	} else {
+		b.Mov(isa.R16, isa.R6)
+		b.Mov(isa.R17, isa.R7)
+	}
+	b.MovImm(isa.R8, int64(p.Iters)) // loop counter (cache_size)
+	b.Zero(isa.R9)                   // *out_pos
+
+	loopHead(b, loop)
+	if !apx {
+		// Stable stack-relative loads of the two arguments.
+		b.Load(isa.R10, isa.RSP, -16) // out
+		b.Load(isa.R11, isa.RSP, -24) // out_size (kept live for the compare)
+	} else {
+		b.Mov(isa.R10, isa.R16)
+		b.Mov(isa.R11, isa.R17)
+	}
+	b.ALU(isa.ALUCmpLT, isa.R12, isa.R9, isa.R11) // out_pos < out_size (always true here)
+	// out[out_pos] = f(cache); ++out_pos
+	b.ALU(isa.ALUAdd, isa.R13, isa.R10, isa.R9)
+	b.Store(isa.R13, 0, isa.R8)
+	b.ALUImm(isa.ALUAdd, isa.R9, isa.R9, 8)
+	emitPad(b, p.Pad, isa.R14)
+	loopTail(b, loop, isa.R8)
+}
+
+// KernelTightLoop models register-relative global-stable loads with short
+// inter-occurrence distance: a loop repeatedly reading a small set of fields
+// off a stable base pointer that is set once outside the loop.
+func KernelTightLoop(b *prog.Builder, id int, p KernelParams) {
+	base := prog.HeapBase + p.Region
+	loop := fmt.Sprintf("k%d_tl_loop", id)
+
+	b.SetMem(base, 7)
+	b.SetMem(base+8, 13)
+	b.SetMem(base+16, 29)
+
+	b.MovImm(isa.R6, int64(base)) // stable base pointer
+	b.MovImm(isa.R8, int64(p.Iters))
+	loopHead(b, loop)
+	b.Load(isa.R9, isa.R6, 0)
+	b.ALU(isa.ALUAdd, isa.R12, isa.R12, isa.R9)
+	b.Load(isa.R10, isa.R6, 8)
+	b.ALU(isa.ALUAdd, isa.R12, isa.R12, isa.R10)
+	b.Load(isa.R11, isa.R6, 16)
+	b.ALU(isa.ALUAdd, isa.R12, isa.R12, isa.R11)
+	emitPad(b, p.Pad, isa.R13)
+	loopTail(b, loop, isa.R8)
+}
+
+// KernelStreaming models a non-stable streaming read: sequential loads over
+// a large array. Addresses change every instance, so the loads are neither
+// global-stable nor value-predictable (array contents are the deterministic
+// address hash). Exercises the prefetchers and L1-D bandwidth.
+func KernelStreaming(b *prog.Builder, id int, p KernelParams) {
+	base := prog.HeapBase + p.Region
+	loop := fmt.Sprintf("k%d_st_loop", id)
+
+	b.MovImm(isa.R6, int64(base))
+	b.MovImm(isa.R8, int64(p.Iters))
+	loopHead(b, loop)
+	b.Load(isa.R9, isa.R6, 0)
+	b.ALU(isa.ALUAdd, isa.R13, isa.R13, isa.R9)
+	b.Load(isa.R10, isa.R6, 8)
+	b.ALU(isa.ALUAdd, isa.R13, isa.R13, isa.R10)
+	b.Load(isa.R11, isa.R6, 16)
+	b.ALU(isa.ALUAdd, isa.R13, isa.R13, isa.R11)
+	b.Load(isa.R12, isa.R6, 24)
+	b.ALU(isa.ALUAdd, isa.R13, isa.R13, isa.R12)
+	b.ALUImm(isa.ALUAdd, isa.R6, isa.R6, 32)
+	emitPad(b, p.Pad, isa.R14)
+	loopTail(b, loop, isa.R8)
+}
+
+// KernelArgChase models a stable pointer chain: a PC-relative load of a
+// global object pointer, then two dependent field dereferences. All three
+// loads are global-stable, and they form a serial 3-load dependence chain
+// every iteration — the pattern where eliminating both the address
+// computation and the data fetch collapses a long latency chain.
+func KernelArgChase(b *prog.Builder, id int, p KernelParams) {
+	g := prog.GlobalBase + p.Region
+	p1 := prog.HeapBase + p.Region
+	p2 := prog.HeapBase + p.Region + 0x1000
+	loop := fmt.Sprintf("k%d_ac_loop", id)
+
+	b.SetMem(g, p1)
+	b.SetMem(p1+16, p2)
+	b.SetMem(p2+24, 0xBEEF)
+
+	b.MovImm(isa.R8, int64(p.Iters))
+	loopHead(b, loop)
+	b.LoadGlobal(isa.R9, g)      // stable PC-relative
+	b.Load(isa.R10, isa.R9, 16)  // stable, depends on previous load
+	b.Load(isa.R11, isa.R10, 24) // stable, depends on previous load
+	b.ALU(isa.ALUAdd, isa.R12, isa.R12, isa.R11)
+	emitPad(b, p.Pad, isa.R13)
+	loopTail(b, loop, isa.R8)
+}
+
+// KernelBigStream models a large-footprint sequential scan: a cursor kept in
+// memory walks a 512 KiB window (far beyond the L1-D), so the scan thrashes
+// the L1, periodically evicts other kernels' stable lines, and exposes real
+// memory latency. The cursor load is store-invalidated every iteration and
+// its value is stride-predictable — EVES territory, not Constable's.
+func KernelBigStream(b *prog.Builder, id int, p KernelParams) {
+	base := prog.HeapBase + p.Region
+	cursorAddr := prog.GlobalBase + p.Region + 0x800
+	loop := fmt.Sprintf("k%d_bs_loop", id)
+
+	b.SetMem(cursorAddr, base)
+	b.MovImm(isa.R7, int64(cursorAddr))
+	b.MovImm(isa.R14, int64(base))
+	b.MovImm(isa.R8, int64(p.Iters))
+	loopHead(b, loop)
+	b.Load(isa.R6, isa.R7, 0) // cursor
+	b.Load(isa.R9, isa.R6, 0)
+	b.ALU(isa.ALUAdd, isa.R12, isa.R12, isa.R9)
+	b.Load(isa.R10, isa.R6, 64)
+	b.ALU(isa.ALUAdd, isa.R12, isa.R12, isa.R10)
+	// Advance by two cachelines and wrap within a 512 KiB window, so the
+	// scan touches every line of a footprint ~10x the L1-D.
+	b.ALUImm(isa.ALUAdd, isa.R6, isa.R6, 128)
+	b.ALU(isa.ALUSub, isa.R6, isa.R6, isa.R14)
+	b.ALUImm(isa.ALUAnd, isa.R6, isa.R6, 0x7_FF80)
+	b.ALU(isa.ALUAdd, isa.R6, isa.R6, isa.R14)
+	b.Store(isa.R7, 0, isa.R6)
+	emitPad(b, p.Pad, isa.R13)
+	loopTail(b, loop, isa.R8)
+}
+
+// KernelConstArray models loads that EVES covers but Constable cannot:
+// a streaming sweep over an array whose every element holds the same value,
+// so the load has perfect value locality but zero address locality.
+func KernelConstArray(b *prog.Builder, id int, p KernelParams) {
+	base := prog.HeapBase + p.Region
+	loop := fmt.Sprintf("k%d_ca_loop", id)
+	init := fmt.Sprintf("k%d_ca_init", id)
+
+	// Fill the array with a constant (stores; first outer iteration only
+	// is non-silent).
+	b.MovImm(isa.R6, int64(base))
+	b.MovImm(isa.R8, int64(p.Iters))
+	b.MovImm(isa.R9, 42)
+	loopHead(b, init)
+	b.Store(isa.R6, 0, isa.R9)
+	b.ALUImm(isa.ALUAdd, isa.R6, isa.R6, 8)
+	loopTail(b, init, isa.R8)
+
+	// Sweep it.
+	b.MovImm(isa.R6, int64(base))
+	b.MovImm(isa.R8, int64(p.Iters))
+	loopHead(b, loop)
+	b.Load(isa.R10, isa.R6, 0)
+	b.ALU(isa.ALUAdd, isa.R13, isa.R13, isa.R10)
+	b.Load(isa.R11, isa.R6, 8)
+	b.ALU(isa.ALUAdd, isa.R13, isa.R13, isa.R11)
+	b.Load(isa.R12, isa.R6, 16)
+	b.ALU(isa.ALUAdd, isa.R13, isa.R13, isa.R12)
+	b.ALUImm(isa.ALUAdd, isa.R6, isa.R6, 24)
+	emitPad(b, p.Pad, isa.R14)
+	loopTail(b, loop, isa.R8)
+}
+
+// KernelPointerChase models a latency-bound linked-list traversal: each
+// load's address depends on the previous load's value. The ring is laid out
+// with a large stride so the chase misses in the L1. Not stable, not value
+// predictable per-instance (but the *sequence* repeats each lap, giving
+// last-value predictors partial coverage on short rings).
+func KernelPointerChase(b *prog.Builder, id int, p KernelParams) {
+	base := prog.HeapBase + p.Region
+	const nodes = 64
+	const stride = 4096
+	for i := 0; i < nodes; i++ {
+		next := base + uint64((i+1)%nodes)*stride
+		b.SetMem(base+uint64(i)*stride, next)
+	}
+	loop := fmt.Sprintf("k%d_pc_loop", id)
+
+	b.MovImm(isa.R6, int64(base))
+	b.MovImm(isa.R8, int64(p.Iters))
+	loopHead(b, loop)
+	b.Load(isa.R6, isa.R6, 0) // p = p->next
+	emitPad(b, p.Pad, isa.R9)
+	loopTail(b, loop, isa.R8)
+}
+
+// KernelStoreInvalidate models loads whose address gets stored to: a
+// "shared counter" the loop both reads and increments. Constable's AMT
+// resets can_eliminate on every store-address generation, so these loads
+// never stay eliminated; they also create the store→younger-eliminated-load
+// window that the memory-disambiguation logic must catch (§6.5, Fig. 21).
+func KernelStoreInvalidate(b *prog.Builder, id int, p KernelParams) {
+	ctr := prog.GlobalBase + p.Region
+	loop := fmt.Sprintf("k%d_si_loop", id)
+
+	b.SetMem(ctr, 0)
+	b.MovImm(isa.R6, int64(ctr))
+	b.MovImm(isa.R8, int64(p.Iters))
+	loopHead(b, loop)
+	b.Load(isa.R9, isa.R6, 0)
+	b.ALUImm(isa.ALUInc, isa.R9, isa.R9, 0)
+	b.Store(isa.R6, 0, isa.R9)
+	emitPad(b, p.Pad, isa.R10)
+	loopTail(b, loop, isa.R8)
+}
+
+// KernelSilentStore models global-stable loads lost to silent stores
+// (Fig. 17 loss reason b): a loop that re-stores an unchanged flag word and
+// then loads it. The load fetches the same value from the same address
+// forever (global-stable), but the intervening silent stores reset the AMT
+// entry each iteration.
+func KernelSilentStore(b *prog.Builder, id int, p KernelParams) {
+	flag := prog.GlobalBase + p.Region
+	loop := fmt.Sprintf("k%d_ss_loop", id)
+
+	b.SetMem(flag, 1)
+	b.MovImm(isa.R6, int64(flag))
+	b.MovImm(isa.R7, 1) // the unchanging value
+	b.MovImm(isa.R8, int64(p.Iters))
+	loopHead(b, loop)
+	b.Store(isa.R6, 0, isa.R7) // silent store
+	b.Load(isa.R9, isa.R6, 0)  // global-stable load, never eliminated
+	b.ALU(isa.ALUAdd, isa.R10, isa.R10, isa.R9)
+	emitPad(b, p.Pad, isa.R11)
+	loopTail(b, loop, isa.R8)
+}
+
+// KernelRegOverwrite models global-stable loads lost to source-register
+// rewrites (Fig. 17 loss reason a): the base register is recomputed to the
+// same value before every load, so Condition 1 is violated between every
+// pair of instances even though address and value never change.
+func KernelRegOverwrite(b *prog.Builder, id int, p KernelParams) {
+	base := prog.HeapBase + p.Region
+	loop := fmt.Sprintf("k%d_ro_loop", id)
+
+	b.SetMem(base, 99)
+	b.MovImm(isa.R8, int64(p.Iters))
+	loopHead(b, loop)
+	b.MovImm(isa.R6, int64(base)) // rewrite of the load's source register
+	b.Load(isa.R9, isa.R6, 0)
+	b.ALU(isa.ALUAdd, isa.R10, isa.R10, isa.R9)
+	emitPad(b, p.Pad, isa.R11)
+	loopTail(b, loop, isa.R8)
+}
+
+// KernelBranchy models data-dependent control flow: a loop whose branch
+// direction depends on a pseudo-random register mix, defeating the branch
+// predictor at a tunable rate.
+func KernelBranchy(b *prog.Builder, id int, p KernelParams) {
+	loop := fmt.Sprintf("k%d_br_loop", id)
+	skip := fmt.Sprintf("k%d_br_skip", id)
+
+	b.MovImm(isa.R8, int64(p.Iters))
+	b.MovImm(isa.R6, int64(p.Region|1)) // LCG state seed
+	loopHead(b, loop)
+	// LCG step: hard-to-predict low bit.
+	b.MovImm(isa.R11, 6364136223846793005)
+	b.Mul(isa.R6, isa.R6, isa.R11)
+	b.ALUImm(isa.ALUAdd, isa.R6, isa.R6, 1442695040888963407)
+	b.ALUImm(isa.ALUAnd, isa.R9, isa.R6, 0x1000)
+	b.Branch(isa.R9, skip)
+	b.ALUImm(isa.ALUAdd, isa.R10, isa.R10, 3)
+	b.Label(skip)
+	emitPad(b, p.Pad, isa.R12)
+	loopTail(b, loop, isa.R8)
+}
+
+// KernelCompute models FP/integer compute-heavy stretches (FSPEC-like):
+// long dependent chains of multiplies and FP-class operations with few
+// memory accesses.
+func KernelCompute(b *prog.Builder, id int, p KernelParams) {
+	loop := fmt.Sprintf("k%d_cp_loop", id)
+
+	b.MovImm(isa.R8, int64(p.Iters))
+	b.MovImm(isa.R6, int64(id)*7+3)
+	loopHead(b, loop)
+	b.Mul(isa.R9, isa.R6, isa.R6)
+	b.FP(isa.R10, isa.R9, isa.R6)
+	b.FP(isa.R11, isa.R10, isa.R9)
+	b.ALU(isa.ALUAdd, isa.R6, isa.R11, isa.R6)
+	emitPad(b, p.Pad, isa.R12)
+	loopTail(b, loop, isa.R8)
+}
+
+// KernelRandomAccess models cache-hostile random loads over a large region
+// (hash-table probing): an LCG generates indices into a table far larger
+// than the LLC slice we model, producing misses and no stability.
+func KernelRandomAccess(b *prog.Builder, id int, p KernelParams) {
+	base := prog.HeapBase + p.Region
+	loop := fmt.Sprintf("k%d_ra_loop", id)
+
+	b.MovImm(isa.R6, int64(p.Region|1))
+	b.MovImm(isa.R7, int64(base))
+	b.MovImm(isa.R8, int64(p.Iters))
+	loopHead(b, loop)
+	b.MovImm(isa.R11, 2862933555777941757)
+	b.Mul(isa.R6, isa.R6, isa.R11)
+	b.ALUImm(isa.ALUAdd, isa.R6, isa.R6, 3037000493)
+	b.ALUImm(isa.ALUAnd, isa.R9, isa.R6, 0x3F_FFF8) // ~4 MiB window, 8B aligned
+	b.ALU(isa.ALUAdd, isa.R9, isa.R9, isa.R7)
+	b.Load(isa.R10, isa.R9, 0)
+	b.Load(isa.R11, isa.R9, 8)
+	b.ALU(isa.ALUAdd, isa.R12, isa.R12, isa.R10)
+	b.ALU(isa.ALUAdd, isa.R12, isa.R12, isa.R11)
+	emitPad(b, p.Pad, isa.R13)
+	loopTail(b, loop, isa.R8)
+}
+
+// KernelStrideValue models stride-value-predictable loads: a sweep over an
+// array pre-filled with an arithmetic sequence. EVES's stride component
+// covers these; Constable does not (addresses and values both change).
+func KernelStrideValue(b *prog.Builder, id int, p KernelParams) {
+	base := prog.HeapBase + p.Region
+	loop := fmt.Sprintf("k%d_sv_loop", id)
+	init := fmt.Sprintf("k%d_sv_init", id)
+
+	b.MovImm(isa.R6, int64(base))
+	b.MovImm(isa.R8, int64(p.Iters))
+	b.Zero(isa.R9)
+	loopHead(b, init)
+	b.Store(isa.R6, 0, isa.R9)
+	b.ALUImm(isa.ALUAdd, isa.R9, isa.R9, 5)
+	b.ALUImm(isa.ALUAdd, isa.R6, isa.R6, 8)
+	loopTail(b, init, isa.R8)
+
+	b.MovImm(isa.R6, int64(base))
+	b.MovImm(isa.R8, int64(p.Iters))
+	loopHead(b, loop)
+	b.Load(isa.R10, isa.R6, 0)
+	b.ALU(isa.ALUAdd, isa.R13, isa.R13, isa.R10)
+	b.Load(isa.R11, isa.R6, 8)
+	b.ALU(isa.ALUAdd, isa.R13, isa.R13, isa.R11)
+	b.Load(isa.R12, isa.R6, 16)
+	b.ALU(isa.ALUAdd, isa.R13, isa.R13, isa.R12)
+	b.ALUImm(isa.ALUAdd, isa.R6, isa.R6, 24)
+	emitPad(b, p.Pad, isa.R14)
+	loopTail(b, loop, isa.R8)
+}
+
+// kernelByName maps kernel identifiers in workload specs to constructors.
+var kernelByName = map[string]Kernel{
+	"argchase":        KernelArgChase,
+	"bigstream":       KernelBigStream,
+	"runtimeconst":    KernelRuntimeConst,
+	"inlinedargs":     KernelInlinedArgs,
+	"tightloop":       KernelTightLoop,
+	"streaming":       KernelStreaming,
+	"constarray":      KernelConstArray,
+	"pointerchase":    KernelPointerChase,
+	"storeinvalidate": KernelStoreInvalidate,
+	"silentstore":     KernelSilentStore,
+	"regoverwrite":    KernelRegOverwrite,
+	"branchy":         KernelBranchy,
+	"compute":         KernelCompute,
+	"randomaccess":    KernelRandomAccess,
+	"stridevalue":     KernelStrideValue,
+}
+
+// KernelNames returns the sorted list of kernel identifiers.
+func KernelNames() []string {
+	names := make([]string, 0, len(kernelByName))
+	for n := range kernelByName {
+		names = append(names, n)
+	}
+	sortStrings(names)
+	return names
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// mix describes one kernel activation inside a workload.
+type mix struct {
+	kernel string
+	iters  int
+	pad    int
+}
+
+// buildProgram assembles a looping program from a kernel mix. The whole mix
+// is wrapped in an infinite outer loop so the stream never runs dry; global-
+// stable behaviour spans outer iterations exactly as it spans a whole trace
+// in the paper.
+func buildProgram(name string, mixes []mix, apx bool, rng *rand.Rand) (*prog.Program, error) {
+	b := prog.NewBuilder(name)
+	b.Label("outer")
+	for i, m := range mixes {
+		k, ok := kernelByName[m.kernel]
+		if !ok {
+			return nil, fmt.Errorf("workload: unknown kernel %q in %q", m.kernel, name)
+		}
+		k(b, i, KernelParams{
+			Iters:  m.iters,
+			Region: uint64(i+1) * 0x0100_0000,
+			APX:    apx,
+			Pad:    m.pad,
+		})
+	}
+	// Perturb register state deterministically between outer iterations so
+	// value histories are not degenerate.
+	b.ALUImm(isa.ALUAdd, isa.R15, isa.R15, int64(rng.Int31()%251)+1)
+	b.Jump("outer")
+	return b.Build()
+}
