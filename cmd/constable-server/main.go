@@ -1,0 +1,68 @@
+// Command constable-server serves the simulation service over HTTP: clients
+// submit JobSpecs, the bounded worker pool simulates them, and identical
+// specs — across clients — are answered from the content-addressed result
+// cache without re-simulation.
+//
+// Usage:
+//
+//	constable-server -addr :8080 -workers 8 -cache 4096
+//
+//	curl -s localhost:8080/v1/runs?wait=1 -d \
+//	  '{"workload":"server-kvstore-00","mechanism":"constable","instructions":50000}'
+//	curl -s localhost:8080/metrics
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"constable/internal/service"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("constable-server: ")
+
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent simulation workers")
+		cacheSize = flag.Int("cache", 4096, "result-cache capacity in entries")
+		drain     = flag.Duration("drain", 30*time.Second, "graceful-shutdown timeout for running simulations")
+	)
+	flag.Parse()
+
+	sched := service.New(service.Config{Workers: *workers, CacheSize: *cacheSize})
+	srv := service.Serve(*addr, sched)
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s (%d workers, cache %d)", *addr, *workers, *cacheSize)
+		errc <- srv.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case sig := <-sigc:
+		log.Printf("received %v, draining (up to %v)", sig, *drain)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := sched.Shutdown(ctx); err != nil && !errors.Is(err, context.Canceled) {
+		log.Printf("scheduler shutdown: %v", err)
+	}
+}

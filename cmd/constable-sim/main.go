@@ -10,11 +10,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 
+	"constable/internal/service"
 	"constable/internal/sim"
 	"constable/internal/workload"
 )
@@ -45,8 +47,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	m, err := parseMech(*mech)
-	if err != nil {
+	if _, err := service.ParseMechanism(*mech); err != nil {
 		log.Fatal(err)
 	}
 	threads := 1
@@ -54,11 +55,26 @@ func main() {
 		threads = 2
 	}
 
-	base, err := sim.Run(sim.Options{Workload: spec, Instructions: *n, Threads: threads, APX: *apx})
+	// Both runs go through the shared scheduler (the engine behind
+	// cmd/constable-server and the experiment drivers), so they execute in
+	// parallel and identical requests are served from the result cache.
+	sched := service.Default()
+	ctx := context.Background()
+	baseJob, err := sched.Submit(service.JobSpec{
+		Workload: *name, Mechanism: "baseline", Instructions: *n, Threads: threads, APX: *apx})
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := sim.Run(sim.Options{Workload: spec, Instructions: *n, Threads: threads, APX: *apx, Mech: m})
+	mechJob, err := sched.Submit(service.JobSpec{
+		Workload: *name, Mechanism: *mech, Instructions: *n, Threads: threads, APX: *apx})
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := baseJob.Wait(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := mechJob.Wait(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -89,27 +105,3 @@ func main() {
 	}
 }
 
-func parseMech(s string) (sim.Mechanism, error) {
-	switch s {
-	case "baseline":
-		return sim.Mechanism{}, nil
-	case "eves":
-		return sim.Mechanism{EVES: true}, nil
-	case "constable":
-		return sim.Mechanism{Constable: true}, nil
-	case "eves+constable":
-		return sim.Mechanism{EVES: true, Constable: true}, nil
-	case "elar":
-		return sim.Mechanism{ELAR: true}, nil
-	case "rfp":
-		return sim.Mechanism{RFP: true}, nil
-	case "ideal":
-		return sim.Mechanism{IdealConstable: true}, nil
-	case "ideal-lvp":
-		return sim.Mechanism{IdealStableLVP: true}, nil
-	case "ideal-lvp-dfe":
-		return sim.Mechanism{IdealStableLVP: true, IdealDataFetchElim: true}, nil
-	default:
-		return sim.Mechanism{}, fmt.Errorf("unknown mechanism %q", s)
-	}
-}

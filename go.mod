@@ -1,0 +1,3 @@
+module constable
+
+go 1.24

@@ -7,12 +7,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
-	"runtime"
 	"sort"
-	"sync"
 
+	"constable/internal/service"
 	"constable/internal/sim"
 	"constable/internal/stats"
 	"constable/internal/workload"
@@ -112,44 +112,43 @@ func (r *Runner) Run(id string) error {
 	return fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, r.IDs())
 }
 
-// runMatrix runs every (workload, config) pair in parallel and returns
-// results indexed as [workloadIndex][configIndex]. A nil Mechanism entry
-// uses the provided Options as-is; each cell gets opts[cfgIdx] applied to
-// the workload.
+// runMatrix runs every (workload, config) pair through the shared service
+// scheduler and returns results indexed as [workloadIndex][configIndex].
+// Cells whose canonical JobSpec matches an earlier submission — within this
+// matrix or from any previous driver in the process — are served from the
+// scheduler's result cache instead of re-simulating.
 func (r *Runner) runMatrix(specs []*workload.Spec, makeOpts func(spec *workload.Spec, cfg int) sim.Options, numCfgs int) ([][]*sim.Result, error) {
+	sched := service.Default()
 	results := make([][]*sim.Result, len(specs))
-	for i := range results {
-		results[i] = make([]*sim.Result, numCfgs)
-	}
-	type job struct{ wi, ci int }
-	jobs := make(chan job)
-	var wg sync.WaitGroup
-	var mu sync.Mutex
+	jobs := make([][]*service.Job, len(specs))
 	var firstErr error
-
-	workers := runtime.GOMAXPROCS(0)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				res, err := sim.Run(makeOpts(specs[j.wi], j.ci))
-				mu.Lock()
-				if err != nil && firstErr == nil {
+	for wi := range specs {
+		results[wi] = make([]*sim.Result, numCfgs)
+		jobs[wi] = make([]*service.Job, numCfgs)
+		for ci := 0; ci < numCfgs; ci++ {
+			j, err := sched.Submit(service.SpecFromOptions(makeOpts(specs[wi], ci)))
+			if err != nil {
+				if firstErr == nil {
 					firstErr = err
 				}
-				results[j.wi][j.ci] = res
-				mu.Unlock()
+				continue
 			}
-		}()
-	}
-	for wi := range specs {
-		for ci := 0; ci < numCfgs; ci++ {
-			jobs <- job{wi, ci}
+			jobs[wi][ci] = j
 		}
 	}
-	close(jobs)
-	wg.Wait()
+	ctx := context.Background()
+	for wi := range jobs {
+		for ci, j := range jobs[wi] {
+			if j == nil {
+				continue
+			}
+			res, err := j.Wait(ctx)
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			results[wi][ci] = res
+		}
+	}
 	if firstErr != nil {
 		return nil, firstErr
 	}

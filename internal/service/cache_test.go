@@ -1,0 +1,65 @@
+package service
+
+import (
+	"fmt"
+	"testing"
+
+	"constable/internal/sim"
+)
+
+func TestCacheEviction(t *testing.T) {
+	c := newResultCache(3)
+	for i := 0; i < 5; i++ {
+		c.Add(fmt.Sprintf("k%d", i), &sim.Result{Cycles: uint64(i)})
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", c.Len())
+	}
+	// k0, k1 evicted; k2..k4 resident.
+	for _, k := range []string{"k0", "k1"} {
+		if _, ok := c.Get(k); ok {
+			t.Errorf("%s still cached after eviction", k)
+		}
+	}
+	for i := 2; i < 5; i++ {
+		k := fmt.Sprintf("k%d", i)
+		res, ok := c.Get(k)
+		if !ok || res.Cycles != uint64(i) {
+			t.Errorf("%s: got %v, %v", k, res, ok)
+		}
+	}
+}
+
+func TestCacheLRUOrder(t *testing.T) {
+	c := newResultCache(2)
+	c.Add("a", &sim.Result{})
+	c.Add("b", &sim.Result{})
+	c.Get("a") // promote a; b is now LRU
+	c.Add("c", &sim.Result{})
+	if _, ok := c.Get("a"); !ok {
+		t.Error("recently used entry evicted")
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Error("least recently used entry survived")
+	}
+}
+
+func TestCacheHitRate(t *testing.T) {
+	c := newResultCache(8)
+	c.Add("x", &sim.Result{})
+	c.Get("x")
+	c.Get("x")
+	c.Get("y")
+	hits, misses := c.Stats()
+	if hits != 2 || misses != 1 {
+		t.Errorf("hits=%d misses=%d, want 2/1", hits, misses)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := newResultCache(-1)
+	c.Add("a", &sim.Result{})
+	if _, ok := c.Get("a"); ok {
+		t.Error("disabled cache stored an entry")
+	}
+}

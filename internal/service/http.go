@@ -1,0 +1,172 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"time"
+
+	"constable/internal/sim"
+	"constable/internal/workload"
+)
+
+// JobView is the API representation of a job.
+type JobView struct {
+	ID       string      `json:"id"`
+	Hash     string      `json:"hash"`
+	Status   JobStatus   `json:"status"`
+	Spec     JobSpec     `json:"spec"`
+	CacheHit bool        `json:"cache_hit,omitempty"`
+	Error    string      `json:"error,omitempty"`
+	Result   *sim.Result `json:"result,omitempty"`
+}
+
+func viewOf(j *Job) JobView {
+	v := JobView{ID: j.ID, Hash: j.Hash, Spec: j.Spec, Status: j.Status(), CacheHit: j.CacheHit()}
+	res, err := j.Result()
+	if err != nil {
+		v.Error = err.Error()
+	}
+	v.Result = res
+	return v
+}
+
+// NewHandler returns the service's HTTP API over s:
+//
+//	POST /v1/runs        submit one JobSpec; ?wait=1 blocks until finished
+//	POST /v1/runs/batch  submit a JSON array of JobSpecs
+//	GET  /v1/runs/{id}   poll one job
+//	GET  /v1/workloads   list workloads (name, category)
+//	GET  /v1/mechanisms  list named mechanism configurations
+//	GET  /metrics        plaintext scheduler metrics
+//	GET  /healthz        liveness probe
+func NewHandler(s *Scheduler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/runs", func(w http.ResponseWriter, r *http.Request) {
+		var spec JobSpec
+		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+			httpError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+			return
+		}
+		j, err := s.Submit(spec)
+		if err != nil {
+			httpError(w, submitStatus(err), err.Error())
+			return
+		}
+		status := http.StatusAccepted
+		if r.URL.Query().Get("wait") != "" {
+			if _, err := j.Wait(r.Context()); err != nil && errors.Is(err, r.Context().Err()) {
+				httpError(w, http.StatusGatewayTimeout, "wait interrupted: "+err.Error())
+				return
+			}
+			status = http.StatusOK
+		} else if j.Status() == StatusDone {
+			status = http.StatusOK // served from cache
+		}
+		writeJSON(w, status, viewOf(j))
+	})
+
+	mux.HandleFunc("POST /v1/runs/batch", func(w http.ResponseWriter, r *http.Request) {
+		var specs []JobSpec
+		if err := json.NewDecoder(r.Body).Decode(&specs); err != nil {
+			httpError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+			return
+		}
+		if len(specs) == 0 {
+			httpError(w, http.StatusBadRequest, "empty batch")
+			return
+		}
+		views := make([]JobView, 0, len(specs))
+		for i, spec := range specs {
+			j, err := s.Submit(spec)
+			if err != nil {
+				httpError(w, submitStatus(err), "spec "+strconv.Itoa(i)+": "+err.Error())
+				return
+			}
+			views = append(views, viewOf(j))
+		}
+		writeJSON(w, http.StatusAccepted, views)
+	})
+
+	mux.HandleFunc("GET /v1/runs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		j, ok := s.Get(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, "unknown job "+r.PathValue("id"))
+			return
+		}
+		writeJSON(w, http.StatusOK, viewOf(j))
+	})
+
+	mux.HandleFunc("DELETE /v1/runs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		if _, ok := s.Get(id); !ok {
+			httpError(w, http.StatusNotFound, "unknown job "+id)
+			return
+		}
+		if !s.Cancel(id) {
+			httpError(w, http.StatusConflict, "job "+id+" is not queued (running jobs cannot be canceled)")
+			return
+		}
+		j, _ := s.Get(id)
+		writeJSON(w, http.StatusOK, viewOf(j))
+	})
+
+	mux.HandleFunc("GET /v1/workloads", func(w http.ResponseWriter, r *http.Request) {
+		type wl struct {
+			Name     string `json:"name"`
+			Category string `json:"category"`
+		}
+		suite := workload.Suite()
+		out := make([]wl, len(suite))
+		for i, spec := range suite {
+			out[i] = wl{Name: spec.Name, Category: string(spec.Category)}
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+
+	mux.HandleFunc("GET /v1/mechanisms", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, MechanismNames())
+	})
+
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.Metrics().WriteTo(w)
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+
+	return mux
+}
+
+// Serve runs the API on addr until the server errors or ctx-free shutdown is
+// handled by the caller via the returned *http.Server.
+func Serve(addr string, s *Scheduler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           NewHandler(s),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+}
+
+func submitStatus(err error) int {
+	if errors.Is(err, ErrShuttingDown) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusBadRequest
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

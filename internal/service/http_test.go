@@ -1,0 +1,292 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"constable/internal/sim"
+)
+
+func newTestServer(t *testing.T, cfg Config, fn func(sim.Options) (*sim.Result, error)) (*httptest.Server, *Scheduler) {
+	t.Helper()
+	var s *Scheduler
+	if fn != nil {
+		s = newStubScheduler(t, cfg, fn)
+	} else {
+		s = New(cfg)
+		t.Cleanup(func() { s.Close() })
+	}
+	srv := httptest.NewServer(NewHandler(s))
+	t.Cleanup(srv.Close)
+	return srv, s
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decodeJob(t *testing.T, resp *http.Response) JobView {
+	t.Helper()
+	defer resp.Body.Close()
+	var v JobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestAPISubmitPollResult(t *testing.T) {
+	srv, _ := newTestServer(t, Config{Workers: 2}, countingRun(new(atomic.Uint64)))
+	spec := JobSpec{Workload: testWorkload(t), Mechanism: "constable", Instructions: 5000}
+
+	resp := postJSON(t, srv.URL+"/v1/runs", spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d, want 202", resp.StatusCode)
+	}
+	job := decodeJob(t, resp)
+	if job.ID == "" || job.Hash == "" {
+		t.Fatalf("submit response missing id/hash: %+v", job)
+	}
+
+	// Poll until done.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		r, err := http.Get(srv.URL + "/v1/runs/" + job.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("poll status %d", r.StatusCode)
+		}
+		job = decodeJob(t, r)
+		if job.Status == StatusDone {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in status %s", job.Status)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if job.Result == nil || job.Result.Cycles != 5000 {
+		t.Errorf("result = %+v, want cycles 5000 from stub", job.Result)
+	}
+}
+
+func TestAPIWaitAndCacheHitViaMetrics(t *testing.T) {
+	var calls atomic.Uint64
+	srv, _ := newTestServer(t, Config{Workers: 2}, countingRun(&calls))
+	spec := JobSpec{Workload: testWorkload(t), Mechanism: "constable", Instructions: 7000}
+
+	// First submission simulates; second is a cache hit. Both return the
+	// same result and only one simulation ran.
+	for i := 0; i < 2; i++ {
+		resp := postJSON(t, srv.URL+"/v1/runs?wait=1", spec)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("submit %d: status %d, want 200", i, resp.StatusCode)
+		}
+		job := decodeJob(t, resp)
+		if job.Status != StatusDone || job.Result == nil {
+			t.Fatalf("submit %d: job not done: %+v", i, job)
+		}
+		if i == 1 && !job.CacheHit {
+			t.Error("second identical submission was not marked cache_hit")
+		}
+	}
+	if calls.Load() != 1 {
+		t.Errorf("two identical submissions ran %d simulations, want 1", calls.Load())
+	}
+
+	r, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(r.Body)
+	metrics := buf.String()
+	for _, want := range []string{
+		"constable_jobs_submitted_total 2",
+		"constable_jobs_completed_total 1",
+		"constable_cache_hits_total 1",
+		"constable_cache_hit_rate 0.5",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+}
+
+func TestAPIBatch(t *testing.T) {
+	var calls atomic.Uint64
+	srv, sched := newTestServer(t, Config{Workers: 4}, countingRun(&calls))
+	name := testWorkload(t)
+
+	specs := []JobSpec{
+		{Workload: name, Mechanism: "baseline", Instructions: 3000},
+		{Workload: name, Mechanism: "constable", Instructions: 3000},
+		{Workload: name, Mechanism: "baseline", Instructions: 3000}, // duplicate of [0]
+	}
+	resp := postJSON(t, srv.URL+"/v1/runs/batch", specs)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("batch status %d, want 202", resp.StatusCode)
+	}
+	defer resp.Body.Close()
+	var views []JobView
+	if err := json.NewDecoder(resp.Body).Decode(&views); err != nil {
+		t.Fatal(err)
+	}
+	if len(views) != 3 {
+		t.Fatalf("batch returned %d jobs, want 3", len(views))
+	}
+	// The duplicate either shares the original's job (in-flight dedup) or is
+	// a cache hit; either way the hashes match and only two sims run.
+	if views[0].Hash != views[2].Hash {
+		t.Error("duplicate specs in one batch hashed differently")
+	}
+	for _, v := range views {
+		j, ok := sched.Get(v.ID)
+		if !ok {
+			t.Fatalf("job %s not found", v.ID)
+		}
+		if _, err := j.Wait(t.Context()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if calls.Load() != 2 {
+		t.Errorf("batch of 3 (one duplicate) ran %d simulations, want 2", calls.Load())
+	}
+}
+
+func TestAPIBadRequests(t *testing.T) {
+	srv, _ := newTestServer(t, Config{Workers: 1}, countingRun(new(atomic.Uint64)))
+	name := testWorkload(t)
+
+	for _, tc := range []struct {
+		name string
+		do   func() *http.Response
+	}{
+		{"malformed JSON", func() *http.Response {
+			r, err := http.Post(srv.URL+"/v1/runs", "application/json", strings.NewReader("{nope"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return r
+		}},
+		{"unknown workload", func() *http.Response {
+			return postJSON(t, srv.URL+"/v1/runs", JobSpec{Workload: "no-such-workload"})
+		}},
+		{"unknown mechanism", func() *http.Response {
+			return postJSON(t, srv.URL+"/v1/runs", JobSpec{Workload: name, Mechanism: "warp-drive"})
+		}},
+		{"bad thread count", func() *http.Response {
+			return postJSON(t, srv.URL+"/v1/runs", JobSpec{Workload: name, Threads: 5})
+		}},
+		{"empty batch", func() *http.Response {
+			return postJSON(t, srv.URL+"/v1/runs/batch", []JobSpec{})
+		}},
+	} {
+		resp := tc.do()
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, resp.StatusCode)
+		}
+	}
+
+	r, err := http.Get(srv.URL + "/v1/runs/job-999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job: status %d, want 404", r.StatusCode)
+	}
+}
+
+func TestAPIWorkloadsAndMechanisms(t *testing.T) {
+	srv, _ := newTestServer(t, Config{Workers: 1}, countingRun(new(atomic.Uint64)))
+
+	r, err := http.Get(srv.URL + "/v1/workloads")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	var wls []struct{ Name, Category string }
+	if err := json.NewDecoder(r.Body).Decode(&wls); err != nil {
+		t.Fatal(err)
+	}
+	if len(wls) != 90 {
+		t.Errorf("listed %d workloads, want 90", len(wls))
+	}
+
+	r2, err := http.Get(srv.URL + "/v1/mechanisms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Body.Close()
+	var mechs []string
+	if err := json.NewDecoder(r2.Body).Decode(&mechs); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(mechs) != fmt.Sprint(MechanismNames()) {
+		t.Errorf("mechanisms = %v, want %v", mechs, MechanismNames())
+	}
+}
+
+func TestAPICancel(t *testing.T) {
+	gate := make(chan struct{})
+	srv, _ := newTestServer(t, Config{Workers: 1}, func(opts sim.Options) (*sim.Result, error) {
+		<-gate
+		return &sim.Result{}, nil
+	})
+	defer close(gate)
+	name := testWorkload(t)
+
+	blocker := decodeJob(t, postJSON(t, srv.URL+"/v1/runs", JobSpec{Workload: name, Instructions: 1000}))
+	victim := decodeJob(t, postJSON(t, srv.URL+"/v1/runs", JobSpec{Workload: name, Instructions: 2000}))
+
+	// Wait for the blocker to occupy the single worker, so the victim is
+	// deterministically queued.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		r, err := http.Get(srv.URL + "/v1/runs/" + blocker.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if decodeJob(t, r).Status == StatusRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("blocker never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	req, err := http.NewRequest(http.MethodDelete, srv.URL+"/v1/runs/"+victim.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := decodeJob(t, resp)
+	if resp.StatusCode != http.StatusOK || v.Status != StatusCanceled {
+		t.Errorf("cancel: status %d job %+v, want 200/canceled", resp.StatusCode, v)
+	}
+}

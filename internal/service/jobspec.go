@@ -1,0 +1,240 @@
+// Package service is the execution subsystem shared by the CLI tools, the
+// experiment drivers and cmd/constable-server: a canonical, content-hashable
+// JobSpec describing one simulation, a bounded-worker Scheduler with per-job
+// status tracking and an LRU result cache keyed by spec hash, and an HTTP API
+// over both. One engine runs every simulation in the repo, so identical
+// (workload, mechanism, budget) cells — whether they come from two HTTP
+// clients or from two experiment drivers — are simulated exactly once.
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"constable/internal/constable"
+	"constable/internal/pipeline"
+	"constable/internal/sim"
+	"constable/internal/workload"
+)
+
+// MechSpec is the serializable form of sim.Mechanism: the mechanism flags
+// plus an optional Constable configuration override.
+type MechSpec struct {
+	EVES      bool `json:"eves,omitempty"`
+	Constable bool `json:"constable,omitempty"`
+	RFP       bool `json:"rfp,omitempty"`
+	ELAR      bool `json:"elar,omitempty"`
+
+	IdealConstable     bool `json:"ideal_constable,omitempty"`
+	IdealStableLVP     bool `json:"ideal_stable_lvp,omitempty"`
+	IdealDataFetchElim bool `json:"ideal_data_fetch_elim,omitempty"`
+
+	// Config overrides the default Constable configuration.
+	Config *constable.Config `json:"config,omitempty"`
+}
+
+// ToMechanism converts the spec into the sim package's mechanism set.
+func (m MechSpec) ToMechanism() sim.Mechanism {
+	return sim.Mechanism{
+		EVES:               m.EVES,
+		Constable:          m.Constable,
+		RFP:                m.RFP,
+		ELAR:               m.ELAR,
+		IdealConstable:     m.IdealConstable,
+		IdealStableLVP:     m.IdealStableLVP,
+		IdealDataFetchElim: m.IdealDataFetchElim,
+		ConstableConfig:    m.Config,
+	}
+}
+
+// mechSpecFromMechanism is the inverse of ToMechanism.
+func mechSpecFromMechanism(m sim.Mechanism) MechSpec {
+	return MechSpec{
+		EVES:               m.EVES,
+		Constable:          m.Constable,
+		RFP:                m.RFP,
+		ELAR:               m.ELAR,
+		IdealConstable:     m.IdealConstable,
+		IdealStableLVP:     m.IdealStableLVP,
+		IdealDataFetchElim: m.IdealDataFetchElim,
+		Config:             m.ConstableConfig,
+	}
+}
+
+// MechanismNames lists the named mechanism configurations accepted by
+// ParseMechanism, in presentation order.
+func MechanismNames() []string {
+	return []string{
+		"baseline", "eves", "constable", "eves+constable", "elar", "rfp",
+		"ideal", "ideal-lvp", "ideal-lvp-dfe",
+	}
+}
+
+// ParseMechanism resolves a named mechanism configuration (the vocabulary
+// shared by constable-sim's -mech flag and the HTTP API's "mechanism" field).
+func ParseMechanism(s string) (MechSpec, error) {
+	switch s {
+	case "", "baseline":
+		return MechSpec{}, nil
+	case "eves":
+		return MechSpec{EVES: true}, nil
+	case "constable":
+		return MechSpec{Constable: true}, nil
+	case "eves+constable":
+		return MechSpec{EVES: true, Constable: true}, nil
+	case "elar":
+		return MechSpec{ELAR: true}, nil
+	case "rfp":
+		return MechSpec{RFP: true}, nil
+	case "ideal":
+		return MechSpec{IdealConstable: true}, nil
+	case "ideal-lvp":
+		return MechSpec{IdealStableLVP: true}, nil
+	case "ideal-lvp-dfe":
+		return MechSpec{IdealStableLVP: true, IdealDataFetchElim: true}, nil
+	default:
+		return MechSpec{}, fmt.Errorf("service: unknown mechanism %q (known: %v)", s, MechanismNames())
+	}
+}
+
+// JobSpec canonically describes one simulation run. Two specs that resolve
+// to the same simulation have equal hashes, so the scheduler can serve one
+// from the other's result.
+type JobSpec struct {
+	// Workload names a workload from the suite (workload.Names).
+	Workload string `json:"workload"`
+	// Mechanism, when non-empty, names a mechanism configuration
+	// (ParseMechanism) and overrides Mech. The HTTP API uses this form;
+	// programmatic callers may fill Mech directly instead.
+	Mechanism string `json:"mechanism,omitempty"`
+	// Mech is the explicit mechanism set (ignored when Mechanism is set).
+	Mech MechSpec `json:"mech,omitzero"`
+
+	// Instructions is the committed-path budget per thread (default 100k,
+	// matching sim.Run).
+	Instructions uint64 `json:"instructions,omitempty"`
+	// Threads selects noSMT (1, the default) or SMT2 (2).
+	Threads int `json:"threads,omitempty"`
+	// APX selects the 32-register build of the workload (appendix B).
+	APX bool `json:"apx,omitempty"`
+
+	// Core overrides the default core configuration (width/depth sweeps).
+	Core *pipeline.Config `json:"core,omitempty"`
+
+	// StablePCs primes the oracles and the Fig. 6 accounting (sorted;
+	// optional — normally the pre-pass computes it).
+	StablePCs []uint64 `json:"stable_pcs,omitempty"`
+}
+
+// Canonical returns the spec with defaults applied and the named mechanism
+// resolved, so equivalent specs compare and hash equal. It errors on an
+// unknown workload or mechanism name.
+func (s JobSpec) Canonical() (JobSpec, error) {
+	c := s
+	if _, err := workload.ByName(c.Workload); err != nil {
+		return c, err
+	}
+	if c.Mechanism != "" {
+		m, err := ParseMechanism(c.Mechanism)
+		if err != nil {
+			return c, err
+		}
+		c.Mech = m
+		c.Mechanism = ""
+	}
+	if c.Instructions == 0 {
+		c.Instructions = 100_000
+	}
+	if c.Threads == 0 {
+		c.Threads = 1
+	}
+	if c.Threads != 1 && c.Threads != 2 {
+		return c, fmt.Errorf("service: threads must be 1 or 2, got %d", c.Threads)
+	}
+	if c.Mech.Config != nil {
+		cfg := *c.Mech.Config
+		c.Mech.Config = &cfg
+	}
+	if c.Core != nil {
+		core := *c.Core
+		c.Core = &core
+	}
+	if c.StablePCs != nil {
+		pcs := append([]uint64(nil), c.StablePCs...)
+		sort.Slice(pcs, func(i, j int) bool { return pcs[i] < pcs[j] })
+		c.StablePCs = pcs
+	}
+	return c, nil
+}
+
+// Hash returns the spec's deterministic content hash: sha256 over the JSON
+// encoding of the canonical form (struct fields encode in declaration order,
+// so the encoding — and therefore the hash — is stable across processes).
+func (s JobSpec) Hash() (string, error) {
+	c, err := s.Canonical()
+	if err != nil {
+		return "", err
+	}
+	b, err := json.Marshal(c)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// ToOptions resolves the canonical spec into runnable sim.Options.
+func (s JobSpec) ToOptions() (sim.Options, error) {
+	c, err := s.Canonical()
+	if err != nil {
+		return sim.Options{}, err
+	}
+	spec, err := workload.ByName(c.Workload)
+	if err != nil {
+		return sim.Options{}, err
+	}
+	opts := sim.Options{
+		Workload:     spec,
+		APX:          c.APX,
+		Instructions: c.Instructions,
+		Threads:      c.Threads,
+		Mech:         c.Mech.ToMechanism(),
+		Core:         c.Core,
+	}
+	if c.StablePCs != nil {
+		stable := make(map[uint64]bool, len(c.StablePCs))
+		for _, pc := range c.StablePCs {
+			stable[pc] = true
+		}
+		opts.StablePCs = stable
+	}
+	return opts, nil
+}
+
+// SpecFromOptions converts sim.Options into the canonical JobSpec form —
+// the bridge the experiment drivers use to route their existing option
+// construction through the scheduler.
+func SpecFromOptions(opts sim.Options) JobSpec {
+	s := JobSpec{
+		Workload:     opts.Workload.Name,
+		Mech:         mechSpecFromMechanism(opts.Mech),
+		Instructions: opts.Instructions,
+		Threads:      opts.Threads,
+		APX:          opts.APX,
+		Core:         opts.Core,
+	}
+	if opts.StablePCs != nil {
+		pcs := make([]uint64, 0, len(opts.StablePCs))
+		for pc, ok := range opts.StablePCs {
+			if ok {
+				pcs = append(pcs, pc)
+			}
+		}
+		sort.Slice(pcs, func(i, j int) bool { return pcs[i] < pcs[j] })
+		s.StablePCs = pcs
+	}
+	return s
+}

@@ -1,0 +1,125 @@
+package service
+
+import (
+	"testing"
+
+	"constable/internal/pipeline"
+	"constable/internal/sim"
+	"constable/internal/workload"
+)
+
+func testWorkload(t *testing.T) string {
+	t.Helper()
+	return workload.SmallSuite()[0].Name
+}
+
+func TestHashDeterministic(t *testing.T) {
+	name := testWorkload(t)
+	a := JobSpec{Workload: name, Mechanism: "constable", Instructions: 50_000, Threads: 1}
+	b := JobSpec{Workload: name, Mechanism: "constable", Instructions: 50_000, Threads: 1}
+	ha, err := a.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := b.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ha != hb {
+		t.Errorf("identical specs hash differently: %s vs %s", ha, hb)
+	}
+}
+
+func TestHashBudgetSensitive(t *testing.T) {
+	name := testWorkload(t)
+	a := JobSpec{Workload: name, Mechanism: "constable", Instructions: 50_000}
+	b := JobSpec{Workload: name, Mechanism: "constable", Instructions: 60_000}
+	ha, _ := a.Hash()
+	hb, _ := b.Hash()
+	if ha == hb {
+		t.Error("specs with different instruction budgets hash equal")
+	}
+}
+
+func TestHashNormalizesDefaults(t *testing.T) {
+	name := testWorkload(t)
+	// Explicit defaults and implicit defaults must be the same simulation.
+	implicit := JobSpec{Workload: name}
+	explicit := JobSpec{Workload: name, Mechanism: "baseline", Instructions: 100_000, Threads: 1}
+	hi, err := implicit.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	he, err := explicit.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi != he {
+		t.Errorf("defaulted spec hashes differently from explicit defaults: %s vs %s", hi, he)
+	}
+}
+
+func TestHashNamedVersusExplicitMechanism(t *testing.T) {
+	name := testWorkload(t)
+	named := JobSpec{Workload: name, Mechanism: "eves+constable", Instructions: 10_000}
+	explicit := JobSpec{Workload: name, Mech: MechSpec{EVES: true, Constable: true}, Instructions: 10_000}
+	hn, _ := named.Hash()
+	he, _ := explicit.Hash()
+	if hn != he {
+		t.Error("named mechanism and equivalent explicit MechSpec hash differently")
+	}
+}
+
+func TestHashStablePCsOrderInsensitive(t *testing.T) {
+	name := testWorkload(t)
+	a := JobSpec{Workload: name, Instructions: 10_000, StablePCs: []uint64{3, 1, 2}}
+	b := JobSpec{Workload: name, Instructions: 10_000, StablePCs: []uint64{1, 2, 3}}
+	ha, _ := a.Hash()
+	hb, _ := b.Hash()
+	if ha != hb {
+		t.Error("StablePCs ordering changed the hash")
+	}
+}
+
+func TestCanonicalRejectsBadSpecs(t *testing.T) {
+	name := testWorkload(t)
+	for _, spec := range []JobSpec{
+		{Workload: "no-such-workload"},
+		{Workload: name, Mechanism: "warp-drive"},
+		{Workload: name, Threads: 3},
+	} {
+		if _, err := spec.Canonical(); err == nil {
+			t.Errorf("Canonical(%+v) succeeded, want error", spec)
+		}
+	}
+}
+
+func TestSpecFromOptionsRoundTrip(t *testing.T) {
+	spec := workload.SmallSuite()[0]
+	core := pipeline.DefaultConfig()
+	core.NumLoadPorts = 6
+	opts := sim.Options{
+		Workload:     spec,
+		Instructions: 12_000,
+		Threads:      2,
+		APX:          true,
+		Mech:         sim.Mechanism{Constable: true},
+		Core:         &core,
+		StablePCs:    map[uint64]bool{7: true, 3: true},
+	}
+	js := SpecFromOptions(opts)
+	back, err := js.ToOptions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Workload.Name != spec.Name || back.Instructions != 12_000 ||
+		back.Threads != 2 || !back.APX || !back.Mech.Constable {
+		t.Errorf("round trip lost fields: %+v", back)
+	}
+	if back.Core == nil || back.Core.NumLoadPorts != 6 {
+		t.Errorf("round trip lost core override: %+v", back.Core)
+	}
+	if len(back.StablePCs) != 2 || !back.StablePCs[3] || !back.StablePCs[7] {
+		t.Errorf("round trip lost StablePCs: %+v", back.StablePCs)
+	}
+}

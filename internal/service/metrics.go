@@ -1,0 +1,99 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// metrics holds the scheduler's cumulative counters.
+type metrics struct {
+	submitted atomic.Uint64
+	completed atomic.Uint64
+	failed    atomic.Uint64
+	canceled  atomic.Uint64
+	deduped   atomic.Uint64
+
+	// simInstructions counts committed-path instructions actually simulated
+	// (cache hits excluded); simBusyNanos the worker time spent simulating.
+	simInstructions atomic.Uint64
+	simBusyNanos    atomic.Uint64
+}
+
+// MetricsSnapshot is a point-in-time view of the scheduler's counters,
+// suitable for JSON or the plaintext /metrics endpoint.
+type MetricsSnapshot struct {
+	JobsSubmitted uint64 `json:"jobs_submitted"`
+	JobsCompleted uint64 `json:"jobs_completed"`
+	JobsFailed    uint64 `json:"jobs_failed"`
+	JobsCanceled  uint64 `json:"jobs_canceled"`
+	JobsDeduped   uint64 `json:"jobs_deduped"`
+	JobsRunning   int    `json:"jobs_running"`
+	QueueDepth    int    `json:"queue_depth"`
+
+	CacheHits    uint64  `json:"cache_hits"`
+	CacheMisses  uint64  `json:"cache_misses"`
+	CacheEntries int     `json:"cache_entries"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+
+	SimInstructions       uint64  `json:"sim_instructions"`
+	SimInstructionsPerSec float64 `json:"sim_instructions_per_sec"`
+}
+
+// Metrics returns a snapshot of the scheduler's counters.
+func (s *Scheduler) Metrics() MetricsSnapshot {
+	hits, misses := s.cache.Stats()
+	m := MetricsSnapshot{
+		JobsSubmitted: s.metrics.submitted.Load(),
+		JobsCompleted: s.metrics.completed.Load(),
+		JobsFailed:    s.metrics.failed.Load(),
+		JobsCanceled:  s.metrics.canceled.Load(),
+		JobsDeduped:   s.metrics.deduped.Load(),
+		JobsRunning:   s.Running(),
+		QueueDepth:    s.QueueDepth(),
+		CacheHits:     hits,
+		CacheMisses:   misses,
+		CacheEntries:  s.cache.Len(),
+	}
+	if total := hits + misses; total > 0 {
+		m.CacheHitRate = float64(hits) / float64(total)
+	}
+	m.SimInstructions = s.metrics.simInstructions.Load()
+	if busy := s.metrics.simBusyNanos.Load(); busy > 0 {
+		m.SimInstructionsPerSec = float64(m.SimInstructions) / (float64(busy) / 1e9)
+	}
+	return m
+}
+
+// WriteTo renders the snapshot in Prometheus text exposition format.
+func (m MetricsSnapshot) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	write := func(name string, value any) error {
+		c, err := fmt.Fprintf(w, "constable_%s %v\n", name, value)
+		n += int64(c)
+		return err
+	}
+	for _, row := range []struct {
+		name  string
+		value any
+	}{
+		{"jobs_submitted_total", m.JobsSubmitted},
+		{"jobs_completed_total", m.JobsCompleted},
+		{"jobs_failed_total", m.JobsFailed},
+		{"jobs_canceled_total", m.JobsCanceled},
+		{"jobs_deduped_total", m.JobsDeduped},
+		{"jobs_running", m.JobsRunning},
+		{"queue_depth", m.QueueDepth},
+		{"cache_hits_total", m.CacheHits},
+		{"cache_misses_total", m.CacheMisses},
+		{"cache_entries", m.CacheEntries},
+		{"cache_hit_rate", m.CacheHitRate},
+		{"sim_instructions_total", m.SimInstructions},
+		{"sim_instructions_per_second", m.SimInstructionsPerSec},
+	} {
+		if err := write(row.name, row.value); err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}

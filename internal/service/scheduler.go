@@ -1,0 +1,392 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"constable/internal/sim"
+)
+
+// JobStatus is the lifecycle state of a submitted job.
+type JobStatus string
+
+// Job lifecycle: Queued → Running → Done | Failed; Queued → Canceled.
+const (
+	StatusQueued   JobStatus = "queued"
+	StatusRunning  JobStatus = "running"
+	StatusDone     JobStatus = "done"
+	StatusFailed   JobStatus = "failed"
+	StatusCanceled JobStatus = "canceled"
+)
+
+// Job tracks one submitted JobSpec through the scheduler. All fields are
+// owned by the scheduler; read them through the accessor methods.
+type Job struct {
+	ID   string
+	Hash string
+	Spec JobSpec // canonical form
+
+	mu       sync.Mutex
+	status   JobStatus
+	result   *sim.Result
+	err      error
+	cacheHit bool
+
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+
+	done chan struct{}
+}
+
+// Status returns the job's current lifecycle state.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status
+}
+
+// Result returns the simulation result and error once the job has finished;
+// before that it returns (nil, nil).
+func (j *Job) Result() (*sim.Result, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result, j.err
+}
+
+// CacheHit reports whether the job was served from the result cache without
+// simulating.
+func (j *Job) CacheHit() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.cacheHit
+}
+
+// Done is closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Wait blocks until the job finishes or ctx is canceled, then returns the
+// job's result.
+func (j *Job) Wait(ctx context.Context) (*sim.Result, error) {
+	select {
+	case <-j.done:
+		return j.Result()
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (j *Job) finish(res *sim.Result, err error, status JobStatus, cacheHit bool) {
+	j.mu.Lock()
+	j.result = res
+	j.err = err
+	j.status = status
+	j.cacheHit = cacheHit
+	j.finished = time.Now()
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// ErrShuttingDown is returned by Submit after Shutdown or Close has begun.
+var ErrShuttingDown = errors.New("service: scheduler is shutting down")
+
+// ErrCanceled is the terminal error of a job canceled while queued.
+var ErrCanceled = errors.New("service: job canceled")
+
+// Config parameterizes a Scheduler.
+type Config struct {
+	// Workers bounds the number of concurrent simulations
+	// (default runtime.GOMAXPROCS(0)).
+	Workers int
+	// CacheSize is the LRU result-cache capacity in entries (default 1024;
+	// negative disables caching).
+	CacheSize int
+	// JobRetention bounds how many finished jobs stay pollable via Get
+	// (default 16384). Beyond it the oldest finished jobs are forgotten,
+	// keeping a long-lived server's memory bounded.
+	JobRetention int
+}
+
+// Scheduler runs JobSpecs on a bounded worker pool over sim.Run, tracking
+// per-job status and deduplicating identical specs: a spec whose hash matches
+// a cached result completes instantly, and one matching a queued or running
+// job shares that job instead of enqueuing a duplicate.
+type Scheduler struct {
+	workers int
+	cache   *resultCache
+	// runFn executes one simulation; tests substitute a stub.
+	runFn func(sim.Options) (*sim.Result, error)
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	queue     []*Job
+	byID      map[string]*Job
+	inflight  map[string]*Job // hash → queued/running job
+	retention int
+	doneIDs   []string // finished job IDs, oldest first, for byID eviction
+	closed    bool
+	nextID    uint64
+	running   int
+
+	wg sync.WaitGroup
+
+	metrics metrics
+}
+
+// New starts a scheduler with cfg's worker pool.
+func New(cfg Config) *Scheduler {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.CacheSize == 0 {
+		cfg.CacheSize = 1024
+	}
+	if cfg.JobRetention <= 0 {
+		cfg.JobRetention = 16384
+	}
+	s := &Scheduler{
+		workers:   cfg.Workers,
+		cache:     newResultCache(cfg.CacheSize),
+		runFn:     sim.Run,
+		byID:      make(map[string]*Job),
+		inflight:  make(map[string]*Job),
+		retention: cfg.JobRetention,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	for i := 0; i < s.workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+var (
+	defaultOnce sync.Once
+	defaultSch  *Scheduler
+)
+
+// Default returns the process-wide shared scheduler, creating it on first
+// use. The CLI tools and the experiment drivers all submit through it, so
+// repeated cells across drivers are simulated once per process.
+func Default() *Scheduler {
+	defaultOnce.Do(func() { defaultSch = New(Config{}) })
+	return defaultSch
+}
+
+// Submit validates spec, assigns a job ID and either enqueues the work or
+// resolves it immediately from the result cache. Submitting a spec whose
+// hash matches a job still queued or running returns that existing job.
+func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
+	canonical, err := spec.Canonical()
+	if err != nil {
+		return nil, err
+	}
+	hash, err := canonical.Hash()
+	if err != nil {
+		return nil, err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrShuttingDown
+	}
+	s.metrics.submitted.Add(1)
+
+	if j, ok := s.inflight[hash]; ok {
+		s.metrics.deduped.Add(1)
+		return j, nil
+	}
+
+	s.nextID++
+	j := &Job{
+		ID:        fmt.Sprintf("job-%d", s.nextID),
+		Hash:      hash,
+		Spec:      canonical,
+		status:    StatusQueued,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+	}
+	s.byID[j.ID] = j
+
+	if res, ok := s.cache.Get(hash); ok {
+		j.finish(res, nil, StatusDone, true)
+		s.retireLocked(j)
+		return j, nil
+	}
+
+	s.inflight[hash] = j
+	s.queue = append(s.queue, j)
+	s.cond.Signal()
+	return j, nil
+}
+
+// RunSync submits spec and waits for its result.
+func (s *Scheduler) RunSync(ctx context.Context, spec JobSpec) (*sim.Result, error) {
+	j, err := s.Submit(spec)
+	if err != nil {
+		return nil, err
+	}
+	return j.Wait(ctx)
+}
+
+// Get returns the job with the given ID.
+func (s *Scheduler) Get(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.byID[id]
+	return j, ok
+}
+
+// Cancel cancels a queued job. Running jobs cannot be interrupted (sim.Run
+// has no preemption point); canceling one returns false. Membership in the
+// queue — checked and removed under the lock, so a concurrent worker pop or
+// second Cancel cannot also finish the job — is what authorizes canceling.
+func (s *Scheduler) Cancel(id string) bool {
+	s.mu.Lock()
+	j, ok := s.byID[id]
+	if !ok {
+		s.mu.Unlock()
+		return false
+	}
+	removed := false
+	for i, q := range s.queue {
+		if q == j {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			removed = true
+			break
+		}
+	}
+	if !removed {
+		s.mu.Unlock()
+		return false
+	}
+	delete(s.inflight, j.Hash)
+	j.finish(nil, ErrCanceled, StatusCanceled, false)
+	s.retireLocked(j)
+	s.mu.Unlock()
+	s.metrics.canceled.Add(1)
+	return true
+}
+
+// QueueDepth returns the number of jobs waiting for a worker.
+func (s *Scheduler) QueueDepth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue)
+}
+
+// Running returns the number of jobs currently simulating.
+func (s *Scheduler) Running() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.running
+}
+
+// Shutdown stops accepting new jobs, cancels everything still queued, and
+// waits for running simulations to finish or ctx to expire.
+func (s *Scheduler) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	canceled := s.queue
+	s.queue = nil
+	for _, j := range canceled {
+		delete(s.inflight, j.Hash)
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+
+	for _, j := range canceled {
+		j.finish(nil, ErrCanceled, StatusCanceled, false)
+		s.retire(j)
+		s.metrics.canceled.Add(1)
+	}
+
+	finished := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(finished)
+	}()
+	select {
+	case <-finished:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close shuts the scheduler down, waiting indefinitely for running jobs.
+func (s *Scheduler) Close() error { return s.Shutdown(context.Background()) }
+
+// retire records a finished job and evicts the oldest finished jobs from
+// byID once more than retention of them have accumulated.
+func (s *Scheduler) retire(j *Job) {
+	s.mu.Lock()
+	s.retireLocked(j)
+	s.mu.Unlock()
+}
+
+func (s *Scheduler) retireLocked(j *Job) {
+	s.doneIDs = append(s.doneIDs, j.ID)
+	for len(s.doneIDs) > s.retention {
+		delete(s.byID, s.doneIDs[0])
+		s.doneIDs = s.doneIDs[1:]
+	}
+}
+
+// worker pops queued jobs and simulates them until shutdown.
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if len(s.queue) == 0 && s.closed {
+			s.mu.Unlock()
+			return
+		}
+		j := s.queue[0]
+		s.queue = s.queue[1:]
+		s.running++
+		s.mu.Unlock()
+
+		j.mu.Lock()
+		j.status = StatusRunning
+		j.started = time.Now()
+		j.mu.Unlock()
+
+		opts, err := j.Spec.ToOptions()
+		var res *sim.Result
+		if err == nil {
+			res, err = s.runFn(opts)
+		}
+		elapsed := time.Since(j.started)
+
+		s.mu.Lock()
+		s.running--
+		delete(s.inflight, j.Hash)
+		s.mu.Unlock()
+
+		if err != nil {
+			j.finish(nil, err, StatusFailed, false)
+			s.retire(j)
+			s.metrics.failed.Add(1)
+			continue
+		}
+		s.cache.Add(j.Hash, res)
+		j.finish(res, nil, StatusDone, false)
+		s.retire(j)
+		s.metrics.completed.Add(1)
+		s.metrics.simInstructions.Add(j.Spec.Instructions * uint64(j.Spec.Threads))
+		s.metrics.simBusyNanos.Add(uint64(elapsed.Nanoseconds()))
+	}
+}
