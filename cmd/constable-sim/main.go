@@ -14,7 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"os"
+	"strings"
 
 	"constable/internal/service"
 	"constable/internal/sim"
@@ -27,7 +27,7 @@ func main() {
 
 	var (
 		name    = flag.String("workload", "server-kvstore-00", "workload name (see -list)")
-		mech    = flag.String("mech", "constable", "mechanism: baseline, eves, constable, eves+constable, elar, rfp, ideal, ideal-lvp, ideal-lvp-dfe")
+		mech    = flag.String("mech", "constable", "mechanism preset: "+strings.Join(sim.MechanismNames(), ", "))
 		n       = flag.Uint64("n", 200_000, "committed-path instructions to simulate")
 		smt     = flag.Bool("smt", false, "run two SMT contexts of the workload")
 		apx     = flag.Bool("apx", false, "use the 32-register (APX) build of the workload")
@@ -80,7 +80,8 @@ func main() {
 	}
 
 	fmt.Printf("workload   %s (%s)%s\n", spec.Name, spec.Category, map[bool]string{true: " [SMT2]", false: ""}[*smt])
-	fmt.Printf("mechanism  %s\n", *mech)
+	fmt.Printf("mechanism  %s\n", res.Identity.Mechanism)
+	fmt.Printf("config     %s\n", res.ConfigDigest[:12])
 	fmt.Printf("cycles     %d (baseline %d)\n", res.Cycles, base.Cycles)
 	fmt.Printf("IPC        %.3f (baseline %.3f)\n", res.IPC, base.IPC)
 	fmt.Printf("speedup    %+.2f%%\n", 100*(sim.Speedup(base, res)-1))
@@ -99,9 +100,14 @@ func main() {
 	fmt.Printf("power      %.1f%% of baseline dynamic energy\n", 100*res.Power.Total()/base.Power.Total())
 	fmt.Printf("breakdown  %s", res.Power)
 
+	for _, m := range res.Mechanisms {
+		fmt.Printf("mech[%s]   %d counters tracked\n", m.Name, len(m.Counters))
+	}
+
 	if *verbose {
-		fmt.Fprintf(os.Stdout, "\npipeline stats: %+v\n", st)
-		fmt.Fprintf(os.Stdout, "constable stats: %+v\n", res.Constable)
+		fmt.Println("\ncounters:")
+		for _, n := range res.Counters.Names() {
+			fmt.Printf("  %-42s %d\n", n, res.Counters[n])
+		}
 	}
 }
-

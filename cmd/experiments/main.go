@@ -1,6 +1,6 @@
 // Command experiments regenerates the paper's tables and figures. Each
-// experiment id corresponds to one artifact in the evaluation; see DESIGN.md
-// §3 for the index and EXPERIMENTS.md for paper-vs-measured comparisons.
+// experiment id corresponds to one artifact in the evaluation; see
+// docs/DESIGN.md for the index and the paper-artifact mapping.
 //
 // Usage:
 //

@@ -14,12 +14,13 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"constable/internal/cache"
-	"constable/internal/constable"
 	"constable/internal/fsim"
 	"constable/internal/inspector"
 	"constable/internal/pipeline"
+	"constable/internal/sim"
 	"constable/internal/trace"
 	"constable/internal/workload"
 )
@@ -36,7 +37,7 @@ func main() {
 		n       = flag.Uint64("n", 300_000, "instructions to capture")
 		out     = flag.String("o", "workload.trace", "output trace path")
 		apx     = flag.Bool("apx", false, "capture the 32-register (APX) build")
-		mech    = flag.String("mech", "baseline", "replay mechanism: baseline or constable")
+		mech    = flag.String("mech", "baseline", "replay mechanism: "+strings.Join(sim.MechanismNames(), ", "))
 	)
 	flag.Parse()
 
@@ -95,14 +96,14 @@ func doReplay(path, mech string) error {
 	if err != nil {
 		return err
 	}
-	var att pipeline.Attachments
-	switch mech {
-	case "baseline":
-	case "constable":
-		att.Constable = constable.New(constable.DefaultConfig())
-	default:
-		return fmt.Errorf("unknown replay mechanism %q", mech)
+	m, err := sim.MechanismByName(mech)
+	if err != nil {
+		return err
 	}
+	if m.NeedsStableAnalysis() {
+		return fmt.Errorf("mechanism %q needs the live stable-load pre-pass; trace replay supports the table-based mechanisms", mech)
+	}
+	att, _, _ := m.NewAttachments()
 	core := pipeline.NewCore(pipeline.DefaultConfig(), att,
 		cache.NewHierarchy(cache.DefaultHierarchyConfig()), r)
 	if err := core.Run(1 << 40); err != nil {

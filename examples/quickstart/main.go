@@ -29,11 +29,17 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Same core plus Constable (SLD + RMT + AMT + xPRF, §6).
+	// Same core plus Constable (SLD + RMT + AMT + xPRF, §6), resolved from
+	// the mechanism registry — the same "constable" preset the HTTP API and
+	// the CLIs accept.
+	mech, err := sim.MechanismByName("constable")
+	if err != nil {
+		log.Fatal(err)
+	}
 	cons, err := sim.Run(sim.Options{
 		Workload:     spec,
 		Instructions: instructions,
-		Mech:         sim.Mechanism{Constable: true},
+		Mech:         mech,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -53,6 +59,9 @@ func main() {
 
 	// Every run is verified by the golden check of §8.5: each retiring load
 	// (including every eliminated one) must match the functional model, or
-	// sim.Run returns an error.
-	fmt.Printf("golden checks passed: %d\n", cons.Pipeline.GoldenChecks)
+	// sim.Run returns an error. The same number is available by name in the
+	// run's counter snapshot — the schema the HTTP API serves.
+	fmt.Printf("golden checks passed: %d\n", cons.Counters.Get("pipeline.golden_checks"))
+	fmt.Printf("result schema: mechanism %q, config %s, %d counters\n",
+		cons.Identity.Mechanism, cons.ConfigDigest[:12], len(cons.Counters))
 }

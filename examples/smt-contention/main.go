@@ -27,13 +27,15 @@ func main() {
 	}
 	const n = 50_000
 
+	// Mechanism presets come from sim's registry — the same names the HTTP
+	// API's "mechanism" field and the CLIs accept.
 	configs := []struct {
-		name string
-		mech sim.Mechanism
+		name   string
+		preset string
 	}{
-		{"EVES", sim.Mechanism{EVES: true}},
-		{"Constable", sim.Mechanism{Constable: true}},
-		{"EVES+Constable", sim.Mechanism{EVES: true, Constable: true}},
+		{"EVES", "eves"},
+		{"Constable", "constable"},
+		{"EVES+Constable", "eves+constable"},
 	}
 
 	for _, threads := range []int{1, 2} {
@@ -43,13 +45,17 @@ func main() {
 		}
 		fmt.Printf("%s — geomean over %d workloads:\n", label, len(specs))
 		for _, c := range configs {
+			mech, err := sim.MechanismByName(c.preset)
+			if err != nil {
+				log.Fatal(err)
+			}
 			var speedups []float64
 			for _, spec := range specs {
 				base, err := sim.Run(sim.Options{Workload: spec, Instructions: n, Threads: threads})
 				if err != nil {
 					log.Fatal(err)
 				}
-				res, err := sim.Run(sim.Options{Workload: spec, Instructions: n, Threads: threads, Mech: c.mech})
+				res, err := sim.Run(sim.Options{Workload: spec, Instructions: n, Threads: threads, Mech: mech})
 				if err != nil {
 					log.Fatal(err)
 				}

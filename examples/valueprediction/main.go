@@ -30,20 +30,26 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// The mechanism registry (sim.Mechanisms) is the single name→config
+	// table; examples resolve presets by name like the CLIs and the API do.
 	configs := []struct {
-		name string
-		mech sim.Mechanism
+		name   string
+		preset string
 	}{
-		{"EVES", sim.Mechanism{EVES: true}},
-		{"Constable", sim.Mechanism{Constable: true}},
-		{"EVES+Constable", sim.Mechanism{EVES: true, Constable: true}},
-		{"Ideal Constable", sim.Mechanism{IdealConstable: true}},
+		{"EVES", "eves"},
+		{"Constable", "constable"},
+		{"EVES+Constable", "eves+constable"},
+		{"Ideal Constable", "ideal"},
 	}
 
 	fmt.Printf("workload: %s — baseline IPC %.3f\n\n", spec.Name, base.IPC)
 	fmt.Printf("%-18s %9s %12s %12s %14s\n", "config", "speedup", "covered", "loads exec", "L1-D accesses")
 	for _, c := range configs {
-		res, err := sim.Run(sim.Options{Workload: spec, Instructions: n, Mech: c.mech})
+		mech, err := sim.MechanismByName(c.preset)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sim.Run(sim.Options{Workload: spec, Instructions: n, Mech: mech})
 		if err != nil {
 			log.Fatal(err)
 		}

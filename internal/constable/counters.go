@@ -1,0 +1,40 @@
+package constable
+
+import "constable/internal/stats"
+
+// Interned counter IDs for Constable's event statistics.
+var (
+	cSLDLookups       = stats.Intern("constable.sld_lookups")
+	cEliminated       = stats.Intern("constable.eliminated")
+	cXPRFFullMisses   = stats.Intern("constable.xprf_full_misses")
+	cModeFiltered     = stats.Intern("constable.mode_filtered")
+	cLikelyStableExec = stats.Intern("constable.likely_stable_exec")
+	cCanElimSets      = stats.Intern("constable.can_elim_sets")
+	cCanElimResetsReg = stats.Intern("constable.can_elim_resets_reg")
+	cCanElimResetsSt  = stats.Intern("constable.can_elim_resets_store")
+	cCanElimResetsSn  = stats.Intern("constable.can_elim_resets_snoop")
+	cCanElimResetsEv  = stats.Intern("constable.can_elim_resets_evict")
+	cRMTOverflows     = stats.Intern("constable.rmt_overflows")
+	cAMTOverflowEvict = stats.Intern("constable.amt_overflow_evicts")
+	cSLDWriteOps      = stats.Intern("constable.sld_write_ops")
+	cSLDConfUpdates   = stats.Intern("constable.sld_conf_updates")
+)
+
+// EmitCounters adds every Constable statistic into cs through the interned
+// counter registry.
+func (s Stats) EmitCounters(cs *stats.CounterSet) {
+	cs.Add(cSLDLookups, s.SLDLookups)
+	cs.Add(cEliminated, s.Eliminated)
+	cs.Add(cXPRFFullMisses, s.XPRFFullMisses)
+	cs.Add(cModeFiltered, s.ModeFiltered)
+	cs.Add(cLikelyStableExec, s.LikelyStableExec)
+	cs.Add(cCanElimSets, s.CanElimSets)
+	cs.Add(cCanElimResetsReg, s.CanElimResetsReg)
+	cs.Add(cCanElimResetsSt, s.CanElimResetsSt)
+	cs.Add(cCanElimResetsSn, s.CanElimResetsSn)
+	cs.Add(cCanElimResetsEv, s.CanElimResetsEv)
+	cs.Add(cRMTOverflows, s.RMTOverflows)
+	cs.Add(cAMTOverflowEvict, s.AMTOverflowEvict)
+	cs.Add(cSLDWriteOps, s.SLDWriteOps)
+	cs.Add(cSLDConfUpdates, s.SLDConfUpdates)
+}

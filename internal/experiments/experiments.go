@@ -1,18 +1,17 @@
 // Package experiments contains one driver per table and figure in the
-// paper's evaluation (§4, §9, appendices A–B). Each driver runs the required
-// simulations over the workload suite, aggregates results the way the paper
-// plots them (per-category geomeans, box-and-whiskers summaries), and prints
-// rows that correspond to the paper's bars/series. See DESIGN.md §3 for the
-// experiment index and EXPERIMENTS.md for paper-vs-measured comparisons.
+// paper's evaluation (§4, §9, appendices A–B). Each driver sweeps the
+// required simulations over the workload suite through the shared service
+// scheduler, aggregates cells as they complete (per-category geomeans,
+// box-and-whiskers summaries), and prints rows that correspond to the
+// paper's bars/series. See docs/DESIGN.md for the experiment index and the
+// paper-artifact mapping.
 package experiments
 
 import (
-	"context"
 	"fmt"
 	"io"
 	"sort"
 
-	"constable/internal/service"
 	"constable/internal/sim"
 	"constable/internal/stats"
 	"constable/internal/workload"
@@ -112,73 +111,36 @@ func (r *Runner) Run(id string) error {
 	return fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, r.IDs())
 }
 
-// runMatrix runs every (workload, config) pair through the shared service
-// scheduler and returns results indexed as [workloadIndex][configIndex].
-// Cells whose canonical JobSpec matches an earlier submission — within this
-// matrix or from any previous driver in the process — are served from the
-// scheduler's result cache instead of re-simulating.
-func (r *Runner) runMatrix(specs []*workload.Spec, makeOpts func(spec *workload.Spec, cfg int) sim.Options, numCfgs int) ([][]*sim.Result, error) {
-	sched := service.Default()
-	results := make([][]*sim.Result, len(specs))
-	jobs := make([][]*service.Job, len(specs))
-	var firstErr error
+// runMatrix streams every (workload, config) cell through runSweep and
+// returns the assembled matrix indexed as [workloadIndex][configIndex] — for
+// drivers that need per-cell counters. Drivers that only need the speedup
+// table should sweep into a speedupAgg instead and never hold the matrix.
+func (r *Runner) runMatrix(specs []*workload.Spec, makeOpts func(spec *workload.Spec, cfg int) sim.Options, numCfgs int) ([][]*sim.RunResult, error) {
+	results := make([][]*sim.RunResult, len(specs))
 	for wi := range specs {
-		results[wi] = make([]*sim.Result, numCfgs)
-		jobs[wi] = make([]*service.Job, numCfgs)
-		for ci := 0; ci < numCfgs; ci++ {
-			j, err := sched.Submit(service.SpecFromOptions(makeOpts(specs[wi], ci)))
-			if err != nil {
-				if firstErr == nil {
-					firstErr = err
-				}
-				continue
-			}
-			jobs[wi][ci] = j
-		}
+		results[wi] = make([]*sim.RunResult, numCfgs)
 	}
-	ctx := context.Background()
-	for wi := range jobs {
-		for ci, j := range jobs[wi] {
-			if j == nil {
-				continue
-			}
-			res, err := j.Wait(ctx)
-			if err != nil && firstErr == nil {
-				firstErr = err
-			}
-			results[wi][ci] = res
-		}
-	}
-	if firstErr != nil {
-		return nil, firstErr
+	if err := r.runSweep(specs, makeOpts, numCfgs, func(c cell) {
+		results[c.wi][c.ci] = c.res
+	}); err != nil {
+		return nil, err
 	}
 	return results, nil
 }
 
 // categoryGeomeans aggregates per-workload speedups (configs vs column 0)
-// into a per-category + GEOMEAN table.
-func categoryGeomeans(specs []*workload.Spec, results [][]*sim.Result, configNames []string) *stats.SpeedupTable {
-	rows := make([]string, 0, len(workload.Categories)+1)
-	for _, c := range workload.Categories {
-		rows = append(rows, string(c))
-	}
-	rows = append(rows, "GEOMEAN")
-	tbl := stats.NewSpeedupTable(rows, configNames[1:])
-
-	for ci := 1; ci < len(configNames); ci++ {
-		perCat := make(map[string][]float64)
-		var all []float64
-		for wi, spec := range specs {
-			sp := sim.Speedup(results[wi][0], results[wi][ci])
-			perCat[string(spec.Category)] = append(perCat[string(spec.Category)], sp)
-			all = append(all, sp)
+// into a per-category + GEOMEAN table by replaying the matrix through the
+// streaming aggregator.
+func categoryGeomeans(specs []*workload.Spec, results [][]*sim.RunResult, configNames []string) *stats.SpeedupTable {
+	agg := newSpeedupAgg(specs, configNames)
+	for wi := range results {
+		for ci, res := range results[wi] {
+			if res != nil {
+				agg.observe(cell{wi: wi, ci: ci, res: res})
+			}
 		}
-		for cat, xs := range perCat {
-			tbl.Set(cat, configNames[ci], stats.Geomean(xs))
-		}
-		tbl.Set("GEOMEAN", configNames[ci], stats.Geomean(all))
 	}
-	return tbl
+	return agg.table()
 }
 
 // boxByCategory prints a per-category box-plot summary of per-workload values.

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden fixtures from current output")
+
+// goldenInstructions matches the budget the fixtures under testdata/ were
+// generated with. Regenerate via:
+//
+//	go test ./internal/experiments -run TestGoldenArtifacts -update-golden
+const goldenInstructions = 12_000
+
+// TestGoldenArtifacts locks the printed experiment artifacts to the output
+// of the pre-refactor seed: any byte-level drift in a driver's artifact —
+// aggregation, formatting, or simulation behavior — fails this test. The
+// fixtures cover the static tables (tab1, tab3), the analysis-only driver
+// (fig3), a box-and-whiskers matrix driver (fig6), and a speedup-table
+// driver (fig11), so every aggregation path is pinned.
+func TestGoldenArtifacts(t *testing.T) {
+	ids := []string{"tab1", "tab3", "fig3"}
+	if !testing.Short() {
+		ids = append(ids, "fig6", "fig11")
+	}
+	for _, id := range ids {
+		t.Run(id, func(t *testing.T) {
+			var buf bytes.Buffer
+			r := NewRunner(Config{Instructions: goldenInstructions, FullSuite: false, Out: &buf})
+			if err := r.Run(id); err != nil {
+				t.Fatal(err)
+			}
+			path := "testdata/golden_" + id + ".txt"
+			if *updateGolden {
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := buf.Bytes(); !bytes.Equal(got, want) {
+				t.Errorf("artifact drifted from %s:\n%s", path, diffLines(want, got))
+			}
+		})
+	}
+}
+
+// diffLines renders the first divergence between two artifacts.
+func diffLines(want, got []byte) string {
+	w := bytes.Split(want, []byte("\n"))
+	g := bytes.Split(got, []byte("\n"))
+	for i := 0; i < len(w) || i < len(g); i++ {
+		var wl, gl []byte
+		if i < len(w) {
+			wl = w[i]
+		}
+		if i < len(g) {
+			gl = g[i]
+		}
+		if !bytes.Equal(wl, gl) {
+			return fmt.Sprintf("line %d:\n  want: %q\n  got:  %q", i+1, wl, gl)
+		}
+	}
+	return "lengths differ"
+}

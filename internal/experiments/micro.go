@@ -292,7 +292,7 @@ func (r *Runner) Fig20() error {
 }
 
 // printGeomeanRow prints geomean speedups of every config against config 0.
-func printGeomeanRow(out interface{ Write([]byte) (int, error) }, specs []*workload.Spec, results [][]*sim.Result, names []string) {
+func printGeomeanRow(out interface{ Write([]byte) (int, error) }, specs []*workload.Spec, results [][]*sim.RunResult, names []string) {
 	for ci, name := range names {
 		var sp []float64
 		for wi := range specs {

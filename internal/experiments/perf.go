@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 
+	"constable/internal/stats"
+
 	"constable/internal/constable"
 	"constable/internal/isa"
 	"constable/internal/pipeline"
@@ -18,13 +20,8 @@ type perfConfig struct {
 	core func() *pipeline.Config // optional core override
 }
 
-func (r *Runner) runPerf(configs []perfConfig, threads int) ([][]*sim.Result, []string, error) {
-	specs := r.cfg.suite()
-	names := make([]string, len(configs))
-	for i, c := range configs {
-		names[i] = c.name
-	}
-	results, err := r.runMatrix(specs, func(spec *workload.Spec, ci int) sim.Options {
+func (r *Runner) perfOpts(configs []perfConfig, threads int) func(spec *workload.Spec, ci int) sim.Options {
+	return func(spec *workload.Spec, ci int) sim.Options {
 		opts := sim.Options{
 			Workload:     spec,
 			Instructions: r.cfg.Instructions,
@@ -35,8 +32,35 @@ func (r *Runner) runPerf(configs []perfConfig, threads int) ([][]*sim.Result, []
 			opts.Core = configs[ci].core()
 		}
 		return opts
-	}, len(configs))
+	}
+}
+
+func configNames(configs []perfConfig) []string {
+	names := make([]string, len(configs))
+	for i, c := range configs {
+		names[i] = c.name
+	}
+	return names
+}
+
+// runPerf materializes the full result matrix — for drivers that read
+// per-cell counters (coverage, power, per-workload rows).
+func (r *Runner) runPerf(configs []perfConfig, threads int) ([][]*sim.RunResult, []string, error) {
+	names := configNames(configs)
+	results, err := r.runMatrix(r.cfg.suite(), r.perfOpts(configs, threads), len(configs))
 	return results, names, err
+}
+
+// runPerfTable streams the sweep straight into the per-category speedup
+// aggregator: cells fold in as they complete and the full matrix is never
+// held in memory.
+func (r *Runner) runPerfTable(configs []perfConfig, threads int) (*stats.SpeedupTable, error) {
+	specs := r.cfg.suite()
+	agg := newSpeedupAgg(specs, configNames(configs))
+	if err := r.runSweep(specs, r.perfOpts(configs, threads), len(configs), agg.observe); err != nil {
+		return nil, err
+	}
+	return agg.table(), nil
 }
 
 // Fig7 reproduces Fig. 7: the performance headroom of Ideal Constable
@@ -55,11 +79,10 @@ func (r *Runner) Fig7() error {
 		{name: "2xLoadWidth", core: twoX},
 		{name: "IdealConstable", mech: sim.Mechanism{IdealConstable: true}},
 	}
-	results, names, err := r.runPerf(configs, 1)
+	tbl, err := r.runPerfTable(configs, 1)
 	if err != nil {
 		return err
 	}
-	tbl := categoryGeomeans(r.cfg.suite(), results, names)
 	fmt.Fprint(r.cfg.Out, tbl)
 	fmt.Fprintln(r.cfg.Out, "(paper GEOMEAN: LVP 1.043, LVP+DFE 1.067, 2x 1.088, Ideal Constable 1.091)")
 	return nil
@@ -75,11 +98,10 @@ func (r *Runner) Fig11() error {
 		{name: "EVES+Constable", mech: sim.Mechanism{EVES: true, Constable: true}},
 		{name: "EVES+Ideal", mech: sim.Mechanism{EVES: true, IdealConstable: true}},
 	}
-	results, names, err := r.runPerf(configs, 1)
+	tbl, err := r.runPerfTable(configs, 1)
 	if err != nil {
 		return err
 	}
-	tbl := categoryGeomeans(r.cfg.suite(), results, names)
 	fmt.Fprint(r.cfg.Out, tbl)
 	fmt.Fprintln(r.cfg.Out, "(paper GEOMEAN: EVES 1.047, Constable 1.051, EVES+Constable 1.085, EVES+Ideal 1.103)")
 	return nil
@@ -142,11 +164,10 @@ func (r *Runner) Fig13() error {
 		{name: "Reg-rel", mech: modeCfg(isa.AddrRegRel)},
 		{name: "All", mech: sim.Mechanism{Constable: true}},
 	}
-	results, names, err := r.runPerf(configs, 1)
+	tbl, err := r.runPerfTable(configs, 1)
 	if err != nil {
 		return err
 	}
-	tbl := categoryGeomeans(r.cfg.suite(), results, names)
 	fmt.Fprint(r.cfg.Out, tbl)
 	fmt.Fprintln(r.cfg.Out, "(paper GEOMEAN: PC-rel 1.011, Stack-rel 1.026, Reg-rel 1.018, All 1.051)")
 	return nil
@@ -161,11 +182,10 @@ func (r *Runner) Fig14() error {
 		{name: "Constable", mech: sim.Mechanism{Constable: true}},
 		{name: "EVES+Constable", mech: sim.Mechanism{EVES: true, Constable: true}},
 	}
-	results, names, err := r.runPerf(configs, 2)
+	tbl, err := r.runPerfTable(configs, 2)
 	if err != nil {
 		return err
 	}
-	tbl := categoryGeomeans(r.cfg.suite(), results, names)
 	fmt.Fprint(r.cfg.Out, tbl)
 	fmt.Fprintln(r.cfg.Out, "(paper GEOMEAN: EVES 1.036, Constable 1.088, EVES+Constable 1.113;")
 	fmt.Fprintln(r.cfg.Out, " the key shape: under SMT2 Constable clearly beats EVES)")
@@ -183,11 +203,10 @@ func (r *Runner) Fig15() error {
 		{name: "ELAR+Cons", mech: sim.Mechanism{ELAR: true, Constable: true}},
 		{name: "RFP+Cons", mech: sim.Mechanism{RFP: true, Constable: true}},
 	}
-	results, names, err := r.runPerf(configs, 1)
+	tbl, err := r.runPerfTable(configs, 1)
 	if err != nil {
 		return err
 	}
-	tbl := categoryGeomeans(r.cfg.suite(), results, names)
 	fmt.Fprint(r.cfg.Out, tbl)
 	fmt.Fprintln(r.cfg.Out, "(paper GEOMEAN: ELAR 1.007, RFP 1.045, Constable 1.051, ELAR+C 1.054, RFP+C 1.081)")
 	return nil

@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"context"
+	"sync"
+
+	"constable/internal/service"
+	"constable/internal/sim"
+	"constable/internal/stats"
+	"constable/internal/workload"
+)
+
+// cell is one completed (workload, config) result of a suite sweep.
+type cell struct {
+	wi, ci int
+	res    *sim.RunResult
+	err    error
+}
+
+// runSweep submits every (workload, config) pair to the shared service
+// scheduler and streams each cell to onCell as it completes — there is no
+// full-matrix barrier, so aggregation overlaps simulation. The sweep is
+// sharded by workload: one drainer per workload forwards its row's cells in
+// config order while other shards are still simulating. onCell is invoked
+// serially from a single goroutine. Cells whose canonical JobSpec matches an
+// earlier submission — within this sweep or from any previous driver in the
+// process — are served from the scheduler's result cache instead of
+// re-simulating. The first submit or simulation error is returned after the
+// sweep drains.
+func (r *Runner) runSweep(specs []*workload.Spec, makeOpts func(spec *workload.Spec, cfg int) sim.Options, numCfgs int, onCell func(cell)) error {
+	sched := service.Default()
+	jobs := make([][]*service.Job, len(specs))
+	var firstErr error
+	for wi := range specs {
+		jobs[wi] = make([]*service.Job, numCfgs)
+		for ci := 0; ci < numCfgs; ci++ {
+			j, err := sched.Submit(service.SpecFromOptions(makeOpts(specs[wi], ci)))
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			jobs[wi][ci] = j
+		}
+	}
+
+	ch := make(chan cell)
+	var wg sync.WaitGroup
+	ctx := context.Background()
+	for wi := range jobs {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			for ci, j := range jobs[wi] {
+				if j == nil {
+					continue
+				}
+				res, err := j.Wait(ctx)
+				ch <- cell{wi: wi, ci: ci, res: res, err: err}
+			}
+		}(wi)
+	}
+	go func() {
+		wg.Wait()
+		close(ch)
+	}()
+
+	for c := range ch {
+		if c.err != nil {
+			if firstErr == nil {
+				firstErr = c.err
+			}
+			continue
+		}
+		onCell(c)
+	}
+	return firstErr
+}
+
+// speedupAgg incrementally aggregates per-category speedups from a sweep.
+// Each cell's speedup against the baseline column (config 0) is computed the
+// moment both cells of its workload are available; only cycle counts are
+// retained, never the full results. The final table reduction runs in
+// deterministic workload order, so the printed artifact is independent of
+// cell completion order.
+type speedupAgg struct {
+	specs       []*workload.Spec
+	configNames []string
+	baseCycles  []uint64   // [wi]; 0 = baseline cell not yet seen
+	pendCycles  [][]uint64 // [wi][ci] cycles waiting for their baseline
+	speedups    [][]float64
+}
+
+func newSpeedupAgg(specs []*workload.Spec, configNames []string) *speedupAgg {
+	a := &speedupAgg{
+		specs:       specs,
+		configNames: configNames,
+		baseCycles:  make([]uint64, len(specs)),
+		pendCycles:  make([][]uint64, len(specs)),
+		speedups:    make([][]float64, len(configNames)),
+	}
+	for wi := range specs {
+		a.pendCycles[wi] = make([]uint64, len(configNames))
+	}
+	for ci := range configNames {
+		a.speedups[ci] = make([]float64, len(specs))
+	}
+	return a
+}
+
+// observe folds one completed cell into the aggregate.
+func (a *speedupAgg) observe(c cell) {
+	if c.ci == 0 {
+		a.baseCycles[c.wi] = c.res.Cycles
+		for ci, cycles := range a.pendCycles[c.wi] {
+			if cycles != 0 {
+				a.speedups[ci][c.wi] = float64(c.res.Cycles) / float64(cycles)
+				a.pendCycles[c.wi][ci] = 0
+			}
+		}
+		return
+	}
+	if base := a.baseCycles[c.wi]; base != 0 {
+		a.speedups[c.ci][c.wi] = float64(base) / float64(c.res.Cycles)
+		return
+	}
+	a.pendCycles[c.wi][c.ci] = c.res.Cycles
+}
+
+// table reduces the aggregate into the per-category + GEOMEAN speedup table,
+// iterating workloads in suite order for deterministic output.
+func (a *speedupAgg) table() *stats.SpeedupTable {
+	rows := make([]string, 0, len(workload.Categories)+1)
+	for _, c := range workload.Categories {
+		rows = append(rows, string(c))
+	}
+	rows = append(rows, "GEOMEAN")
+	tbl := stats.NewSpeedupTable(rows, a.configNames[1:])
+
+	for ci := 1; ci < len(a.configNames); ci++ {
+		perCat := make(map[string][]float64)
+		var all []float64
+		for wi, spec := range a.specs {
+			sp := a.speedups[ci][wi]
+			perCat[string(spec.Category)] = append(perCat[string(spec.Category)], sp)
+			all = append(all, sp)
+		}
+		for cat, xs := range perCat {
+			tbl.Set(cat, a.configNames[ci], stats.Geomean(xs))
+		}
+		tbl.Set("GEOMEAN", a.configNames[ci], stats.Geomean(all))
+	}
+	return tbl
+}

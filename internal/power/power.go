@@ -8,8 +8,11 @@
 package power
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
+
+	"constable/internal/stats"
 )
 
 // Energy constants in picojoules per event. The SLD/RMT/AMT numbers are
@@ -120,6 +123,68 @@ func (b Breakdown) Power() float64 {
 		return 0
 	}
 	return b.Total() / float64(b.Cycles)
+}
+
+// Interned counter IDs for the power model's input events. Only the events
+// the power model introduces itself (Constable structure accesses) are
+// emitted; the generic core events already reach the run snapshot through
+// pipeline.Stats.EmitCounters under their own names.
+var (
+	cSLDReads  = stats.Intern("power.sld_reads")
+	cSLDWrites = stats.Intern("power.sld_writes")
+	cRMTOps    = stats.Intern("power.rmt_ops")
+	cAMTReads  = stats.Intern("power.amt_reads")
+	cAMTWrites = stats.Intern("power.amt_writes")
+)
+
+// EmitCounters adds the power model's structure-access events into cs
+// through the interned counter registry.
+func (e Events) EmitCounters(cs *stats.CounterSet) {
+	cs.Add(cSLDReads, e.SLDReads)
+	cs.Add(cSLDWrites, e.SLDWrites)
+	cs.Add(cRMTOps, e.RMTOps)
+	cs.Add(cAMTReads, e.AMTReads)
+	cs.Add(cAMTWrites, e.AMTWrites)
+}
+
+// breakdownJSON is the serialized form of a Breakdown: per-unit energies
+// plus the derived totals the figures report.
+type breakdownJSON struct {
+	FE       float64 `json:"fe_pj"`
+	RS       float64 `json:"rs_pj"`
+	RAT      float64 `json:"rat_pj"`
+	ROB      float64 `json:"rob_pj"`
+	EU       float64 `json:"eu_pj"`
+	L1D      float64 `json:"l1d_pj"`
+	DTLB     float64 `json:"dtlb_pj"`
+	OOO      float64 `json:"ooo_pj"`
+	MEU      float64 `json:"meu_pj"`
+	Total    float64 `json:"total_pj"`
+	PerCycle float64 `json:"per_cycle_pj"`
+	Cycles   uint64  `json:"cycles"`
+}
+
+// MarshalJSON serializes the breakdown with its derived totals, so API
+// clients get the same aggregates the experiment drivers print.
+func (b Breakdown) MarshalJSON() ([]byte, error) {
+	return json.Marshal(breakdownJSON{
+		FE: b.FE, RS: b.RS, RAT: b.RAT, ROB: b.ROB, EU: b.EU,
+		L1D: b.L1D, DTLB: b.DTLB,
+		OOO: b.OOO(), MEU: b.MEU(), Total: b.Total(), PerCycle: b.Power(),
+		Cycles: b.Cycles,
+	})
+}
+
+// UnmarshalJSON restores the stored per-unit energies (derived totals are
+// recomputed on demand).
+func (b *Breakdown) UnmarshalJSON(data []byte) error {
+	var v breakdownJSON
+	if err := json.Unmarshal(data, &v); err != nil {
+		return err
+	}
+	*b = Breakdown{FE: v.FE, RS: v.RS, RAT: v.RAT, ROB: v.ROB, EU: v.EU,
+		L1D: v.L1D, DTLB: v.DTLB, Cycles: v.Cycles}
+	return nil
 }
 
 // String renders the unit shares the way Fig. 19 reports them.

@@ -21,7 +21,7 @@ type resultCache struct {
 
 type cacheEntry struct {
 	key string
-	res *sim.Result
+	res *sim.RunResult
 }
 
 func newResultCache(capacity int) *resultCache {
@@ -33,7 +33,7 @@ func newResultCache(capacity int) *resultCache {
 }
 
 // Get returns the cached result for key, promoting it to most recently used.
-func (c *resultCache) Get(key string) (*sim.Result, bool) {
+func (c *resultCache) Get(key string) (*sim.RunResult, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.entries[key]
@@ -48,7 +48,7 @@ func (c *resultCache) Get(key string) (*sim.Result, bool) {
 
 // Add stores res under key, evicting the least recently used entry when the
 // cache is full. A capacity of zero disables caching.
-func (c *resultCache) Add(key string, res *sim.Result) {
+func (c *resultCache) Add(key string, res *sim.RunResult) {
 	if c.capacity <= 0 {
 		return
 	}

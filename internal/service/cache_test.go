@@ -10,7 +10,7 @@ import (
 func TestCacheEviction(t *testing.T) {
 	c := newResultCache(3)
 	for i := 0; i < 5; i++ {
-		c.Add(fmt.Sprintf("k%d", i), &sim.Result{Cycles: uint64(i)})
+		c.Add(fmt.Sprintf("k%d", i), &sim.RunResult{Cycles: uint64(i)})
 	}
 	if c.Len() != 3 {
 		t.Fatalf("Len = %d, want 3", c.Len())
@@ -32,10 +32,10 @@ func TestCacheEviction(t *testing.T) {
 
 func TestCacheLRUOrder(t *testing.T) {
 	c := newResultCache(2)
-	c.Add("a", &sim.Result{})
-	c.Add("b", &sim.Result{})
+	c.Add("a", &sim.RunResult{})
+	c.Add("b", &sim.RunResult{})
 	c.Get("a") // promote a; b is now LRU
-	c.Add("c", &sim.Result{})
+	c.Add("c", &sim.RunResult{})
 	if _, ok := c.Get("a"); !ok {
 		t.Error("recently used entry evicted")
 	}
@@ -46,7 +46,7 @@ func TestCacheLRUOrder(t *testing.T) {
 
 func TestCacheHitRate(t *testing.T) {
 	c := newResultCache(8)
-	c.Add("x", &sim.Result{})
+	c.Add("x", &sim.RunResult{})
 	c.Get("x")
 	c.Get("x")
 	c.Get("y")
@@ -58,7 +58,7 @@ func TestCacheHitRate(t *testing.T) {
 
 func TestCacheDisabled(t *testing.T) {
 	c := newResultCache(-1)
-	c.Add("a", &sim.Result{})
+	c.Add("a", &sim.RunResult{})
 	if _, ok := c.Get("a"); ok {
 		t.Error("disabled cache stored an entry")
 	}

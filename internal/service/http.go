@@ -13,13 +13,13 @@ import (
 
 // JobView is the API representation of a job.
 type JobView struct {
-	ID       string      `json:"id"`
-	Hash     string      `json:"hash"`
-	Status   JobStatus   `json:"status"`
-	Spec     JobSpec     `json:"spec"`
-	CacheHit bool        `json:"cache_hit,omitempty"`
-	Error    string      `json:"error,omitempty"`
-	Result   *sim.Result `json:"result,omitempty"`
+	ID       string         `json:"id"`
+	Hash     string         `json:"hash"`
+	Status   JobStatus      `json:"status"`
+	Spec     JobSpec        `json:"spec"`
+	CacheHit bool           `json:"cache_hit,omitempty"`
+	Error    string         `json:"error,omitempty"`
+	Result   *sim.RunResult `json:"result,omitempty"`
 }
 
 func viewOf(j *Job) JobView {
@@ -34,13 +34,14 @@ func viewOf(j *Job) JobView {
 
 // NewHandler returns the service's HTTP API over s:
 //
-//	POST /v1/runs        submit one JobSpec; ?wait=1 blocks until finished
-//	POST /v1/runs/batch  submit a JSON array of JobSpecs
-//	GET  /v1/runs/{id}   poll one job
-//	GET  /v1/workloads   list workloads (name, category)
-//	GET  /v1/mechanisms  list named mechanism configurations
-//	GET  /metrics        plaintext scheduler metrics
-//	GET  /healthz        liveness probe
+//	POST /v1/runs               submit one JobSpec; ?wait=1 blocks until finished
+//	POST /v1/runs/batch         submit a JSON array of JobSpecs
+//	GET  /v1/runs/{id}          poll one job
+//	GET  /v1/runs/{id}/result   the finished run's full RunResult document
+//	GET  /v1/workloads          list workloads (name, category)
+//	GET  /v1/mechanisms         list mechanism presets (name, description)
+//	GET  /metrics               plaintext scheduler metrics
+//	GET  /healthz               liveness probe
 func NewHandler(s *Scheduler) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/runs", func(w http.ResponseWriter, r *http.Request) {
@@ -98,6 +99,24 @@ func NewHandler(s *Scheduler) http.Handler {
 		writeJSON(w, http.StatusOK, viewOf(j))
 	})
 
+	mux.HandleFunc("GET /v1/runs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		j, ok := s.Get(id)
+		if !ok {
+			httpError(w, http.StatusNotFound, "unknown job "+id)
+			return
+		}
+		res, err := j.Result()
+		switch {
+		case err != nil:
+			httpError(w, http.StatusUnprocessableEntity, "job "+id+" failed: "+err.Error())
+		case res == nil:
+			httpError(w, http.StatusConflict, "job "+id+" is "+string(j.Status())+"; result not available yet")
+		default:
+			writeJSON(w, http.StatusOK, res)
+		}
+	})
+
 	mux.HandleFunc("DELETE /v1/runs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		id := r.PathValue("id")
 		if _, ok := s.Get(id); !ok {
@@ -126,7 +145,16 @@ func NewHandler(s *Scheduler) http.Handler {
 	})
 
 	mux.HandleFunc("GET /v1/mechanisms", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, MechanismNames())
+		type mech struct {
+			Name        string `json:"name"`
+			Description string `json:"description"`
+		}
+		presets := sim.Mechanisms()
+		out := make([]mech, len(presets))
+		for i, p := range presets {
+			out[i] = mech{Name: p.Name, Description: p.Description}
+		}
+		writeJSON(w, http.StatusOK, out)
 	})
 
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {

@@ -14,7 +14,7 @@ import (
 	"constable/internal/sim"
 )
 
-func newTestServer(t *testing.T, cfg Config, fn func(sim.Options) (*sim.Result, error)) (*httptest.Server, *Scheduler) {
+func newTestServer(t *testing.T, cfg Config, fn func(sim.Options) (*sim.RunResult, error)) (*httptest.Server, *Scheduler) {
 	t.Helper()
 	var s *Scheduler
 	if fn != nil {
@@ -85,6 +85,77 @@ func TestAPISubmitPollResult(t *testing.T) {
 	}
 	if job.Result == nil || job.Result.Cycles != 5000 {
 		t.Errorf("result = %+v, want cycles 5000 from stub", job.Result)
+	}
+}
+
+func TestAPIResultEndpoint(t *testing.T) {
+	// A real scheduler (no stub), so the result document carries the full
+	// RunResult schema: identity, config digest, counters, mechanisms.
+	srv, _ := newTestServer(t, Config{Workers: 2}, nil)
+	spec := JobSpec{Workload: testWorkload(t), Mechanism: "constable", Instructions: 3000}
+
+	job := decodeJob(t, postJSON(t, srv.URL+"/v1/runs?wait=1", spec))
+	if job.Status != StatusDone {
+		t.Fatalf("job not done: %+v", job)
+	}
+
+	r, err := http.Get(srv.URL + "/v1/runs/" + job.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("result status %d, want 200", r.StatusCode)
+	}
+	var res sim.RunResult
+	if err := json.NewDecoder(r.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Identity.Workload != spec.Workload || res.Identity.Mechanism != "constable" {
+		t.Errorf("identity = %+v", res.Identity)
+	}
+	if res.ConfigDigest == "" || res.Cycles == 0 {
+		t.Errorf("digest %q cycles %d", res.ConfigDigest, res.Cycles)
+	}
+	if res.Counters.Get("pipeline.retired") == 0 {
+		t.Errorf("counter snapshot missing pipeline.retired: %v", res.Counters.Names())
+	}
+	found := false
+	for _, m := range res.Mechanisms {
+		if m.Name == "constable" && len(m.Counters) > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("per-mechanism breakdown missing constable: %+v", res.Mechanisms)
+	}
+
+	if r, err = http.Get(srv.URL + "/v1/runs/job-999/result"); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job result: status %d, want 404", r.StatusCode)
+	}
+}
+
+func TestAPIResultNotReady(t *testing.T) {
+	gate := make(chan struct{})
+	srv, _ := newTestServer(t, Config{Workers: 1}, func(opts sim.Options) (*sim.RunResult, error) {
+		<-gate
+		return &sim.RunResult{}, nil
+	})
+	defer close(gate)
+
+	job := decodeJob(t, postJSON(t, srv.URL+"/v1/runs",
+		JobSpec{Workload: testWorkload(t), Instructions: 1000}))
+	r, err := http.Get(srv.URL + "/v1/runs/" + job.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusConflict {
+		t.Errorf("unfinished result: status %d, want 409", r.StatusCode)
 	}
 }
 
@@ -239,20 +310,30 @@ func TestAPIWorkloadsAndMechanisms(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer r2.Body.Close()
-	var mechs []string
+	var mechs []struct {
+		Name        string `json:"name"`
+		Description string `json:"description"`
+	}
 	if err := json.NewDecoder(r2.Body).Decode(&mechs); err != nil {
 		t.Fatal(err)
 	}
-	if fmt.Sprint(mechs) != fmt.Sprint(MechanismNames()) {
-		t.Errorf("mechanisms = %v, want %v", mechs, MechanismNames())
+	names := make([]string, len(mechs))
+	for i, m := range mechs {
+		names[i] = m.Name
+		if m.Description == "" {
+			t.Errorf("mechanism %q has no description", m.Name)
+		}
+	}
+	if fmt.Sprint(names) != fmt.Sprint(MechanismNames()) {
+		t.Errorf("mechanisms = %v, want %v", names, MechanismNames())
 	}
 }
 
 func TestAPICancel(t *testing.T) {
 	gate := make(chan struct{})
-	srv, _ := newTestServer(t, Config{Workers: 1}, func(opts sim.Options) (*sim.Result, error) {
+	srv, _ := newTestServer(t, Config{Workers: 1}, func(opts sim.Options) (*sim.RunResult, error) {
 		<-gate
-		return &sim.Result{}, nil
+		return &sim.RunResult{}, nil
 	})
 	defer close(gate)
 	name := testWorkload(t)

@@ -65,39 +65,19 @@ func mechSpecFromMechanism(m sim.Mechanism) MechSpec {
 }
 
 // MechanismNames lists the named mechanism configurations accepted by
-// ParseMechanism, in presentation order.
-func MechanismNames() []string {
-	return []string{
-		"baseline", "eves", "constable", "eves+constable", "elar", "rfp",
-		"ideal", "ideal-lvp", "ideal-lvp-dfe",
-	}
-}
+// ParseMechanism, in presentation order (sim's mechanism registry).
+func MechanismNames() []string { return sim.MechanismNames() }
 
-// ParseMechanism resolves a named mechanism configuration (the vocabulary
-// shared by constable-sim's -mech flag and the HTTP API's "mechanism" field).
+// ParseMechanism resolves a named mechanism configuration through sim's
+// mechanism registry — the single name→configuration table shared by
+// constable-sim's -mech flag, tracetool's replay, and the HTTP API's
+// "mechanism" field.
 func ParseMechanism(s string) (MechSpec, error) {
-	switch s {
-	case "", "baseline":
-		return MechSpec{}, nil
-	case "eves":
-		return MechSpec{EVES: true}, nil
-	case "constable":
-		return MechSpec{Constable: true}, nil
-	case "eves+constable":
-		return MechSpec{EVES: true, Constable: true}, nil
-	case "elar":
-		return MechSpec{ELAR: true}, nil
-	case "rfp":
-		return MechSpec{RFP: true}, nil
-	case "ideal":
-		return MechSpec{IdealConstable: true}, nil
-	case "ideal-lvp":
-		return MechSpec{IdealStableLVP: true}, nil
-	case "ideal-lvp-dfe":
-		return MechSpec{IdealStableLVP: true, IdealDataFetchElim: true}, nil
-	default:
-		return MechSpec{}, fmt.Errorf("service: unknown mechanism %q (known: %v)", s, MechanismNames())
+	m, err := sim.MechanismByName(s)
+	if err != nil {
+		return MechSpec{}, err
 	}
+	return mechSpecFromMechanism(m), nil
 }
 
 // JobSpec canonically describes one simulation run. Two specs that resolve

@@ -32,7 +32,7 @@ type Job struct {
 
 	mu       sync.Mutex
 	status   JobStatus
-	result   *sim.Result
+	result   *sim.RunResult
 	err      error
 	cacheHit bool
 
@@ -52,7 +52,7 @@ func (j *Job) Status() JobStatus {
 
 // Result returns the simulation result and error once the job has finished;
 // before that it returns (nil, nil).
-func (j *Job) Result() (*sim.Result, error) {
+func (j *Job) Result() (*sim.RunResult, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.result, j.err
@@ -71,7 +71,7 @@ func (j *Job) Done() <-chan struct{} { return j.done }
 
 // Wait blocks until the job finishes or ctx is canceled, then returns the
 // job's result.
-func (j *Job) Wait(ctx context.Context) (*sim.Result, error) {
+func (j *Job) Wait(ctx context.Context) (*sim.RunResult, error) {
 	select {
 	case <-j.done:
 		return j.Result()
@@ -80,7 +80,7 @@ func (j *Job) Wait(ctx context.Context) (*sim.Result, error) {
 	}
 }
 
-func (j *Job) finish(res *sim.Result, err error, status JobStatus, cacheHit bool) {
+func (j *Job) finish(res *sim.RunResult, err error, status JobStatus, cacheHit bool) {
 	j.mu.Lock()
 	j.result = res
 	j.err = err
@@ -119,7 +119,7 @@ type Scheduler struct {
 	workers int
 	cache   *resultCache
 	// runFn executes one simulation; tests substitute a stub.
-	runFn func(sim.Options) (*sim.Result, error)
+	runFn func(sim.Options) (*sim.RunResult, error)
 
 	mu        sync.Mutex
 	cond      *sync.Cond
@@ -226,7 +226,7 @@ func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
 }
 
 // RunSync submits spec and waits for its result.
-func (s *Scheduler) RunSync(ctx context.Context, spec JobSpec) (*sim.Result, error) {
+func (s *Scheduler) RunSync(ctx context.Context, spec JobSpec) (*sim.RunResult, error) {
 	j, err := s.Submit(spec)
 	if err != nil {
 		return nil, err
@@ -365,7 +365,7 @@ func (s *Scheduler) worker() {
 		j.mu.Unlock()
 
 		opts, err := j.Spec.ToOptions()
-		var res *sim.Result
+		var res *sim.RunResult
 		if err == nil {
 			res, err = s.runFn(opts)
 		}

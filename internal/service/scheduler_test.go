@@ -12,7 +12,7 @@ import (
 
 // newStubScheduler returns a scheduler whose workers run fn instead of a
 // real simulation. fn must be installed before the first Submit.
-func newStubScheduler(t *testing.T, cfg Config, fn func(sim.Options) (*sim.Result, error)) *Scheduler {
+func newStubScheduler(t *testing.T, cfg Config, fn func(sim.Options) (*sim.RunResult, error)) *Scheduler {
 	t.Helper()
 	s := New(cfg)
 	s.runFn = fn
@@ -20,10 +20,10 @@ func newStubScheduler(t *testing.T, cfg Config, fn func(sim.Options) (*sim.Resul
 	return s
 }
 
-func countingRun(calls *atomic.Uint64) func(sim.Options) (*sim.Result, error) {
-	return func(opts sim.Options) (*sim.Result, error) {
+func countingRun(calls *atomic.Uint64) func(sim.Options) (*sim.RunResult, error) {
+	return func(opts sim.Options) (*sim.RunResult, error) {
 		calls.Add(1)
-		return &sim.Result{Cycles: opts.Instructions}, nil
+		return &sim.RunResult{Cycles: opts.Instructions}, nil
 	}
 }
 
@@ -62,10 +62,10 @@ func TestSchedulerRunsConcurrently(t *testing.T) {
 func TestSchedulerDedupAndCache(t *testing.T) {
 	var calls atomic.Uint64
 	gate := make(chan struct{})
-	s := newStubScheduler(t, Config{Workers: 2}, func(opts sim.Options) (*sim.Result, error) {
+	s := newStubScheduler(t, Config{Workers: 2}, func(opts sim.Options) (*sim.RunResult, error) {
 		<-gate
 		calls.Add(1)
-		return &sim.Result{Cycles: 42}, nil
+		return &sim.RunResult{Cycles: 42}, nil
 	})
 	name := testWorkload(t)
 	spec := JobSpec{Workload: name, Mechanism: "constable", Instructions: 5000}
@@ -116,9 +116,9 @@ func TestSchedulerDedupAndCache(t *testing.T) {
 
 func TestSchedulerCancelQueued(t *testing.T) {
 	gate := make(chan struct{})
-	s := newStubScheduler(t, Config{Workers: 1}, func(opts sim.Options) (*sim.Result, error) {
+	s := newStubScheduler(t, Config{Workers: 1}, func(opts sim.Options) (*sim.RunResult, error) {
 		<-gate
-		return &sim.Result{}, nil
+		return &sim.RunResult{}, nil
 	})
 	name := testWorkload(t)
 
@@ -174,7 +174,7 @@ func TestSchedulerCancelQueued(t *testing.T) {
 
 func TestSchedulerFailurePropagates(t *testing.T) {
 	boom := errors.New("boom")
-	s := newStubScheduler(t, Config{Workers: 1}, func(opts sim.Options) (*sim.Result, error) {
+	s := newStubScheduler(t, Config{Workers: 1}, func(opts sim.Options) (*sim.RunResult, error) {
 		return nil, boom
 	})
 	j, err := s.Submit(JobSpec{Workload: testWorkload(t), Instructions: 1000})
@@ -202,9 +202,9 @@ func TestSchedulerFailurePropagates(t *testing.T) {
 func TestSchedulerShutdown(t *testing.T) {
 	gate := make(chan struct{})
 	s := New(Config{Workers: 1})
-	s.runFn = func(opts sim.Options) (*sim.Result, error) {
+	s.runFn = func(opts sim.Options) (*sim.RunResult, error) {
 		<-gate
-		return &sim.Result{}, nil
+		return &sim.RunResult{}, nil
 	}
 	name := testWorkload(t)
 	running, _ := s.Submit(JobSpec{Workload: name, Instructions: 1000})

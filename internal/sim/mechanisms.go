@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"fmt"
+
+	"constable/internal/constable"
+	"constable/internal/pipeline"
+	"constable/internal/vpred"
+)
+
+// MechanismPreset is one named mechanism configuration in the registry.
+type MechanismPreset struct {
+	Name        string
+	Description string
+	Mech        Mechanism
+}
+
+// mechanismPresets is THE mechanism name→configuration table. Every consumer
+// — the service API, the CLIs, the examples — resolves names through it, so
+// adding a preset here makes it available everywhere at once.
+var mechanismPresets = []MechanismPreset{
+	{"baseline", "strong baseline only (MRN, move/zero elimination, folding)", Mechanism{}},
+	{"eves", "EVES load value prediction", Mechanism{EVES: true}},
+	{"constable", "Constable load-execution elimination (§6)", Mechanism{Constable: true}},
+	{"eves+constable", "EVES and Constable combined", Mechanism{EVES: true, Constable: true}},
+	{"elar", "early load address resolution for stack loads", Mechanism{ELAR: true}},
+	{"rfp", "register-file prefetching", Mechanism{RFP: true}},
+	{"ideal", "Ideal Constable oracle: eliminate all global-stable loads (§4.4)", Mechanism{IdealConstable: true}},
+	{"ideal-lvp", "Ideal Stable LVP: perfectly value-predict global-stable loads", Mechanism{IdealStableLVP: true}},
+	{"ideal-lvp-dfe", "Ideal Stable LVP plus data-fetch elimination", Mechanism{IdealStableLVP: true, IdealDataFetchElim: true}},
+}
+
+// Mechanisms returns the registry of named mechanism presets in
+// presentation order. The returned slice is a copy.
+func Mechanisms() []MechanismPreset {
+	return append([]MechanismPreset(nil), mechanismPresets...)
+}
+
+// MechanismNames returns the preset names in presentation order.
+func MechanismNames() []string {
+	names := make([]string, len(mechanismPresets))
+	for i, p := range mechanismPresets {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// MechanismByName resolves a preset name into its mechanism set. The empty
+// string resolves to the baseline.
+func MechanismByName(name string) (Mechanism, error) {
+	if name == "" {
+		return Mechanism{}, nil
+	}
+	for _, p := range mechanismPresets {
+		if p.Name == name {
+			return p.Mech, nil
+		}
+	}
+	return Mechanism{}, fmt.Errorf("sim: unknown mechanism %q (known: %v)", name, MechanismNames())
+}
+
+// MechanismName returns the registry name of m, or "custom" when m does not
+// correspond to a preset (e.g. a ConstableConfig override).
+func MechanismName(m Mechanism) string {
+	if m.ConstableConfig != nil {
+		return "custom"
+	}
+	for _, p := range mechanismPresets {
+		if p.Mech == m {
+			return p.Name
+		}
+	}
+	return "custom"
+}
+
+// NewAttachments builds the pipeline attachments for m's table-based
+// mechanisms (Constable, EVES, RFP, ELAR). The oracle mechanisms need a
+// per-workload stable-load pre-pass and are layered on by Run; callers that
+// drive a Core directly (trace replay) use this to honor the registry
+// without duplicating the construction logic.
+func (m Mechanism) NewAttachments() (pipeline.Attachments, *constable.Constable, *vpred.EVES) {
+	var att pipeline.Attachments
+	var cons *constable.Constable
+	var eves *vpred.EVES
+	if m.Constable {
+		ccfg := constable.DefaultConfig()
+		if m.ConstableConfig != nil {
+			ccfg = *m.ConstableConfig
+		}
+		cons = constable.New(ccfg)
+		att.Constable = cons
+	}
+	if m.EVES {
+		eves = vpred.NewEVES(vpred.DefaultEVESConfig())
+		att.EVES = eves
+	}
+	if m.RFP {
+		att.RFP = vpred.NewRFP(vpred.DefaultRFPConfig())
+	}
+	if m.ELAR {
+		att.ELAR = vpred.NewELAR()
+	}
+	return att, cons, eves
+}
+
+// NeedsStableAnalysis reports whether running m requires the stable-load
+// pre-pass (any oracle mechanism).
+func (m Mechanism) NeedsStableAnalysis() bool {
+	return m.IdealConstable || m.IdealStableLVP
+}

@@ -1,0 +1,162 @@
+package sim
+
+import (
+	"encoding/json"
+	"testing"
+
+	"constable/internal/constable"
+	"constable/internal/workload"
+)
+
+func TestMechanismRegistryRoundTrip(t *testing.T) {
+	names := MechanismNames()
+	if len(names) == 0 || names[0] != "baseline" {
+		t.Fatalf("names = %v", names)
+	}
+	seen := map[string]bool{}
+	for _, p := range Mechanisms() {
+		if seen[p.Name] {
+			t.Errorf("duplicate preset %q", p.Name)
+		}
+		seen[p.Name] = true
+		if p.Description == "" {
+			t.Errorf("preset %q has no description", p.Name)
+		}
+		m, err := MechanismByName(p.Name)
+		if err != nil {
+			t.Fatalf("MechanismByName(%q): %v", p.Name, err)
+		}
+		if m != p.Mech {
+			t.Errorf("MechanismByName(%q) = %+v, want %+v", p.Name, m, p.Mech)
+		}
+		if got := MechanismName(m); got != p.Name {
+			t.Errorf("MechanismName(%+v) = %q, want %q", m, got, p.Name)
+		}
+	}
+}
+
+func TestMechanismByNameErrors(t *testing.T) {
+	if m, err := MechanismByName(""); err != nil || m != (Mechanism{}) {
+		t.Errorf("empty name: %+v, %v", m, err)
+	}
+	if _, err := MechanismByName("warp-drive"); err == nil {
+		t.Error("unknown mechanism must error")
+	}
+}
+
+func TestMechanismNameCustom(t *testing.T) {
+	cfg := constable.DefaultConfig()
+	m := Mechanism{Constable: true, ConstableConfig: &cfg}
+	if got := MechanismName(m); got != "custom" {
+		t.Errorf("config override must report custom, got %q", got)
+	}
+	if got := MechanismName(Mechanism{EVES: true, RFP: true}); got != "custom" {
+		t.Errorf("non-preset combination must report custom, got %q", got)
+	}
+}
+
+func TestRunResultSchema(t *testing.T) {
+	spec, err := workload.ByName(workload.SmallSuite()[0].Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Options{Workload: spec, Instructions: 3000,
+		Mech: Mechanism{EVES: true, Constable: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := res.Identity
+	if id.Workload != spec.Name || id.Mechanism != "eves+constable" ||
+		id.Threads != 1 || id.Instructions != 3000 {
+		t.Errorf("identity = %+v", id)
+	}
+	if res.ConfigDigest == "" {
+		t.Error("config digest empty")
+	}
+	if res.Counters.Get("pipeline.retired") != res.Pipeline.Retired {
+		t.Errorf("snapshot retired %d != typed %d",
+			res.Counters.Get("pipeline.retired"), res.Pipeline.Retired)
+	}
+	if res.Counters.Get("constable.eliminated") != res.Constable.Eliminated {
+		t.Error("snapshot and typed constable stats disagree")
+	}
+	if res.Counters.Get("mem.l1d_accesses") != res.L1DAccesses {
+		t.Error("snapshot and typed L1-D accesses disagree")
+	}
+	mechs := map[string]MechanismStats{}
+	for _, m := range res.Mechanisms {
+		mechs[m.Name] = m
+	}
+	if len(mechs) != 2 {
+		t.Fatalf("mechanism breakdown = %+v, want constable+eves", res.Mechanisms)
+	}
+	if c := mechs["constable"].Counters; c.Get("pipeline.golden_checks") == 0 {
+		t.Errorf("constable breakdown missing golden checks: %v", c.Names())
+	}
+	if e := mechs["eves"].Counters; e.Get("eves.predictions") != res.EVESPredictions {
+		t.Errorf("eves breakdown predictions %d != %d",
+			e.Get("eves.predictions"), res.EVESPredictions)
+	}
+
+	// The document must round-trip through JSON (the service's wire format).
+	blob, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back RunResult
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Identity != res.Identity || back.Cycles != res.Cycles ||
+		back.ConfigDigest != res.ConfigDigest {
+		t.Errorf("round-trip changed the document: %+v", back.Identity)
+	}
+	if back.Counters.Get("pipeline.retired") != res.Pipeline.Retired {
+		t.Error("round-trip lost counters")
+	}
+	if back.Power.Total() != res.Power.Total() {
+		t.Errorf("round-trip power total %v != %v", back.Power.Total(), res.Power.Total())
+	}
+}
+
+func TestConfigDigestDistinguishesRuns(t *testing.T) {
+	spec := workload.SmallSuite()[0]
+	base, err := Run(Options{Workload: spec, Instructions: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons, err := Run(Options{Workload: spec, Instructions: 2000, Mech: Mechanism{Constable: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.ConfigDigest == cons.ConfigDigest {
+		t.Error("different mechanisms must produce different digests")
+	}
+	again, err := Run(Options{Workload: spec, Instructions: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.ConfigDigest != again.ConfigDigest {
+		t.Error("identical runs must produce identical digests")
+	}
+
+	// A caller-primed stable-PC set changes what was simulated (oracle and
+	// Fig. 6 accounting), so it must change the digest — and the digest must
+	// not depend on map iteration order.
+	pinned, err := Run(Options{Workload: spec, Instructions: 2000,
+		StablePCs: map[uint64]bool{0x40: true, 0x80: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pinned.ConfigDigest == base.ConfigDigest {
+		t.Error("StablePCs must be part of the digest")
+	}
+	pinned2, err := Run(Options{Workload: spec, Instructions: 2000,
+		StablePCs: map[uint64]bool{0x80: true, 0x40: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pinned.ConfigDigest != pinned2.ConfigDigest {
+		t.Error("digest must be insensitive to StablePCs map order")
+	}
+}

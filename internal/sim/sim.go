@@ -6,7 +6,11 @@
 package sim
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"fmt"
+	"sort"
 	"sync"
 
 	"constable/internal/cache"
@@ -15,6 +19,7 @@ import (
 	"constable/internal/inspector"
 	"constable/internal/pipeline"
 	"constable/internal/power"
+	"constable/internal/stats"
 	"constable/internal/vpred"
 	"constable/internal/workload"
 )
@@ -61,22 +66,95 @@ type Options struct {
 	StablePCs map[uint64]bool
 }
 
-// Result is the outcome of one run.
-type Result struct {
-	Cycles uint64
-	IPC    float64
+// RunIdentity names what a run simulated: the workload, the resolved
+// mechanism preset ("custom" for ad-hoc sets), and the run shape.
+type RunIdentity struct {
+	Workload     string `json:"workload"`
+	Category     string `json:"category"`
+	Mechanism    string `json:"mechanism"`
+	Threads      int    `json:"threads"`
+	APX          bool   `json:"apx,omitempty"`
+	Instructions uint64 `json:"instructions"`
+}
 
-	Pipeline  pipeline.Stats
-	Constable constable.Stats
-	Power     power.Breakdown
+// MechanismStats is the per-mechanism slice of a run's counter snapshot:
+// one entry per active mechanism, carrying the counters that describe it
+// (structure events, eliminated/value-predicted loads, golden checks).
+type MechanismStats struct {
+	Name     string         `json:"name"`
+	Counters stats.Snapshot `json:"counters"`
+}
 
-	L1DAccesses  uint64
-	L2Accesses   uint64
-	LLCAccesses  uint64
-	DTLBAccesses uint64
+// RunResult is the structured outcome of one run: identity, configuration
+// digest, headline performance, the full counter snapshot populated through
+// the stats registry, the per-mechanism breakdown, and the power summary.
+// The typed Pipeline/Constable views carry the same values for programmatic
+// consumers; the snapshot is the serialization schema.
+type RunResult struct {
+	Identity     RunIdentity      `json:"identity"`
+	ConfigDigest string           `json:"config_digest"`
+	Cycles       uint64           `json:"cycles"`
+	IPC          float64          `json:"ipc"`
+	Counters     stats.Snapshot   `json:"counters"`
+	Mechanisms   []MechanismStats `json:"mechanisms,omitempty"`
+	Power        power.Breakdown  `json:"power"`
 
-	EVESPredictions uint64
-	EVESMispredicts uint64
+	Pipeline  pipeline.Stats  `json:"-"`
+	Constable constable.Stats `json:"-"`
+
+	L1DAccesses  uint64 `json:"-"`
+	L2Accesses   uint64 `json:"-"`
+	LLCAccesses  uint64 `json:"-"`
+	DTLBAccesses uint64 `json:"-"`
+
+	EVESPredictions uint64 `json:"-"`
+	EVESMispredicts uint64 `json:"-"`
+}
+
+// Interned counter IDs for the run-level memory-hierarchy counters.
+var (
+	cL1DAccesses  = stats.Intern("mem.l1d_accesses")
+	cL2Accesses   = stats.Intern("mem.l2_accesses")
+	cLLCAccesses  = stats.Intern("mem.llc_accesses")
+	cDTLBAccesses = stats.Intern("mem.dtlb_accesses")
+)
+
+// ConfigDigest returns the sha256 content hash of the fully-resolved run
+// configuration (workload, mechanism, core, budget). Two runs with equal
+// digests simulated the same thing.
+func configDigest(opts Options, core pipeline.Config) string {
+	doc := struct {
+		Workload     string           `json:"workload"`
+		APX          bool             `json:"apx"`
+		Instructions uint64           `json:"instructions"`
+		Threads      int              `json:"threads"`
+		Mech         Mechanism        `json:"mech"`
+		Core         pipeline.Config  `json:"core"`
+		Constable    constable.Config `json:"constable"`
+		StablePCs    []uint64         `json:"stable_pcs,omitempty"`
+	}{Workload: opts.Workload.Name, APX: opts.APX, Instructions: opts.Instructions,
+		Threads: opts.Threads, Mech: opts.Mech, Core: core, Constable: constable.DefaultConfig()}
+	if opts.Mech.ConstableConfig != nil {
+		doc.Constable = *opts.Mech.ConstableConfig
+	}
+	if opts.StablePCs != nil {
+		// A caller-primed stable-PC set changes oracle behavior and the
+		// Fig. 6 accounting, so it is part of what was simulated.
+		for pc, ok := range opts.StablePCs {
+			if ok {
+				doc.StablePCs = append(doc.StablePCs, pc)
+			}
+		}
+		sort.Slice(doc.StablePCs, func(i, j int) bool { return doc.StablePCs[i] < doc.StablePCs[j] })
+	}
+	b, err := json.Marshal(doc)
+	if err != nil {
+		// Every field above is a plain struct of scalars; failure would be a
+		// programming error, not an input error.
+		panic(fmt.Sprintf("sim: config digest: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
 }
 
 // stableCache memoizes the global-stable pre-pass per (workload, APX).
@@ -110,7 +188,7 @@ func StableAnalysis(spec *workload.Spec, apx bool, n uint64) (*inspector.Inspect
 
 // Run executes one simulation and returns its result. It returns an error if
 // the workload cannot be built or the golden check fails.
-func Run(opts Options) (*Result, error) {
+func Run(opts Options) (*RunResult, error) {
 	if opts.Threads == 0 {
 		opts.Threads = 1
 	}
@@ -156,7 +234,16 @@ func Run(opts Options) (*Result, error) {
 			opts.Workload.Name, st.Retired, want, st.Cycles)
 	}
 
-	res := &Result{
+	res := &RunResult{
+		Identity: RunIdentity{
+			Workload:     opts.Workload.Name,
+			Category:     string(opts.Workload.Category),
+			Mechanism:    MechanismName(opts.Mech),
+			Threads:      opts.Threads,
+			APX:          opts.APX,
+			Instructions: opts.Instructions,
+		},
+		ConfigDigest: configDigest(opts, cfg),
 		Cycles:       st.Cycles,
 		IPC:          st.IPC(),
 		Pipeline:     st,
@@ -197,36 +284,89 @@ func Run(opts Options) (*Result, error) {
 		ev.AMTWrites = cons.Stats.CanElimSets
 	}
 	res.Power = power.Compute(ev)
+
+	// Populate the counter snapshot through the interned registry: every
+	// producing package emits its own counters by stable integer ID.
+	var set stats.CounterSet
+	st.EmitCounters(&set)
+	if cons != nil {
+		cons.Stats.EmitCounters(&set)
+	}
+	if eves != nil {
+		eves.EmitCounters(&set)
+	}
+	if att.RFP != nil {
+		att.RFP.EmitCounters(&set)
+	}
+	if att.ELAR != nil {
+		att.ELAR.EmitCounters(&set)
+	}
+	ev.EmitCounters(&set)
+	set.Add(cL1DAccesses, res.L1DAccesses)
+	set.Add(cL2Accesses, res.L2Accesses)
+	set.Add(cLLCAccesses, res.LLCAccesses)
+	set.Add(cDTLBAccesses, res.DTLBAccesses)
+	res.Counters = set.Snapshot()
+	res.Mechanisms = mechanismBreakdown(opts.Mech, res.Counters)
 	return res, nil
 }
 
-// buildAttachments assembles the mechanism set for a run.
-func buildAttachments(opts Options) (pipeline.Attachments, *constable.Constable, *vpred.EVES, error) {
-	var att pipeline.Attachments
-	var cons *constable.Constable
-	var eves *vpred.EVES
-
-	m := opts.Mech
-	if m.Constable {
-		ccfg := constable.DefaultConfig()
-		if m.ConstableConfig != nil {
-			ccfg = *m.ConstableConfig
+// mechanismBreakdown slices the run snapshot into per-mechanism counter
+// groups: each active mechanism gets its structure counters plus the
+// retirement-side counters that describe its effect.
+func mechanismBreakdown(m Mechanism, snap stats.Snapshot) []MechanismStats {
+	pick := func(dst stats.Snapshot, names ...string) {
+		for _, n := range names {
+			if v, ok := snap[n]; ok {
+				dst[n] = v
+			}
 		}
-		cons = constable.New(ccfg)
-		att.Constable = cons
 	}
-	if m.EVES {
-		eves = vpred.NewEVES(vpred.DefaultEVESConfig())
-		att.EVES = eves
+	var out []MechanismStats
+	if m.Constable || m.IdealConstable {
+		// Names match the mechanism registry's vocabulary, so clients can
+		// correlate Identity.Mechanism and /v1/mechanisms with the breakdown.
+		name := "constable"
+		if m.IdealConstable {
+			name = "ideal"
+		}
+		c := snap.Filter("constable.")
+		pick(c, "pipeline.eliminated_loads", "pipeline.eliminated_non_stable",
+			"pipeline.golden_checks", "pipeline.ordering_violations",
+			"pipeline.eliminated_that_violated",
+			"power.sld_reads", "power.sld_writes", "power.amt_reads", "power.amt_writes")
+		out = append(out, MechanismStats{Name: name, Counters: c})
+	}
+	if m.EVES || m.IdealStableLVP {
+		name := "eves"
+		if m.IdealStableLVP {
+			name = "ideal-lvp"
+			if m.IdealDataFetchElim {
+				name = "ideal-lvp-dfe"
+			}
+		}
+		c := snap.Filter("eves.")
+		pick(c, "pipeline.value_predicted", "pipeline.value_mispredicts")
+		out = append(out, MechanismStats{Name: name, Counters: c})
 	}
 	if m.RFP {
-		att.RFP = vpred.NewRFP(vpred.DefaultRFPConfig())
+		out = append(out, MechanismStats{Name: "rfp", Counters: snap.Filter("rfp.")})
 	}
 	if m.ELAR {
-		att.ELAR = vpred.NewELAR()
+		c := snap.Filter("elar.")
+		out = append(out, MechanismStats{Name: "elar", Counters: c})
 	}
+	return out
+}
 
-	needStable := m.IdealConstable || m.IdealStableLVP || opts.StablePCs != nil
+// buildAttachments assembles the mechanism set for a run: the registry's
+// table-based mechanisms plus the oracles, which need the stable-load
+// pre-pass.
+func buildAttachments(opts Options) (pipeline.Attachments, *constable.Constable, *vpred.EVES, error) {
+	m := opts.Mech
+	att, cons, eves := m.NewAttachments()
+
+	needStable := m.NeedsStableAnalysis() || opts.StablePCs != nil
 	if needStable {
 		stable := opts.StablePCs
 		if stable == nil {
@@ -250,7 +390,7 @@ func buildAttachments(opts Options) (pipeline.Attachments, *constable.Constable,
 
 // Speedup returns the relative performance of res over base at equal work
 // (same instruction count): base cycles / res cycles.
-func Speedup(base, res *Result) float64 {
+func Speedup(base, res *RunResult) float64 {
 	if res.Cycles == 0 {
 		return 0
 	}

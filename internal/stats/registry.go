@@ -1,0 +1,142 @@
+package stats
+
+import (
+	"sort"
+	"sync"
+)
+
+// CounterID is the interned identifier of a named counter. IDs are small,
+// dense integers assigned in Intern order and stable for the life of the
+// process, so hot paths can count into a plain slice instead of hashing a
+// string per event.
+type CounterID int
+
+// registry is the process-wide name⇄ID intern table. Interning is expected
+// at package-init or setup time; counting itself never touches the registry.
+var registry = struct {
+	mu     sync.RWMutex
+	byName map[string]CounterID
+	names  []string
+}{byName: make(map[string]CounterID)}
+
+// Intern returns the stable CounterID for name, allocating one on first use.
+// Safe for concurrent use.
+func Intern(name string) CounterID {
+	registry.mu.RLock()
+	id, ok := registry.byName[name]
+	registry.mu.RUnlock()
+	if ok {
+		return id
+	}
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if id, ok := registry.byName[name]; ok {
+		return id
+	}
+	id = CounterID(len(registry.names))
+	registry.byName[name] = id
+	registry.names = append(registry.names, name)
+	return id
+}
+
+// CounterName returns the name interned for id (empty if id was never
+// allocated).
+func CounterName(id CounterID) string {
+	registry.mu.RLock()
+	defer registry.mu.RUnlock()
+	if id < 0 || int(id) >= len(registry.names) {
+		return ""
+	}
+	return registry.names[id]
+}
+
+// NumCounters returns how many counter names have been interned.
+func NumCounters() int {
+	registry.mu.RLock()
+	defer registry.mu.RUnlock()
+	return len(registry.names)
+}
+
+// CounterSet is a slice of counters indexed by CounterID — the hot-path
+// replacement for the string-keyed Counters map. The zero value is ready to
+// use. A CounterSet is owned by one simulation run and is not safe for
+// concurrent use; snapshot it at the end of the run.
+type CounterSet struct {
+	v []uint64
+}
+
+// Add increments the counter with the given id by n.
+func (s *CounterSet) Add(id CounterID, n uint64) {
+	if int(id) >= len(s.v) {
+		s.grow(int(id) + 1)
+	}
+	s.v[id] += n
+}
+
+// Inc increments the counter with the given id by one.
+func (s *CounterSet) Inc(id CounterID) { s.Add(id, 1) }
+
+// Get returns the value of the counter with the given id (zero if never
+// touched).
+func (s *CounterSet) Get(id CounterID) uint64 {
+	if int(id) >= len(s.v) {
+		return 0
+	}
+	return s.v[id]
+}
+
+func (s *CounterSet) grow(n int) {
+	if cap(s.v) >= n {
+		s.v = s.v[:n]
+		return
+	}
+	grown := make([]uint64, n, 2*n)
+	copy(grown, s.v)
+	s.v = grown
+}
+
+// Snapshot returns the named view of every non-zero counter in the set.
+func (s *CounterSet) Snapshot() Snapshot {
+	snap := make(Snapshot)
+	for id, v := range s.v {
+		if v != 0 {
+			snap[CounterName(CounterID(id))] = v
+		}
+	}
+	return snap
+}
+
+// Snapshot is a serializable point-in-time view of a counter set: counter
+// name → value. It marshals to a flat JSON object.
+type Snapshot map[string]uint64
+
+// Get returns the value of the named counter (zero if absent).
+func (s Snapshot) Get(name string) uint64 { return s[name] }
+
+// Names returns the counter names in sorted order.
+func (s Snapshot) Names() []string {
+	names := make([]string, 0, len(s))
+	for n := range s {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Merge adds every counter from other into s.
+func (s Snapshot) Merge(other Snapshot) {
+	for n, v := range other {
+		s[n] += v
+	}
+}
+
+// Filter returns the sub-snapshot of counters whose name starts with prefix.
+func (s Snapshot) Filter(prefix string) Snapshot {
+	out := make(Snapshot)
+	for n, v := range s {
+		if len(n) >= len(prefix) && n[:len(prefix)] == prefix {
+			out[n] = v
+		}
+	}
+	return out
+}

@@ -1,0 +1,32 @@
+package vpred
+
+import "constable/internal/stats"
+
+// Interned counter IDs for the competing mechanisms' statistics.
+var (
+	cEVESPredictions = stats.Intern("eves.predictions")
+	cEVESCorrect     = stats.Intern("eves.correct")
+	cEVESMispredicts = stats.Intern("eves.mispredicts")
+	cRFPPredictions  = stats.Intern("rfp.predictions")
+	cRFPCorrect      = stats.Intern("rfp.correct")
+	cELAREarly       = stats.Intern("elar.early_resolved")
+)
+
+// EmitCounters adds the value predictor's statistics into cs through the
+// interned counter registry.
+func (e *EVES) EmitCounters(cs *stats.CounterSet) {
+	cs.Add(cEVESPredictions, e.Predictions)
+	cs.Add(cEVESCorrect, e.Correct)
+	cs.Add(cEVESMispredicts, e.Mispredicts)
+}
+
+// EmitCounters adds the address predictor's statistics into cs.
+func (r *RFP) EmitCounters(cs *stats.CounterSet) {
+	cs.Add(cRFPPredictions, r.Predictions)
+	cs.Add(cRFPCorrect, r.Correct)
+}
+
+// EmitCounters adds the early-resolution statistics into cs.
+func (e *ELAR) EmitCounters(cs *stats.CounterSet) {
+	cs.Add(cELAREarly, e.EarlyResolved)
+}
