@@ -3,12 +3,21 @@
 // specs — across clients — are answered from the content-addressed result
 // cache without re-simulation.
 //
+// With -data-dir, finished results are also written to a persistent
+// content-addressed store (one JSON file per spec hash), so they survive
+// restarts and are shared with any other process pointing at the same
+// directory. POST /v1/sweeps runs whole workload×mechanism matrices
+// server-side; GET /v1/sweeps/{id}/events streams per-cell NDJSON.
+//
 // Usage:
 //
-//	constable-server -addr :8080 -workers 8 -cache 4096
+//	constable-server -addr :8080 -workers 8 -cache 4096 -data-dir /var/lib/constable
 //
 //	curl -s localhost:8080/v1/runs?wait=1 -d \
 //	  '{"workload":"server-kvstore-00","mechanism":"constable","instructions":50000}'
+//	curl -s localhost:8080/v1/sweeps -d \
+//	  '{"workloads":["server-kvstore-00"],"mechanisms":["baseline","constable"]}'
+//	curl -sN localhost:8080/v1/sweeps/sweep-1/events
 //	curl -s localhost:8080/metrics
 package main
 
@@ -34,16 +43,24 @@ func main() {
 		addr      = flag.String("addr", ":8080", "listen address")
 		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent simulation workers")
 		cacheSize = flag.Int("cache", 4096, "result-cache capacity in entries")
+		dataDir   = flag.String("data-dir", "", "persistent result-store directory (results survive restarts; empty disables)")
 		drain     = flag.Duration("drain", 30*time.Second, "graceful-shutdown timeout for running simulations")
 	)
 	flag.Parse()
 
-	sched := service.New(service.Config{Workers: *workers, CacheSize: *cacheSize})
+	sched, err := service.Open(service.Config{Workers: *workers, CacheSize: *cacheSize, DataDir: *dataDir})
+	if err != nil {
+		log.Fatal(err)
+	}
 	srv := service.Serve(*addr, sched)
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("listening on %s (%d workers, cache %d)", *addr, *workers, *cacheSize)
+		persist := "no persistence"
+		if *dataDir != "" {
+			persist = "data-dir " + *dataDir
+		}
+		log.Printf("listening on %s (%d workers, cache %d, %s)", *addr, *workers, *cacheSize, persist)
 		errc <- srv.ListenAndServe()
 	}()
 

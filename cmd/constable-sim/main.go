@@ -31,10 +31,17 @@ func main() {
 		n       = flag.Uint64("n", 200_000, "committed-path instructions to simulate")
 		smt     = flag.Bool("smt", false, "run two SMT contexts of the workload")
 		apx     = flag.Bool("apx", false, "use the 32-register (APX) build of the workload")
+		dataDir = flag.String("data-dir", "", "persistent result-store directory (re-runs are served from it without simulating)")
 		list    = flag.Bool("list", false, "list all workloads and exit")
 		verbose = flag.Bool("v", false, "print the full counter dump")
 	)
 	flag.Parse()
+
+	if *dataDir != "" {
+		if err := service.SetDefaultConfig(service.Config{DataDir: *dataDir}); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	if *list {
 		for _, s := range workload.Suite() {

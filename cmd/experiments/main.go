@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"constable/internal/experiments"
+	"constable/internal/service"
 )
 
 func main() {
@@ -24,12 +25,19 @@ func main() {
 	log.SetPrefix("experiments: ")
 
 	var (
-		run  = flag.String("run", "all", `experiment id (e.g. "fig11", "tab1") or "all"`)
-		n    = flag.Uint64("n", 80_000, "instructions per workload per configuration")
-		full = flag.Bool("full", false, "use all 90 workloads instead of the 15-workload small suite")
-		list = flag.Bool("list", false, "list experiment ids and exit")
+		run     = flag.String("run", "all", `experiment id (e.g. "fig11", "tab1") or "all"`)
+		n       = flag.Uint64("n", 80_000, "instructions per workload per configuration")
+		full    = flag.Bool("full", false, "use all 90 workloads instead of the 15-workload small suite")
+		dataDir = flag.String("data-dir", "", "persistent result-store directory: cells simulated by any earlier run against it are reused")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
 	)
 	flag.Parse()
+
+	if *dataDir != "" {
+		if err := service.SetDefaultConfig(service.Config{DataDir: *dataDir}); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	runner := experiments.NewRunner(experiments.Config{
 		Instructions: *n,

@@ -2,7 +2,7 @@ package experiments
 
 import (
 	"context"
-	"sync"
+	"fmt"
 
 	"constable/internal/service"
 	"constable/internal/sim"
@@ -10,72 +10,58 @@ import (
 	"constable/internal/workload"
 )
 
-// cell is one completed (workload, config) result of a suite sweep.
+// cell is one completed (workload, config) result of a suite sweep. Only
+// successful cells reach aggregators; failures cancel the sweep and surface
+// from runSweep as its error.
 type cell struct {
 	wi, ci int
 	res    *sim.RunResult
-	err    error
 }
 
-// runSweep submits every (workload, config) pair to the shared service
-// scheduler and streams each cell to onCell as it completes — there is no
-// full-matrix barrier, so aggregation overlaps simulation. The sweep is
-// sharded by workload: one drainer per workload forwards its row's cells in
-// config order while other shards are still simulating. onCell is invoked
-// serially from a single goroutine. Cells whose canonical JobSpec matches an
-// earlier submission — within this sweep or from any previous driver in the
-// process — are served from the scheduler's result cache instead of
-// re-simulating. The first submit or simulation error is returned after the
-// sweep drains.
+// runSweep submits the whole (workload, config) matrix to the shared
+// service sweep engine as one job group and streams each cell to onCell as
+// it completes — there is no full-matrix barrier, so aggregation overlaps
+// simulation. onCell is invoked serially from this goroutine. Cells whose
+// canonical JobSpec matches an earlier submission — within this sweep or
+// from any previous driver in the process — are served from the scheduler's
+// result cache (or persistent store, when the process has one) instead of
+// re-simulating. The sweep runs fail-fast under a real cancelable context:
+// after the first cell failure the engine cancels the rest, queued cells
+// are dropped from the scheduler queue, and the first error is returned
+// once the sweep drains. This is the same engine behind POST /v1/sweeps, so
+// CLI drivers and HTTP clients share one code path.
 func (r *Runner) runSweep(specs []*workload.Spec, makeOpts func(spec *workload.Spec, cfg int) sim.Options, numCfgs int, onCell func(cell)) error {
-	sched := service.Default()
-	jobs := make([][]*service.Job, len(specs))
-	var firstErr error
+	matrix := make([][]service.JobSpec, len(specs))
 	for wi := range specs {
-		jobs[wi] = make([]*service.Job, numCfgs)
+		row := make([]service.JobSpec, numCfgs)
 		for ci := 0; ci < numCfgs; ci++ {
-			j, err := sched.Submit(service.SpecFromOptions(makeOpts(specs[wi], ci)))
-			if err != nil {
-				if firstErr == nil {
-					firstErr = err
-				}
-				continue
-			}
-			jobs[wi][ci] = j
+			row[ci] = service.SpecFromOptions(makeOpts(specs[wi], ci))
 		}
+		matrix[wi] = row
 	}
 
-	ch := make(chan cell)
-	var wg sync.WaitGroup
-	ctx := context.Background()
-	for wi := range jobs {
-		wg.Add(1)
-		go func(wi int) {
-			defer wg.Done()
-			for ci, j := range jobs[wi] {
-				if j == nil {
-					continue
-				}
-				res, err := j.Wait(ctx)
-				ch <- cell{wi: wi, ci: ci, res: res, err: err}
-			}
-		}(wi)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sw, err := service.Default().StartSweep(ctx, matrix, service.SweepOptions{FailFast: true})
+	if err != nil {
+		return err
 	}
-	go func() {
-		wg.Wait()
-		close(ch)
-	}()
-
-	for c := range ch {
-		if c.err != nil {
-			if firstErr == nil {
-				firstErr = c.err
-			}
-			continue
+	if err := sw.Stream(ctx, true, func(ev service.SweepEvent) error {
+		if ev.Status != service.StatusDone {
+			return nil
 		}
-		onCell(c)
+		if ev.Result == nil {
+			// Only possible when the cell was evicted from the LRU (with no
+			// data dir) before this subscriber caught up — fail loudly
+			// rather than feed a partial matrix to the aggregators.
+			return fmt.Errorf("experiments: cell (%d,%d) result evicted before aggregation (raise the cache size or run with -data-dir)", ev.Row, ev.Col)
+		}
+		onCell(cell{wi: ev.Row, ci: ev.Col, res: ev.Result})
+		return nil
+	}); err != nil {
+		return err
 	}
-	return firstErr
+	return sw.Err()
 }
 
 // speedupAgg incrementally aggregates per-category speedups from a sweep.

@@ -8,8 +8,16 @@ import (
 )
 
 // resultCache is a thread-safe LRU cache of simulation results keyed by
-// JobSpec hash. Results are treated as immutable once stored; hits hand out
-// the shared pointer.
+// JobSpec hash. The cache owns its entries exclusively: Add stores a deep
+// copy of the inserted result and Get returns a deep copy of the stored one,
+// so a caller mutating a result it submitted or received can never corrupt
+// what later hits observe (the aliasing bug this replaces handed every hit
+// the same shared pointer).
+//
+// Capacity semantics: a non-positive capacity disables the cache entirely
+// (Add is a no-op, Get always misses). Defaulting of the zero value to a
+// real capacity is the constructor's job (Config.CacheSize: 0 → 1024), not
+// the cache's.
 type resultCache struct {
 	mu       sync.Mutex
 	capacity int
@@ -32,7 +40,8 @@ func newResultCache(capacity int) *resultCache {
 	}
 }
 
-// Get returns the cached result for key, promoting it to most recently used.
+// Get returns a deep copy of the cached result for key, promoting the entry
+// to most recently used.
 func (c *resultCache) Get(key string) (*sim.RunResult, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -43,11 +52,11 @@ func (c *resultCache) Get(key string) (*sim.RunResult, bool) {
 	}
 	c.hits++
 	c.order.MoveToFront(el)
-	return el.Value.(*cacheEntry).res, true
+	return el.Value.(*cacheEntry).res.Clone(), true
 }
 
-// Add stores res under key, evicting the least recently used entry when the
-// cache is full. A capacity of zero disables caching.
+// Add stores a deep copy of res under key, evicting the least recently used
+// entry when the cache is full. A non-positive capacity disables caching.
 func (c *resultCache) Add(key string, res *sim.RunResult) {
 	if c.capacity <= 0 {
 		return
@@ -55,7 +64,7 @@ func (c *resultCache) Add(key string, res *sim.RunResult) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[key]; ok {
-		el.Value.(*cacheEntry).res = res
+		el.Value.(*cacheEntry).res = res.Clone()
 		c.order.MoveToFront(el)
 		return
 	}
@@ -64,7 +73,7 @@ func (c *resultCache) Add(key string, res *sim.RunResult) {
 		c.order.Remove(oldest)
 		delete(c.entries, oldest.Value.(*cacheEntry).key)
 	}
-	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, res: res.Clone()})
 }
 
 // Len returns the number of cached results.

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"net/http"
@@ -10,6 +11,13 @@ import (
 	"constable/internal/sim"
 	"constable/internal/workload"
 )
+
+// sweepStreamLine is one NDJSON line of GET /v1/sweeps/{id}/events: either
+// a per-cell event or, as the final line, the sweep's terminal view.
+type sweepStreamLine struct {
+	Cell  *SweepEvent `json:"cell,omitempty"`
+	Sweep *SweepView  `json:"sweep,omitempty"`
+}
 
 // JobView is the API representation of a job.
 type JobView struct {
@@ -32,16 +40,62 @@ func viewOf(j *Job) JobView {
 	return v
 }
 
+// SweepRequest is the POST /v1/sweeps body. Either give the explicit cell
+// matrix in Specs, or let Workloads × Mechanisms expand into one (one row
+// per workload, one column per mechanism, sharing Instructions/Threads/APX).
+type SweepRequest struct {
+	Specs [][]JobSpec `json:"specs,omitempty"`
+
+	Workloads    []string `json:"workloads,omitempty"`
+	Mechanisms   []string `json:"mechanisms,omitempty"`
+	Instructions uint64   `json:"instructions,omitempty"`
+	Threads      int      `json:"threads,omitempty"`
+	APX          bool     `json:"apx,omitempty"`
+
+	// FailFast cancels the rest of the sweep after the first failed cell.
+	FailFast bool `json:"fail_fast,omitempty"`
+}
+
+// matrix expands the request into the cell matrix handed to StartSweep.
+func (req SweepRequest) matrix() ([][]JobSpec, error) {
+	if len(req.Specs) > 0 {
+		return req.Specs, nil
+	}
+	if len(req.Workloads) == 0 || len(req.Mechanisms) == 0 {
+		return nil, errors.New("sweep needs either specs or workloads+mechanisms")
+	}
+	m := make([][]JobSpec, len(req.Workloads))
+	for wi, wl := range req.Workloads {
+		row := make([]JobSpec, len(req.Mechanisms))
+		for ci, mech := range req.Mechanisms {
+			row[ci] = JobSpec{
+				Workload:     wl,
+				Mechanism:    mech,
+				Instructions: req.Instructions,
+				Threads:      req.Threads,
+				APX:          req.APX,
+			}
+		}
+		m[wi] = row
+	}
+	return m, nil
+}
+
 // NewHandler returns the service's HTTP API over s:
 //
-//	POST /v1/runs               submit one JobSpec; ?wait=1 blocks until finished
-//	POST /v1/runs/batch         submit a JSON array of JobSpecs
-//	GET  /v1/runs/{id}          poll one job
-//	GET  /v1/runs/{id}/result   the finished run's full RunResult document
-//	GET  /v1/workloads          list workloads (name, category)
-//	GET  /v1/mechanisms         list mechanism presets (name, description)
-//	GET  /metrics               plaintext scheduler metrics
-//	GET  /healthz               liveness probe
+//	POST /v1/runs                 submit one JobSpec; ?wait=1 blocks until finished
+//	POST /v1/runs/batch           submit a JSON array of JobSpecs
+//	GET  /v1/runs/{id}            poll one job
+//	GET  /v1/runs/{id}/result     the finished run's full RunResult document
+//	POST /v1/sweeps               submit a workload×config matrix as one sweep
+//	GET  /v1/sweeps/{id}          poll a sweep's aggregate state
+//	GET  /v1/sweeps/{id}/events   NDJSON stream of per-cell events (?results=1
+//	                              embeds each cell's full RunResult)
+//	DELETE /v1/sweeps/{id}        cancel a sweep
+//	GET  /v1/workloads            list workloads (name, category)
+//	GET  /v1/mechanisms           list mechanism presets (name, description)
+//	GET  /metrics                 plaintext scheduler metrics
+//	GET  /healthz                 liveness probe
 func NewHandler(s *Scheduler) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/runs", func(w http.ResponseWriter, r *http.Request) {
@@ -58,6 +112,11 @@ func NewHandler(s *Scheduler) http.Handler {
 		status := http.StatusAccepted
 		if r.URL.Query().Get("wait") != "" {
 			if _, err := j.Wait(r.Context()); err != nil && errors.Is(err, r.Context().Err()) {
+				// The waiting client is gone (disconnect or timeout): drop
+				// its interest so a queued job nobody else shares is
+				// canceled instead of simulating for no one. Shared/deduped
+				// jobs keep running for their remaining submitters.
+				s.Abandon(j.ID)
 				httpError(w, http.StatusGatewayTimeout, "wait interrupted: "+err.Error())
 				return
 			}
@@ -124,11 +183,85 @@ func NewHandler(s *Scheduler) http.Handler {
 			return
 		}
 		if !s.Cancel(id) {
-			httpError(w, http.StatusConflict, "job "+id+" is not queued (running jobs cannot be canceled)")
+			httpError(w, http.StatusConflict, "job "+id+" was not canceled: it is running, finished, or shared by other submitters")
 			return
 		}
 		j, _ := s.Get(id)
 		writeJSON(w, http.StatusOK, viewOf(j))
+	})
+
+	mux.HandleFunc("POST /v1/sweeps", func(w http.ResponseWriter, r *http.Request) {
+		var req SweepRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+			return
+		}
+		matrix, err := req.matrix()
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		// The sweep belongs to the server, not to this request: it keeps
+		// running after the submitting connection closes and is canceled
+		// only by DELETE (or scheduler shutdown).
+		sw, err := s.StartSweep(context.Background(), matrix, SweepOptions{FailFast: req.FailFast})
+		if err != nil {
+			httpError(w, submitStatus(err), err.Error())
+			return
+		}
+		writeJSON(w, http.StatusAccepted, sw.View())
+	})
+
+	mux.HandleFunc("GET /v1/sweeps/{id}", func(w http.ResponseWriter, r *http.Request) {
+		sw, ok := s.GetSweep(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, "unknown sweep "+r.PathValue("id"))
+			return
+		}
+		writeJSON(w, http.StatusOK, sw.View())
+	})
+
+	mux.HandleFunc("GET /v1/sweeps/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		sw, ok := s.GetSweep(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, "unknown sweep "+r.PathValue("id"))
+			return
+		}
+		includeResults := r.URL.Query().Get("results") != ""
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		flusher, _ := w.(http.Flusher)
+		enc := json.NewEncoder(w)
+		// Replays history, then follows live; one JSON object per line,
+		// flushed per cell so clients see cells as they complete. The final
+		// line is the sweep's terminal aggregate view.
+		err := sw.Stream(r.Context(), includeResults, func(ev SweepEvent) error {
+			if err := enc.Encode(sweepStreamLine{Cell: &ev}); err != nil {
+				return err
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			return nil
+		})
+		if err != nil {
+			return // client disconnected mid-stream
+		}
+		v := sw.View()
+		enc.Encode(sweepStreamLine{Sweep: &v})
+		if flusher != nil {
+			flusher.Flush()
+		}
+	})
+
+	mux.HandleFunc("DELETE /v1/sweeps/{id}", func(w http.ResponseWriter, r *http.Request) {
+		sw, ok := s.GetSweep(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, "unknown sweep "+r.PathValue("id"))
+			return
+		}
+		sw.Cancel()
+		writeJSON(w, http.StatusOK, sw.View())
 	})
 
 	mux.HandleFunc("GET /v1/workloads", func(w http.ResponseWriter, r *http.Request) {

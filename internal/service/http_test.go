@@ -1,7 +1,9 @@
 package service
 
 import (
+	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -326,6 +328,289 @@ func TestAPIWorkloadsAndMechanisms(t *testing.T) {
 	}
 	if fmt.Sprint(names) != fmt.Sprint(MechanismNames()) {
 		t.Errorf("mechanisms = %v, want %v", names, MechanismNames())
+	}
+}
+
+// TestAPIWaitDisconnectCancelsSoleWaiter is the regression test for the
+// abandoned-job bug: a ?wait=1 client that disconnects while its job is
+// queued was leaving the job to simulate with no waiter. The sole-waiter
+// job must now be canceled; a job shared with another submitter must keep
+// running.
+func TestAPIWaitDisconnectCancelsSoleWaiter(t *testing.T) {
+	gate := make(chan struct{})
+	defer close(gate)
+	srv, sched := newTestServer(t, Config{Workers: 1}, func(opts sim.Options) (*sim.RunResult, error) {
+		<-gate
+		return &sim.RunResult{}, nil
+	})
+	name := testWorkload(t)
+
+	// Wedge the single worker so everything else stays queued.
+	blocker := decodeJob(t, postJSON(t, srv.URL+"/v1/runs", JobSpec{Workload: name, Instructions: 1000}))
+	waitFor(t, 5*time.Second, func() bool {
+		j, ok := sched.Get(blocker.ID)
+		return ok && j.Status() == StatusRunning
+	})
+
+	// Sole waiter: submit via ?wait=1 only, then drop the connection.
+	ctx, cancel := context.WithCancel(context.Background())
+	body, _ := json.Marshal(JobSpec{Workload: name, Instructions: 2000})
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, srv.URL+"/v1/runs?wait=1", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		errc <- err
+	}()
+	waitFor(t, 5*time.Second, func() bool { return sched.QueueDepth() == 1 })
+	cancel()
+	<-errc
+	waitFor(t, 5*time.Second, func() bool {
+		m := sched.Metrics()
+		return m.JobsCanceled == 1 && m.QueueDepth == 0
+	})
+
+	// Shared job: an async submitter holds interest, so a disconnecting
+	// ?wait=1 duplicate must NOT cancel it.
+	shared := decodeJob(t, postJSON(t, srv.URL+"/v1/runs", JobSpec{Workload: name, Instructions: 3000}))
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	body2, _ := json.Marshal(JobSpec{Workload: name, Instructions: 3000})
+	req2, err := http.NewRequestWithContext(ctx2, http.MethodPost, srv.URL+"/v1/runs?wait=1", bytes.NewReader(body2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		resp, err := http.DefaultClient.Do(req2)
+		if err == nil {
+			resp.Body.Close()
+		}
+		errc <- err
+	}()
+	waitFor(t, 5*time.Second, func() bool { return sched.Metrics().JobsDeduped == 1 })
+	cancel2()
+	<-errc
+	time.Sleep(20 * time.Millisecond) // give a buggy cancellation time to land
+	j, ok := sched.Get(shared.ID)
+	if !ok || j.Status() != StatusQueued {
+		t.Errorf("shared job status after duplicate waiter disconnected: %v (want queued)", j.Status())
+	}
+	if m := sched.Metrics(); m.JobsCanceled != 1 {
+		t.Errorf("jobs canceled = %d, want 1 (shared job must survive)", m.JobsCanceled)
+	}
+}
+
+func TestAPISweepLifecycle(t *testing.T) {
+	var calls atomic.Uint64
+	srv, _ := newTestServer(t, Config{Workers: 2}, countingRun(&calls))
+	name := testWorkload(t)
+
+	resp := postJSON(t, srv.URL+"/v1/sweeps", SweepRequest{
+		Workloads:  []string{name},
+		Mechanisms: []string{"baseline", "constable"},
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("sweep submit status %d, want 202", resp.StatusCode)
+	}
+	var view SweepView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if view.ID == "" || view.Total != 2 {
+		t.Fatalf("sweep view %+v, want id and 2 cells", view)
+	}
+
+	// The event stream replays all cells and ends with the terminal view.
+	r, err := http.Get(srv.URL + "/v1/sweeps/" + view.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if ct := r.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("events Content-Type = %q", ct)
+	}
+	var cells, finals int
+	sc := bufio.NewScanner(r.Body)
+	for sc.Scan() {
+		var line sweepStreamLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		switch {
+		case line.Cell != nil:
+			cells++
+			if line.Cell.Status != StatusDone {
+				t.Errorf("cell (%d,%d) status %s", line.Cell.Row, line.Cell.Col, line.Cell.Status)
+			}
+			if line.Cell.Result != nil {
+				t.Error("event stream embedded results without ?results=1")
+			}
+		case line.Sweep != nil:
+			finals++
+			if line.Sweep.Status != SweepDone {
+				t.Errorf("final line status %s, want done", line.Sweep.Status)
+			}
+		}
+	}
+	if cells != 2 || finals != 1 {
+		t.Errorf("stream had %d cell lines and %d final lines, want 2 and 1", cells, finals)
+	}
+
+	// ?results=1 embeds each cell's RunResult.
+	r2, err := http.Get(srv.URL + "/v1/sweeps/" + view.ID + "/events?results=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Body.Close()
+	sc = bufio.NewScanner(r2.Body)
+	for sc.Scan() {
+		var line sweepStreamLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatal(err)
+		}
+		if line.Cell != nil && line.Cell.Result == nil {
+			t.Error("?results=1 stream omitted a cell result")
+		}
+	}
+
+	// Poll endpoint agrees.
+	r3, err := http.Get(srv.URL + "/v1/sweeps/" + view.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r3.Body.Close()
+	if err := json.NewDecoder(r3.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	if view.Status != SweepDone || view.Completed != 2 {
+		t.Errorf("poll view %+v, want done/2", view)
+	}
+
+	// Bad requests.
+	for _, body := range []any{SweepRequest{}, SweepRequest{Workloads: []string{"nope"}, Mechanisms: []string{"baseline"}}} {
+		resp := postJSON(t, srv.URL+"/v1/sweeps", body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("invalid sweep %+v: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+	if r, err := http.Get(srv.URL + "/v1/sweeps/sweep-999"); err == nil {
+		r.Body.Close()
+		if r.StatusCode != http.StatusNotFound {
+			t.Errorf("unknown sweep: status %d, want 404", r.StatusCode)
+		}
+	}
+}
+
+// TestAPISweepStreamsBeforeFinish is the acceptance criterion that
+// GET /v1/sweeps/{id}/events delivers cells while the sweep is still
+// running — no full-matrix barrier in front of the stream.
+func TestAPISweepStreamsBeforeFinish(t *testing.T) {
+	gate := make(chan struct{})
+	var started atomic.Uint64
+	srv, sched := newTestServer(t, Config{Workers: 1}, func(opts sim.Options) (*sim.RunResult, error) {
+		if started.Add(1) >= 2 {
+			<-gate // every cell after the first wedges until released
+		}
+		return &sim.RunResult{Cycles: opts.Instructions}, nil
+	})
+	name := testWorkload(t)
+
+	resp := postJSON(t, srv.URL+"/v1/sweeps", SweepRequest{
+		Workloads:  []string{name},
+		Mechanisms: []string{"baseline", "eves", "constable"},
+	})
+	var view SweepView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	r, err := http.Get(srv.URL + "/v1/sweeps/" + view.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	sc := bufio.NewScanner(r.Body)
+	if !sc.Scan() {
+		t.Fatal("stream closed before the first cell")
+	}
+	var first sweepStreamLine
+	if err := json.Unmarshal(sc.Bytes(), &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.Cell == nil || first.Cell.Status != StatusDone {
+		t.Fatalf("first streamed line %+v, want a done cell", first)
+	}
+	// The cell arrived while the sweep is verifiably still running.
+	sw, ok := sched.GetSweep(view.ID)
+	if !ok {
+		t.Fatal("sweep vanished")
+	}
+	if sw.Status() != SweepRunning {
+		t.Errorf("sweep status %s when the first cell streamed, want running", sw.Status())
+	}
+
+	close(gate)
+	var lines int
+	for sc.Scan() {
+		lines++
+	}
+	if lines != 3 { // two remaining cells + final sweep line
+		t.Errorf("read %d lines after release, want 3", lines)
+	}
+	if sw.Status() != SweepDone {
+		t.Errorf("final sweep status %s, want done", sw.Status())
+	}
+}
+
+func TestAPISweepCancel(t *testing.T) {
+	gate := make(chan struct{})
+	defer close(gate)
+	srv, sched := newTestServer(t, Config{Workers: 1}, func(opts sim.Options) (*sim.RunResult, error) {
+		<-gate
+		return &sim.RunResult{}, nil
+	})
+	name := testWorkload(t)
+
+	resp := postJSON(t, srv.URL+"/v1/sweeps", SweepRequest{
+		Workloads:  []string{name},
+		Mechanisms: []string{"baseline", "eves", "constable"},
+	})
+	var view SweepView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	req, err := http.NewRequest(http.MethodDelete, srv.URL+"/v1/sweeps/"+view.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel status %d, want 200", dresp.StatusCode)
+	}
+	sw, _ := sched.GetSweep(view.ID)
+	select {
+	case <-sw.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled sweep never drained")
+	}
+	if sw.Status() != SweepCanceled {
+		t.Errorf("status %s, want canceled", sw.Status())
+	}
+	if depth := sched.QueueDepth(); depth != 0 {
+		t.Errorf("queue depth %d after sweep cancel, want 0", depth)
 	}
 }
 

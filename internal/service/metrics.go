@@ -14,6 +14,11 @@ type metrics struct {
 	canceled  atomic.Uint64
 	deduped   atomic.Uint64
 
+	sweepsStarted   atomic.Uint64
+	sweepsCompleted atomic.Uint64
+	sweepsFailed    atomic.Uint64
+	sweepsCanceled  atomic.Uint64
+
 	// simInstructions counts committed-path instructions actually simulated
 	// (cache hits excluded); simBusyNanos the worker time spent simulating.
 	simInstructions atomic.Uint64
@@ -31,10 +36,22 @@ type MetricsSnapshot struct {
 	JobsRunning   int    `json:"jobs_running"`
 	QueueDepth    int    `json:"queue_depth"`
 
+	SweepsStarted   uint64 `json:"sweeps_started"`
+	SweepsCompleted uint64 `json:"sweeps_completed"`
+	SweepsFailed    uint64 `json:"sweeps_failed"`
+	SweepsCanceled  uint64 `json:"sweeps_canceled"`
+
 	CacheHits    uint64  `json:"cache_hits"`
 	CacheMisses  uint64  `json:"cache_misses"`
 	CacheEntries int     `json:"cache_entries"`
 	CacheHitRate float64 `json:"cache_hit_rate"`
+
+	// Store counters are zero when no --data-dir is configured.
+	StoreHits    uint64 `json:"store_hits"`
+	StoreMisses  uint64 `json:"store_misses"`
+	StoreWrites  uint64 `json:"store_writes"`
+	StoreErrors  uint64 `json:"store_errors"`
+	StoreCorrupt uint64 `json:"store_corrupt"`
 
 	SimInstructions       uint64  `json:"sim_instructions"`
 	SimInstructionsPerSec float64 `json:"sim_instructions_per_sec"`
@@ -54,6 +71,19 @@ func (s *Scheduler) Metrics() MetricsSnapshot {
 		CacheHits:     hits,
 		CacheMisses:   misses,
 		CacheEntries:  s.cache.Len(),
+
+		SweepsStarted:   s.metrics.sweepsStarted.Load(),
+		SweepsCompleted: s.metrics.sweepsCompleted.Load(),
+		SweepsFailed:    s.metrics.sweepsFailed.Load(),
+		SweepsCanceled:  s.metrics.sweepsCanceled.Load(),
+	}
+	if s.store != nil {
+		st := s.store.Stats()
+		m.StoreHits = st.hits
+		m.StoreMisses = st.misses
+		m.StoreWrites = st.writes
+		m.StoreErrors = st.errors
+		m.StoreCorrupt = st.corrupt
 	}
 	if total := hits + misses; total > 0 {
 		m.CacheHitRate = float64(hits) / float64(total)
@@ -84,10 +114,19 @@ func (m MetricsSnapshot) WriteTo(w io.Writer) (int64, error) {
 		{"jobs_deduped_total", m.JobsDeduped},
 		{"jobs_running", m.JobsRunning},
 		{"queue_depth", m.QueueDepth},
+		{"sweeps_started_total", m.SweepsStarted},
+		{"sweeps_completed_total", m.SweepsCompleted},
+		{"sweeps_failed_total", m.SweepsFailed},
+		{"sweeps_canceled_total", m.SweepsCanceled},
 		{"cache_hits_total", m.CacheHits},
 		{"cache_misses_total", m.CacheMisses},
 		{"cache_entries", m.CacheEntries},
 		{"cache_hit_rate", m.CacheHitRate},
+		{"store_hits_total", m.StoreHits},
+		{"store_misses_total", m.StoreMisses},
+		{"store_writes_total", m.StoreWrites},
+		{"store_errors_total", m.StoreErrors},
+		{"store_corrupt_total", m.StoreCorrupt},
 		{"sim_instructions_total", m.SimInstructions},
 		{"sim_instructions_per_second", m.SimInstructionsPerSec},
 	} {

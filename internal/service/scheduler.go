@@ -36,6 +36,11 @@ type Job struct {
 	err      error
 	cacheHit bool
 
+	// refs counts the submitters still interested in this job (initial
+	// submit plus each deduped duplicate, minus Abandon calls). Owned by
+	// the scheduler and guarded by the scheduler's mutex, not j.mu.
+	refs int
+
 	submitted time.Time
 	started   time.Time
 	finished  time.Time
@@ -51,11 +56,22 @@ func (j *Job) Status() JobStatus {
 }
 
 // Result returns the simulation result and error once the job has finished;
-// before that it returns (nil, nil).
+// before that it returns (nil, nil). The result is a deep copy: submitters
+// deduped onto one job (and repeated Result calls) each get an independent
+// document, so no caller's mutation can reach another's — the same isolation
+// the result cache and store provide.
 func (j *Job) Result() (*sim.RunResult, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return j.result, j.err
+	return j.result.Clone(), j.err
+}
+
+// terminalErr returns the job's error without copying the result — for
+// in-package callers that only need the outcome (the sweep drainers).
+func (j *Job) terminalErr() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
 }
 
 // CacheHit reports whether the job was served from the result cache without
@@ -102,13 +118,19 @@ type Config struct {
 	// Workers bounds the number of concurrent simulations
 	// (default runtime.GOMAXPROCS(0)).
 	Workers int
-	// CacheSize is the LRU result-cache capacity in entries (default 1024;
-	// negative disables caching).
+	// CacheSize is the LRU result-cache capacity in entries. Zero selects
+	// the default (1024); any negative value disables in-memory caching.
 	CacheSize int
 	// JobRetention bounds how many finished jobs stay pollable via Get
 	// (default 16384). Beyond it the oldest finished jobs are forgotten,
 	// keeping a long-lived server's memory bounded.
 	JobRetention int
+	// DataDir, when non-empty, roots the persistent content-addressed
+	// result store: every finished result is written there (one JSON file
+	// per JobSpec hash, sharded, atomically renamed into place) and LRU
+	// misses fall through to it, so results survive restarts and are
+	// shared between processes pointing at the same directory.
+	DataDir string
 }
 
 // Scheduler runs JobSpecs on a bounded worker pool over sim.Run, tracking
@@ -118,6 +140,7 @@ type Config struct {
 type Scheduler struct {
 	workers int
 	cache   *resultCache
+	store   *resultStore // nil without Config.DataDir
 	// runFn executes one simulation; tests substitute a stub.
 	runFn func(sim.Options) (*sim.RunResult, error)
 
@@ -132,13 +155,18 @@ type Scheduler struct {
 	nextID    uint64
 	running   int
 
+	sweeps    map[string]*Sweep
+	sweepDone []string // finished sweep IDs, oldest first, for eviction
+	nextSweep uint64
+
 	wg sync.WaitGroup
 
 	metrics metrics
 }
 
-// New starts a scheduler with cfg's worker pool.
-func New(cfg Config) *Scheduler {
+// Open starts a scheduler with cfg's worker pool. It errors only when
+// Config.DataDir is set and the store directory cannot be created.
+func Open(cfg Config) (*Scheduler, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
@@ -155,25 +183,69 @@ func New(cfg Config) *Scheduler {
 		byID:      make(map[string]*Job),
 		inflight:  make(map[string]*Job),
 		retention: cfg.JobRetention,
+		sweeps:    make(map[string]*Sweep),
+	}
+	if cfg.DataDir != "" {
+		store, err := newResultStore(cfg.DataDir)
+		if err != nil {
+			return nil, err
+		}
+		s.store = store
 	}
 	s.cond = sync.NewCond(&s.mu)
 	for i := 0; i < s.workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
+	return s, nil
+}
+
+// New starts a scheduler with cfg's worker pool, panicking when the result
+// store cannot be opened. Callers with an untrusted DataDir should use Open.
+func New(cfg Config) *Scheduler {
+	s, err := Open(cfg)
+	if err != nil {
+		panic(err)
+	}
 	return s
 }
 
 var (
-	defaultOnce sync.Once
-	defaultSch  *Scheduler
+	defaultMu  sync.Mutex
+	defaultSch *Scheduler
+	defaultCfg Config
 )
 
+// SetDefaultConfig sets the configuration the process-wide scheduler is
+// created with. It must be called before the first Default() call — CLI
+// tools call it from flag handling (e.g. -data-dir) — and errors if the
+// default scheduler already exists or the configured store cannot open.
+func SetDefaultConfig(cfg Config) error {
+	defaultMu.Lock()
+	defer defaultMu.Unlock()
+	if defaultSch != nil {
+		return errors.New("service: default scheduler already created")
+	}
+	if cfg.DataDir != "" {
+		// Surface store errors here rather than as a panic in Default.
+		if _, err := newResultStore(cfg.DataDir); err != nil {
+			return err
+		}
+	}
+	defaultCfg = cfg
+	return nil
+}
+
 // Default returns the process-wide shared scheduler, creating it on first
-// use. The CLI tools and the experiment drivers all submit through it, so
-// repeated cells across drivers are simulated once per process.
+// use with the SetDefaultConfig configuration. The CLI tools and the
+// experiment drivers all submit through it, so repeated cells across
+// drivers are simulated once per process (and once ever, with a DataDir).
 func Default() *Scheduler {
-	defaultOnce.Do(func() { defaultSch = New(Config{}) })
+	defaultMu.Lock()
+	defer defaultMu.Unlock()
+	if defaultSch == nil {
+		defaultSch = New(defaultCfg) // DataDir pre-validated by SetDefaultConfig
+	}
 	return defaultSch
 }
 
@@ -199,6 +271,7 @@ func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
 
 	if j, ok := s.inflight[hash]; ok {
 		s.metrics.deduped.Add(1)
+		j.refs++
 		return j, nil
 	}
 
@@ -210,6 +283,7 @@ func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
 		status:    StatusQueued,
 		submitted: time.Now(),
 		done:      make(chan struct{}),
+		refs:      1,
 	}
 	s.byID[j.ID] = j
 
@@ -219,10 +293,91 @@ func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
 		return j, nil
 	}
 
+	if s.store == nil {
+		s.inflight[hash] = j
+		s.queue = append(s.queue, j)
+		s.cond.Signal()
+		return j, nil
+	}
+
+	// LRU miss with a persistent store: consult the disk with the scheduler
+	// unlocked — a cold sweep submission must not serialize every other
+	// Submit/retire/Metrics call behind file reads. Registering j in
+	// inflight first reserves the hash, so a concurrent identical Submit
+	// dedups onto j instead of racing its own disk load.
 	s.inflight[hash] = j
+	s.mu.Unlock()
+	res, ok := s.store.Load(hash)
+	s.mu.Lock()
+	if s.closed {
+		// Shutdown ran while we were off the lock and canceled the queue;
+		// j was reserved but not queued, so cancel it the same way.
+		delete(s.inflight, hash)
+		j.finish(nil, ErrCanceled, StatusCanceled, false)
+		s.retireLocked(j)
+		s.metrics.canceled.Add(1)
+		return j, nil
+	}
+	if ok {
+		// Store hit: promote into the LRU so later duplicates don't touch
+		// the disk again.
+		delete(s.inflight, hash)
+		s.cache.Add(hash, res)
+		j.finish(res, nil, StatusDone, true)
+		s.retireLocked(j)
+		return j, nil
+	}
 	s.queue = append(s.queue, j)
 	s.cond.Signal()
 	return j, nil
+}
+
+// Abandon drops one submitter's interest in a job. When the last interested
+// submitter abandons a job that is still queued, the job is canceled and its
+// queue slot freed — this is how a sweep cancellation, a DELETE /v1/runs
+// call or a disconnected ?wait=1 client stops work nobody is waiting for,
+// while a job shared with other submitters (dedup) keeps running for them.
+// Running jobs are never interrupted (sim.Run has no preemption point): an
+// abandoned running job completes and still populates the cache and store.
+// Abandon reports whether it canceled the job.
+func (s *Scheduler) Abandon(id string) bool {
+	s.mu.Lock()
+	j, ok := s.byID[id]
+	if !ok {
+		s.mu.Unlock()
+		return false
+	}
+	if j.refs > 0 {
+		j.refs--
+	}
+	if j.refs > 0 {
+		s.mu.Unlock()
+		return false
+	}
+	canceled := s.cancelQueuedLocked(j)
+	s.mu.Unlock()
+	if canceled {
+		s.metrics.canceled.Add(1)
+	}
+	return canceled
+}
+
+// cancelQueuedLocked removes j from the queue and finishes it as canceled,
+// reporting false when j is not queued (running or terminal). Queue
+// membership — checked and removed under the lock, so a concurrent worker
+// pop or second cancellation cannot also finish the job — is what
+// authorizes canceling. Caller holds s.mu and owns the canceled metric.
+func (s *Scheduler) cancelQueuedLocked(j *Job) bool {
+	for i, q := range s.queue {
+		if q == j {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			delete(s.inflight, j.Hash)
+			j.finish(nil, ErrCanceled, StatusCanceled, false)
+			s.retireLocked(j)
+			return true
+		}
+	}
+	return false
 }
 
 // RunSync submits spec and waits for its result.
@@ -242,35 +397,42 @@ func (s *Scheduler) Get(id string) (*Job, bool) {
 	return j, ok
 }
 
-// Cancel cancels a queued job. Running jobs cannot be interrupted (sim.Run
-// has no preemption point); canceling one returns false. Membership in the
-// queue — checked and removed under the lock, so a concurrent worker pop or
-// second Cancel cannot also finish the job — is what authorizes canceling.
+// Cancel cancels a queued job that no other submitter shares. Unlike
+// Abandon — which is a submitter relinquishing its own interest and always
+// consumes a reference — Cancel is an external request (DELETE /v1/runs) by
+// a caller whose identity is unknown: when the job is deduped across
+// multiple submitters it refuses without touching their references, so a
+// shared job (e.g. a running sweep's cell) can never be killed, or have its
+// refcount drained by repeated DELETEs, by one client. Running jobs cannot
+// be interrupted either way.
 func (s *Scheduler) Cancel(id string) bool {
 	s.mu.Lock()
 	j, ok := s.byID[id]
-	if !ok {
+	if !ok || j.refs > 1 {
 		s.mu.Unlock()
 		return false
 	}
-	removed := false
-	for i, q := range s.queue {
-		if q == j {
-			s.queue = append(s.queue[:i], s.queue[i+1:]...)
-			removed = true
-			break
+	canceled := s.cancelQueuedLocked(j)
+	s.mu.Unlock()
+	if canceled {
+		s.metrics.canceled.Add(1)
+	}
+	return canceled
+}
+
+// lookupResult returns an independent copy of the result stored under hash
+// in the LRU or the persistent store, or nil when neither has it — how
+// finished sweeps re-resolve cell results for replay without pinning them.
+func (s *Scheduler) lookupResult(hash string) *sim.RunResult {
+	if res, ok := s.cache.Get(hash); ok {
+		return res
+	}
+	if s.store != nil {
+		if res, ok := s.store.Load(hash); ok {
+			return res
 		}
 	}
-	if !removed {
-		s.mu.Unlock()
-		return false
-	}
-	delete(s.inflight, j.Hash)
-	j.finish(nil, ErrCanceled, StatusCanceled, false)
-	s.retireLocked(j)
-	s.mu.Unlock()
-	s.metrics.canceled.Add(1)
-	return true
+	return nil
 }
 
 // QueueDepth returns the number of jobs waiting for a worker.
@@ -383,6 +545,12 @@ func (s *Scheduler) worker() {
 			continue
 		}
 		s.cache.Add(j.Hash, res)
+		if s.store != nil {
+			// Persistence is best-effort: a full disk degrades to LRU-only
+			// caching (the failure is counted in the store metrics) rather
+			// than failing the job, whose in-memory result is still valid.
+			_ = s.store.Save(j.Hash, res)
+		}
 		j.finish(res, nil, StatusDone, false)
 		s.retire(j)
 		s.metrics.completed.Add(1)

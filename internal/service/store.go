@@ -1,0 +1,199 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+
+	"constable/internal/constable"
+	"constable/internal/pipeline"
+	"constable/internal/sim"
+)
+
+// storeSchema versions the on-disk envelope. Bump it whenever the envelope
+// or sim.RunResult changes incompatibly; loads of other versions are treated
+// as misses so the cell simply re-simulates and is re-written.
+const storeSchema = 1
+
+// storeEnvelope is the on-disk form of one result. sim.RunResult hides its
+// typed programmatic views (Pipeline/Constable stats, hierarchy access
+// counts) from its public JSON schema, but the experiment drivers read them,
+// so the envelope persists them explicitly alongside the public document.
+// The envelope also records the JobSpec hash it was stored under: Load
+// verifies it against the requested key, so a file that was renamed, copied
+// between shards, or truncated-and-rewritten can never alias another spec's
+// result.
+type storeEnvelope struct {
+	Schema int            `json:"schema"`
+	Hash   string         `json:"hash"`
+	Result *sim.RunResult `json:"result"`
+	Typed  storeTyped     `json:"typed"`
+}
+
+// storeTyped carries the RunResult fields excluded from the public JSON
+// schema (tagged `json:"-"`), which round-trip only through the store.
+type storeTyped struct {
+	Pipeline  pipeline.Stats  `json:"pipeline"`
+	Constable constable.Stats `json:"constable"`
+
+	L1DAccesses  uint64 `json:"l1d_accesses"`
+	L2Accesses   uint64 `json:"l2_accesses"`
+	LLCAccesses  uint64 `json:"llc_accesses"`
+	DTLBAccesses uint64 `json:"dtlb_accesses"`
+
+	EVESPredictions uint64 `json:"eves_predictions"`
+	EVESMispredicts uint64 `json:"eves_mispredicts"`
+}
+
+// resultStore is the persistent content-addressed result store: one JSON
+// file per finished RunResult, keyed by JobSpec hash, sharded into
+// dir/<hash[:2]>/<hash>.json so no single directory grows unboundedly.
+// Writes go through a temp file + atomic rename, so concurrent processes
+// sharing a --data-dir never observe partial files; loads tolerate
+// corruption (truncated writes, stray files, schema drift) by treating any
+// undecodable or mismatched file as a miss.
+type resultStore struct {
+	dir string
+
+	hits, misses, writes, errors, corrupt atomic.Uint64
+}
+
+// newResultStore opens (creating if needed) a store rooted at dir and
+// sweeps temp files orphaned by writers that crashed mid-Save — they are
+// invisible to Load and would otherwise accumulate across restarts.
+func newResultStore(dir string) (*resultStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("service: result store: %w", err)
+	}
+	filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() &&
+			strings.HasPrefix(d.Name(), ".") && strings.Contains(d.Name(), ".tmp") {
+			os.Remove(path)
+		}
+		return nil
+	})
+	return &resultStore{dir: dir}, nil
+}
+
+func (st *resultStore) path(hash string) string {
+	shard := "xx"
+	if len(hash) >= 2 {
+		shard = hash[:2]
+	}
+	return filepath.Join(st.dir, shard, hash+".json")
+}
+
+// Load returns the stored result for hash, or (nil, false) when absent or
+// unreadable. The returned result is freshly decoded and owned by the
+// caller. A decodable envelope whose recorded hash differs from the
+// requested key (aliasing — e.g. a file copied across shards) counts as
+// corrupt and is a miss.
+func (st *resultStore) Load(hash string) (*sim.RunResult, bool) {
+	b, err := os.ReadFile(st.path(hash))
+	if err != nil {
+		st.misses.Add(1)
+		return nil, false
+	}
+	var env storeEnvelope
+	if err := json.Unmarshal(b, &env); err != nil || env.Schema != storeSchema ||
+		env.Hash != hash || env.Result == nil {
+		st.corrupt.Add(1)
+		st.misses.Add(1)
+		return nil, false
+	}
+	res := env.Result
+	res.Pipeline = env.Typed.Pipeline
+	res.Constable = env.Typed.Constable
+	res.L1DAccesses = env.Typed.L1DAccesses
+	res.L2Accesses = env.Typed.L2Accesses
+	res.LLCAccesses = env.Typed.LLCAccesses
+	res.DTLBAccesses = env.Typed.DTLBAccesses
+	res.EVESPredictions = env.Typed.EVESPredictions
+	res.EVESMispredicts = env.Typed.EVESMispredicts
+	st.hits.Add(1)
+	return res, true
+}
+
+// Save persists res under hash. The write is atomic (temp file in the same
+// shard directory, then rename), so a crashed or concurrent writer can only
+// ever leave a complete file or none.
+func (st *resultStore) Save(hash string, res *sim.RunResult) error {
+	env := storeEnvelope{
+		Schema: storeSchema,
+		Hash:   hash,
+		Result: res,
+		Typed: storeTyped{
+			Pipeline:        res.Pipeline,
+			Constable:       res.Constable,
+			L1DAccesses:     res.L1DAccesses,
+			L2Accesses:      res.L2Accesses,
+			LLCAccesses:     res.LLCAccesses,
+			DTLBAccesses:    res.DTLBAccesses,
+			EVESPredictions: res.EVESPredictions,
+			EVESMispredicts: res.EVESMispredicts,
+		},
+	}
+	b, err := json.Marshal(env)
+	if err != nil {
+		st.errors.Add(1)
+		return fmt.Errorf("service: result store encode %s: %w", hash, err)
+	}
+	final := st.path(hash)
+	if err := os.MkdirAll(filepath.Dir(final), 0o755); err != nil {
+		st.errors.Add(1)
+		return fmt.Errorf("service: result store: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(final), "."+filepath.Base(final)+".tmp*")
+	if err != nil {
+		st.errors.Add(1)
+		return fmt.Errorf("service: result store: %w", err)
+	}
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		st.errors.Add(1)
+		return fmt.Errorf("service: result store write %s: %w", hash, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		st.errors.Add(1)
+		return fmt.Errorf("service: result store close %s: %w", hash, err)
+	}
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		os.Remove(tmp.Name())
+		st.errors.Add(1)
+		return fmt.Errorf("service: result store rename %s: %w", hash, err)
+	}
+	st.writes.Add(1)
+	return nil
+}
+
+// Len walks the store and returns the number of persisted results.
+func (st *resultStore) Len() int {
+	n := 0
+	filepath.WalkDir(st.dir, func(path string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && filepath.Ext(path) == ".json" {
+			n++
+		}
+		return nil
+	})
+	return n
+}
+
+// storeStats is a point-in-time view of the store's counters.
+type storeStats struct {
+	hits, misses, writes, errors, corrupt uint64
+}
+
+func (st *resultStore) Stats() storeStats {
+	return storeStats{
+		hits:    st.hits.Load(),
+		misses:  st.misses.Load(),
+		writes:  st.writes.Load(),
+		errors:  st.errors.Load(),
+		corrupt: st.corrupt.Load(),
+	}
+}

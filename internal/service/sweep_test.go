@@ -1,0 +1,469 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"constable/internal/sim"
+	"constable/internal/workload"
+)
+
+var errSimBoom = errors.New("sim boom")
+
+// testMatrix builds a rows×cols matrix of distinct specs over the small
+// suite (one workload per row, instruction budget varying per column).
+func testMatrix(rows, cols int, baseInsts uint64) [][]JobSpec {
+	suite := workload.SmallSuite()
+	m := make([][]JobSpec, rows)
+	for ri := 0; ri < rows; ri++ {
+		row := make([]JobSpec, cols)
+		for ci := 0; ci < cols; ci++ {
+			row[ci] = JobSpec{
+				Workload:     suite[ri%len(suite)].Name,
+				Instructions: baseInsts + uint64(ri*cols+ci),
+			}
+		}
+		m[ri] = row
+	}
+	return m
+}
+
+func drainSweep(t *testing.T, sw *Sweep) []SweepEvent {
+	t.Helper()
+	var events []SweepEvent
+	if err := sw.Stream(t.Context(), true, func(ev SweepEvent) error {
+		events = append(events, ev)
+		return nil
+	}); err != nil {
+		t.Fatalf("Stream: %v", err)
+	}
+	return events
+}
+
+func TestSweepStreamsAllCells(t *testing.T) {
+	var calls atomic.Uint64
+	s := newStubScheduler(t, Config{Workers: 4}, countingRun(&calls))
+
+	sw, err := s.StartSweep(t.Context(), testMatrix(3, 4, 1000), SweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := drainSweep(t, sw)
+	if len(events) != 12 {
+		t.Fatalf("streamed %d events, want 12", len(events))
+	}
+	lastCol := map[int]int{0: -1, 1: -1, 2: -1}
+	for i, ev := range events {
+		if ev.Seq != i {
+			t.Errorf("event %d has seq %d; stream is out of order", i, ev.Seq)
+		}
+		if ev.Status != StatusDone || ev.Result == nil {
+			t.Errorf("cell (%d,%d): status %s, result %v", ev.Row, ev.Col, ev.Status, ev.Result)
+		}
+		// Within a row, cells must stream in column order (runSweep's
+		// aggregators rely on per-row ordering being stable).
+		if ev.Col <= lastCol[ev.Row] {
+			t.Errorf("row %d streamed col %d after col %d", ev.Row, ev.Col, lastCol[ev.Row])
+		}
+		lastCol[ev.Row] = ev.Col
+	}
+	if calls.Load() != 12 {
+		t.Errorf("ran %d simulations, want 12 (all cells distinct)", calls.Load())
+	}
+	v := sw.View()
+	if v.Status != SweepDone || v.Completed != 12 || v.Failed != 0 || v.Canceled != 0 {
+		t.Errorf("view = %+v, want done/12/0/0", v)
+	}
+
+	// Replay after completion: a late subscriber still gets full history.
+	replay := drainSweep(t, sw)
+	if len(replay) != 12 {
+		t.Errorf("replay streamed %d events, want 12", len(replay))
+	}
+
+	// The same matrix resubmitted is served entirely from the cache.
+	sw2, err := s.StartSweep(t.Context(), testMatrix(3, 4, 1000), SweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drainSweep(t, sw2)
+	if calls.Load() != 12 {
+		t.Errorf("resubmitted sweep re-simulated (%d calls)", calls.Load())
+	}
+	if v := sw2.View(); v.CacheHits != 12 {
+		t.Errorf("resubmitted sweep cache hits = %d, want 12", v.CacheHits)
+	}
+}
+
+// TestSweepCancelMidMatrix is the mid-matrix cancellation test: with one
+// worker wedged, canceling the sweep must drop every still-queued cell from
+// the scheduler queue and drain the sweep to a terminal canceled status
+// without waiting for the wedged cell.
+func TestSweepCancelMidMatrix(t *testing.T) {
+	gate := make(chan struct{})
+	defer close(gate)
+	var started atomic.Uint64
+	s := newStubScheduler(t, Config{Workers: 1}, func(opts sim.Options) (*sim.RunResult, error) {
+		if started.Add(1) >= 2 {
+			<-gate // second and later simulations wedge
+		}
+		return &sim.RunResult{Cycles: opts.Instructions}, nil
+	})
+
+	sw, err := s.StartSweep(t.Context(), testMatrix(2, 4, 2000), SweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until one cell has completed and the next is wedged running.
+	waitFor(t, 5*time.Second, func() bool {
+		return sw.View().Completed >= 1 && started.Load() >= 2
+	})
+	sw.Cancel()
+
+	select {
+	case <-sw.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("sweep did not reach a terminal status after Cancel (wedged cell still running)")
+	}
+	v := sw.View()
+	if v.Status != SweepCanceled {
+		t.Fatalf("status %s, want canceled (view %+v)", v.Status, v)
+	}
+	if v.Completed+v.Canceled != v.Total || v.Canceled == 0 {
+		t.Errorf("cells: %d done + %d canceled != %d total", v.Completed, v.Canceled, v.Total)
+	}
+	// Every queued cell left the scheduler queue — nothing keeps simulating
+	// toward a canceled sweep.
+	if depth := s.QueueDepth(); depth != 0 {
+		t.Errorf("queue depth after cancel = %d, want 0", depth)
+	}
+	if m := s.Metrics(); m.JobsCanceled == 0 {
+		t.Errorf("scheduler canceled %d jobs, want > 0", m.JobsCanceled)
+	}
+	events := drainSweep(t, sw)
+	if len(events) != v.Total {
+		t.Errorf("streamed %d events, want %d (canceled cells must still produce events)", len(events), v.Total)
+	}
+}
+
+// TestSweepFailFast verifies satellite bug #1's fix end-to-end: after one
+// cell fails, the remaining cells are canceled instead of simulating to
+// completion, and the first error surfaces.
+func TestSweepFailFast(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	var sims atomic.Uint64
+	s := newStubScheduler(t, Config{Workers: 1}, func(opts sim.Options) (*sim.RunResult, error) {
+		sims.Add(1)
+		if opts.Instructions == 3000 { // first cell fails
+			return nil, errSimBoom
+		}
+		// Later cells block until the test ends: if fail-fast doesn't drop
+		// them from the queue, they show up in the simulation count.
+		<-release
+		return &sim.RunResult{Cycles: opts.Instructions}, nil
+	})
+
+	sw, err := s.StartSweep(t.Context(), testMatrix(2, 3, 3000), SweepOptions{FailFast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := drainSweep(t, sw)
+	if sw.Status() != SweepFailed {
+		t.Errorf("status %s, want failed", sw.Status())
+	}
+	if !errors.Is(sw.Err(), errSimBoom) {
+		t.Errorf("Err = %v, want %v", sw.Err(), errSimBoom)
+	}
+	v := sw.View()
+	if v.Failed != 1 {
+		t.Errorf("failed cells = %d, want 1", v.Failed)
+	}
+	if v.Completed+v.Failed+v.Canceled != v.Total {
+		t.Errorf("event accounting: %+v does not cover %d cells", v, v.Total)
+	}
+	if v.Canceled == 0 {
+		t.Error("fail-fast canceled no cells — the matrix ran to completion after the error")
+	}
+	if int(sims.Load()) >= v.Total {
+		t.Errorf("all %d cells simulated despite fail-fast (want < total)", sims.Load())
+	}
+	if len(events) != v.Total {
+		t.Errorf("streamed %d events, want %d", len(events), v.Total)
+	}
+}
+
+// TestSweepWithoutFailFastCompletes verifies a sweep that did NOT opt into
+// fail_fast keeps simulating the rest of the matrix after a cell fails.
+func TestSweepWithoutFailFastCompletes(t *testing.T) {
+	var sims atomic.Uint64
+	s := newStubScheduler(t, Config{Workers: 1}, func(opts sim.Options) (*sim.RunResult, error) {
+		sims.Add(1)
+		if opts.Instructions == 5000 { // first cell fails
+			return nil, errSimBoom
+		}
+		return &sim.RunResult{Cycles: opts.Instructions}, nil
+	})
+
+	sw, err := s.StartSweep(t.Context(), testMatrix(2, 3, 5000), SweepOptions{FailFast: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drainSweep(t, sw)
+	v := sw.View()
+	if v.Status != SweepFailed || v.Failed != 1 {
+		t.Errorf("view %+v, want failed status with exactly 1 failed cell", v)
+	}
+	if v.Completed != v.Total-1 || v.Canceled != 0 {
+		t.Errorf("non-fail-fast sweep canceled cells: %+v (want %d completed, 0 canceled)", v, v.Total-1)
+	}
+	if int(sims.Load()) != v.Total {
+		t.Errorf("simulated %d cells, want all %d", sims.Load(), v.Total)
+	}
+	if !errors.Is(sw.Err(), errSimBoom) {
+		t.Errorf("Err = %v, want %v", sw.Err(), errSimBoom)
+	}
+}
+
+// TestDedupedWaitersGetIsolatedResults pins the Job.Result isolation
+// contract: two submitters deduped onto one job each receive an independent
+// deep copy.
+func TestDedupedWaitersGetIsolatedResults(t *testing.T) {
+	gate := make(chan struct{})
+	s := newStubScheduler(t, Config{Workers: 1}, func(opts sim.Options) (*sim.RunResult, error) {
+		<-gate
+		return &sim.RunResult{Cycles: 42, Counters: map[string]uint64{"pipeline.retired": 9}}, nil
+	})
+	spec := JobSpec{Workload: testWorkload(t), Instructions: 1000}
+	j1, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j1 != j2 {
+		t.Fatal("specs did not dedup")
+	}
+	close(gate)
+	a, err := j1.Wait(t.Context())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := j2.Wait(t.Context())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("deduped waiters share one result pointer")
+	}
+	a.Cycles = 0
+	a.Counters["pipeline.retired"] = 0
+	if b.Cycles != 42 || b.Counters.Get("pipeline.retired") != 9 {
+		t.Errorf("mutating one waiter's result corrupted the other's: %+v", b)
+	}
+}
+
+// TestSweepPersistenceRestart is the sweep half of the restart acceptance
+// criterion: a sweep against a data-dir, then a fresh scheduler on the same
+// dir, re-serves every cell as a cache/store hit with zero re-simulations.
+func TestSweepPersistenceRestart(t *testing.T) {
+	dir := t.TempDir()
+	matrix := testMatrix(2, 3, 4000)
+
+	var calls atomic.Uint64
+	s1, err := Open(Config{Workers: 2, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.runFn = countingRun(&calls)
+	sw1, err := s1.StartSweep(t.Context(), matrix, SweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drainSweep(t, sw1)
+	if sw1.Status() != SweepDone || calls.Load() != 6 {
+		t.Fatalf("seed sweep: status %s, %d sims (want done, 6)", sw1.Status(), calls.Load())
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(Config{Workers: 2, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s2.Close() })
+	s2.runFn = func(opts sim.Options) (*sim.RunResult, error) {
+		t.Error("restarted scheduler re-simulated a persisted sweep cell")
+		return countingRun(&calls)(opts)
+	}
+	sw2, err := s2.StartSweep(t.Context(), matrix, SweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := drainSweep(t, sw2)
+	if sw2.Status() != SweepDone {
+		t.Fatalf("restarted sweep status %s, want done", sw2.Status())
+	}
+	for _, ev := range events {
+		if !ev.CacheHit {
+			t.Errorf("cell (%d,%d) was not served from the store after restart", ev.Row, ev.Col)
+		}
+	}
+	if v := sw2.View(); v.CacheHits != v.Total {
+		t.Errorf("restart sweep: %d/%d cache hits", v.CacheHits, v.Total)
+	}
+}
+
+func TestSweepRejectsInvalidMatrix(t *testing.T) {
+	s := newStubScheduler(t, Config{Workers: 1}, countingRun(new(atomic.Uint64)))
+	if _, err := s.StartSweep(t.Context(), nil, SweepOptions{}); err == nil {
+		t.Error("empty sweep accepted")
+	}
+	if _, err := s.StartSweep(t.Context(), [][]JobSpec{{}}, SweepOptions{}); err == nil {
+		t.Error("empty row accepted")
+	}
+	bad := [][]JobSpec{{{Workload: "no-such-workload"}}}
+	if _, err := s.StartSweep(t.Context(), bad, SweepOptions{}); err == nil {
+		t.Error("invalid spec accepted")
+	}
+	if m := s.Metrics(); m.JobsSubmitted != 0 {
+		t.Errorf("invalid sweeps submitted %d jobs, want 0", m.JobsSubmitted)
+	}
+}
+
+// TestSchedulerAbandonRefcount pins Abandon's sharing semantics directly:
+// a job with two interested submitters survives one abandon and is
+// canceled by the second; a running job is never canceled.
+func TestSchedulerAbandonRefcount(t *testing.T) {
+	gate := make(chan struct{})
+	defer close(gate)
+	s := newStubScheduler(t, Config{Workers: 1}, func(opts sim.Options) (*sim.RunResult, error) {
+		<-gate
+		return &sim.RunResult{}, nil
+	})
+	name := testWorkload(t)
+
+	blocker, err := s.Submit(JobSpec{Workload: name, Instructions: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, func() bool { return blocker.Status() == StatusRunning })
+
+	spec := JobSpec{Workload: name, Instructions: 2000}
+	j1, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := s.Submit(spec) // dedup: same job, second interest
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j1 != j2 {
+		t.Fatal("expected dedup to share the job")
+	}
+	if s.Abandon(j1.ID) {
+		t.Error("Abandon canceled a job another submitter still waits on")
+	}
+	if j1.Status() != StatusQueued {
+		t.Errorf("shared job status %s after first abandon, want queued", j1.Status())
+	}
+	if !s.Abandon(j1.ID) {
+		t.Error("Abandon did not cancel the job after the last interest was dropped")
+	}
+	if j1.Status() != StatusCanceled {
+		t.Errorf("status %s after final abandon, want canceled", j1.Status())
+	}
+
+	// A running job is never canceled by Abandon.
+	if s.Abandon(blocker.ID) {
+		t.Error("Abandon canceled a running job")
+	}
+}
+
+// TestCancelRespectsSharedInterest: one client's DELETE must not kill a
+// queued job that a sweep (or another client) deduped onto.
+func TestCancelRespectsSharedInterest(t *testing.T) {
+	gate := make(chan struct{})
+	defer close(gate)
+	s := newStubScheduler(t, Config{Workers: 1}, func(opts sim.Options) (*sim.RunResult, error) {
+		<-gate
+		return &sim.RunResult{}, nil
+	})
+	name := testWorkload(t)
+	blocker, err := s.Submit(JobSpec{Workload: name, Instructions: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, func() bool { return blocker.Status() == StatusRunning })
+
+	spec := JobSpec{Workload: name, Instructions: 2000}
+	j, err := s.Submit(spec) // client A
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(spec); err != nil { // sweep cell dedups onto j
+		t.Fatal(err)
+	}
+	if s.Cancel(j.ID) {
+		t.Error("Cancel killed a job another submitter still shares")
+	}
+	// Repeated external cancels must not drain the submitters' interests —
+	// Cancel is not tied to any submitter, so it may not consume refs.
+	if s.Cancel(j.ID) {
+		t.Error("repeated Cancel drained shared interests and killed the job")
+	}
+	if j.Status() != StatusQueued {
+		t.Errorf("shared job status %s after external cancels, want queued", j.Status())
+	}
+	// One submitter bows out (job survives for the other), after which an
+	// external cancel of the now sole-interest job succeeds.
+	if s.Abandon(j.ID) {
+		t.Error("Abandon canceled while another interest remained")
+	}
+	if !s.Cancel(j.ID) {
+		t.Error("Cancel did not cancel a sole-interest queued job")
+	}
+	if j.Status() != StatusCanceled {
+		t.Errorf("status %s, want canceled", j.Status())
+	}
+}
+
+// BenchmarkSweepThroughput measures sweep orchestration throughput — cells
+// per second through submit → queue → worker → LRU + persistent store →
+// event stream — with simulation cost stubbed out, isolating the service
+// stack. CI uploads its timing as BENCH_sweep.json, the perf-trajectory
+// baseline for the sweep path.
+func BenchmarkSweepThroughput(b *testing.B) {
+	s, err := Open(Config{Workers: 4, DataDir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	s.runFn = func(opts sim.Options) (*sim.RunResult, error) {
+		return &sim.RunResult{Cycles: opts.Instructions}, nil
+	}
+	const rows, cols = 4, 8
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Distinct specs every iteration, so each cell takes the full
+		// simulate-and-persist path rather than hitting the cache.
+		sw, err := s.StartSweep(context.Background(), testMatrix(rows, cols, uint64(10_000+i*rows*cols)), SweepOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 0
+		if err := sw.Stream(context.Background(), true, func(SweepEvent) error { n++; return nil }); err != nil {
+			b.Fatal(err)
+		}
+		if n != rows*cols || sw.Status() != SweepDone {
+			b.Fatalf("sweep streamed %d cells, status %s", n, sw.Status())
+		}
+	}
+	b.ReportMetric(float64(rows*cols*b.N)/b.Elapsed().Seconds(), "cells/s")
+}

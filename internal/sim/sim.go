@@ -111,6 +111,39 @@ type RunResult struct {
 	EVESMispredicts uint64 `json:"-"`
 }
 
+// Clone returns a deep copy of r: the copy shares no mutable state (counter
+// maps, per-mechanism snapshots) with the original, so mutating one never
+// affects the other. The service layer's result cache hands out clones on
+// every hit for exactly this reason. A nil receiver clones to nil.
+func (r *RunResult) Clone() *RunResult {
+	if r == nil {
+		return nil
+	}
+	c := *r
+	c.Counters = r.Counters.Clone()
+	if r.Mechanisms != nil {
+		c.Mechanisms = make([]MechanismStats, len(r.Mechanisms))
+		for i, m := range r.Mechanisms {
+			c.Mechanisms[i] = MechanismStats{Name: m.Name, Counters: m.Counters.Clone()}
+		}
+	}
+	c.Pipeline.EliminatedByMode = cloneCountMap(r.Pipeline.EliminatedByMode)
+	c.Pipeline.RetiredStableByMode = cloneCountMap(r.Pipeline.RetiredStableByMode)
+	c.Pipeline.EliminatedStableByMode = cloneCountMap(r.Pipeline.EliminatedStableByMode)
+	return &c
+}
+
+func cloneCountMap(m map[string]uint64) map[string]uint64 {
+	if m == nil {
+		return nil
+	}
+	out := make(map[string]uint64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
 // Interned counter IDs for the run-level memory-hierarchy counters.
 var (
 	cL1DAccesses  = stats.Intern("mem.l1d_accesses")

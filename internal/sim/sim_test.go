@@ -229,3 +229,54 @@ func TestAPXRunWorks(t *testing.T) {
 		t.Errorf("retired %d", r.Pipeline.Retired)
 	}
 }
+
+// TestRunResultClone verifies Clone shares no mutable state with the
+// original — the contract the service result cache's isolation rests on.
+func TestRunResultClone(t *testing.T) {
+	orig, err := Run(Options{Workload: spec(t, "server-kvstore-00"),
+		Instructions: 10_000, Mech: Mechanism{Constable: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := orig.Clone()
+	if clone == orig {
+		t.Fatal("Clone returned the receiver")
+	}
+	wantCycles := orig.Cycles
+	wantRetired := orig.Counters.Get("pipeline.retired")
+	wantElim := orig.Pipeline.EliminatedLoads
+
+	// Mutate every mutable region of the clone.
+	clone.Cycles = 0
+	for name := range clone.Counters {
+		clone.Counters[name] = 0
+	}
+	for i := range clone.Mechanisms {
+		for name := range clone.Mechanisms[i].Counters {
+			clone.Mechanisms[i].Counters[name] = 0
+		}
+	}
+	for mode := range clone.Pipeline.EliminatedByMode {
+		clone.Pipeline.EliminatedByMode[mode] = 0
+	}
+	clone.Pipeline.EliminatedLoads = 0
+
+	if orig.Cycles != wantCycles ||
+		orig.Counters.Get("pipeline.retired") != wantRetired ||
+		orig.Pipeline.EliminatedLoads != wantElim {
+		t.Errorf("mutating the clone changed the original")
+	}
+	for i, m := range orig.Mechanisms {
+		for name, v := range m.Counters {
+			if v == 0 && clone.Mechanisms[i].Counters[name] == 0 {
+				continue
+			}
+			if v == 0 {
+				t.Errorf("mechanism %s counter %s zeroed through the clone", m.Name, name)
+			}
+		}
+	}
+	if (*RunResult)(nil).Clone() != nil {
+		t.Error("nil Clone != nil")
+	}
+}

@@ -130,6 +130,18 @@ func (s Snapshot) Merge(other Snapshot) {
 	}
 }
 
+// Clone returns an independent copy of the snapshot (nil stays nil).
+func (s Snapshot) Clone() Snapshot {
+	if s == nil {
+		return nil
+	}
+	out := make(Snapshot, len(s))
+	for n, v := range s {
+		out[n] = v
+	}
+	return out
+}
+
 // Filter returns the sub-snapshot of counters whose name starts with prefix.
 func (s Snapshot) Filter(prefix string) Snapshot {
 	out := make(Snapshot)

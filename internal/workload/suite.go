@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"constable/internal/fsim"
 	"constable/internal/prog"
@@ -160,15 +161,24 @@ var countsPerCategory = map[Category]int{
 	Server:     14,
 }
 
-// Suite returns the full 90-workload suite in deterministic order.
-func Suite() []*Spec {
-	var specs []*Spec
+// The suite is deterministic, so it is generated once and memoized: the
+// service layer resolves workload names on every JobSpec canonicalization,
+// hash and sweep-cell submission, and regenerating 90 RNG-seeded specs per
+// lookup dominated sweep-orchestration profiles. Specs are shared and must
+// be treated as immutable by callers.
+var (
+	suiteOnce   sync.Once
+	suiteSpecs  []*Spec
+	suiteByName map[string]*Spec
+)
+
+func buildSuite() {
 	for _, cat := range Categories {
 		n := countsPerCategory[cat]
 		arch := categoryArchetypes[cat]
 		for i := 0; i < n; i++ {
 			a := arch[i%len(arch)]
-			seed := int64(1_000_003)*int64(len(specs)+1) + int64(i)
+			seed := int64(1_000_003)*int64(len(suiteSpecs)+1) + int64(i)
 			rng := rand.New(rand.NewSource(seed))
 			// Vary the archetype deterministically: scale iteration counts
 			// and padding so no two workloads are identical.
@@ -183,7 +193,7 @@ func Suite() []*Spec {
 			}
 			// Shuffle kernel order per workload for distinct code layouts.
 			rng.Shuffle(len(mixes), func(x, y int) { mixes[x], mixes[y] = mixes[y], mixes[x] })
-			specs = append(specs, &Spec{
+			suiteSpecs = append(suiteSpecs, &Spec{
 				Name:     fmt.Sprintf("%s-%s-%02d", lower(string(cat)), a.label, i),
 				Category: cat,
 				Seed:     seed,
@@ -191,15 +201,27 @@ func Suite() []*Spec {
 			})
 		}
 	}
-	return specs
+	suiteByName = make(map[string]*Spec, len(suiteSpecs))
+	for _, s := range suiteSpecs {
+		suiteByName[s.Name] = s
+	}
+}
+
+// Suite returns the full 90-workload suite in deterministic order. The
+// returned slice is the caller's to reorder; the Specs themselves are
+// shared and immutable.
+func Suite() []*Spec {
+	suiteOnce.Do(buildSuite)
+	out := make([]*Spec, len(suiteSpecs))
+	copy(out, suiteSpecs)
+	return out
 }
 
 // ByName returns the workload with the given name from the suite.
 func ByName(name string) (*Spec, error) {
-	for _, s := range Suite() {
-		if s.Name == name {
-			return s, nil
-		}
+	suiteOnce.Do(buildSuite)
+	if s, ok := suiteByName[name]; ok {
+		return s, nil
 	}
 	return nil, fmt.Errorf("workload: unknown workload %q", name)
 }
