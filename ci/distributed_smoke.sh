@@ -1,0 +1,103 @@
+#!/usr/bin/env bash
+# Distributed-sweep smoke test: boot a dispatch-only constable-server plus
+# two constable-workers, run a sweep sharded across both, and diff the
+# per-cell artifacts against the same sweep on a single-process server.
+# Needs: go, curl, jq. Runs in CI and locally (./ci/distributed_smoke.sh).
+set -euo pipefail
+
+SERVER_PORT=${SERVER_PORT:-18080}
+LOCAL_PORT=${LOCAL_PORT:-18090}
+W1_PORT=${W1_PORT:-18081}
+W2_PORT=${W2_PORT:-18082}
+
+workdir=$(mktemp -d)
+bindir="$workdir/bin"
+pids=()
+cleanup() {
+  for pid in "${pids[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+  wait 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+say() { echo "--- $*"; }
+
+wait_http() { # url attempts
+  for _ in $(seq 1 "${2:-100}"); do
+    curl -sf "$1" >/dev/null 2>&1 && return 0
+    sleep 0.1
+  done
+  echo "timed out waiting for $1" >&2
+  return 1
+}
+
+SWEEP_BODY='{
+  "workloads":  ["server-kvstore-00", "client-browser-00", "ispec17-intbranchy-00"],
+  "mechanisms": ["baseline", "eves", "constable"],
+  "instructions": 20000
+}'
+
+# Normalize a sweep NDJSON event stream into a stable per-cell artifact:
+# cells keyed and sorted by (row,col), carrying status + the full result
+# document. job ids, seq numbers and cache_hit flags legitimately differ
+# between runs and are dropped.
+normalize() {
+  jq -cS 'select(.cell != null) | {row: .cell.row, col: .cell.col, status: .cell.status, result: .cell.result}' "$1" \
+    | sort
+}
+
+run_sweep() { # base-url outfile
+  local base=$1 out=$2
+  local id
+  id=$(curl -sf "$base/v1/sweeps" -d "$SWEEP_BODY" | jq -r .id)
+  curl -sfN "$base/v1/sweeps/$id/events?results=1" > "$out"
+  # Every cell must be done.
+  local bad
+  bad=$(jq -s '[.[] | select(.cell != null and .cell.status != "done")] | length' "$out")
+  [ "$bad" -eq 0 ] || { echo "sweep $id at $base had $bad non-done cells" >&2; return 1; }
+}
+
+say "building binaries"
+go build -o "$bindir/" ./cmd/constable-server ./cmd/constable-worker
+
+say "starting dispatch-only server (:$SERVER_PORT) + 2 workers (:$W1_PORT, :$W2_PORT)"
+"$bindir/constable-server" -addr "127.0.0.1:$SERVER_PORT" -workers -1 -data-dir "$workdir/server-data" &
+pids+=($!)
+wait_http "http://127.0.0.1:$SERVER_PORT/healthz"
+"$bindir/constable-worker" -server "http://127.0.0.1:$SERVER_PORT" -addr "127.0.0.1:$W1_PORT" -name w1 -capacity 2 &
+pids+=($!)
+"$bindir/constable-worker" -server "http://127.0.0.1:$SERVER_PORT" -addr "127.0.0.1:$W2_PORT" -name w2 -capacity 2 &
+pids+=($!)
+for _ in $(seq 1 100); do
+  n=$(curl -sf "http://127.0.0.1:$SERVER_PORT/v1/workers" | jq length)
+  [ "$n" -eq 2 ] && break
+  sleep 0.1
+done
+[ "$(curl -sf "http://127.0.0.1:$SERVER_PORT/v1/workers" | jq length)" -eq 2 ] || {
+  echo "workers never registered" >&2; exit 1; }
+
+say "running distributed sweep (9 cells across 2 workers)"
+run_sweep "http://127.0.0.1:$SERVER_PORT" "$workdir/distributed.ndjson"
+
+say "checking both workers executed cells"
+curl -sf "http://127.0.0.1:$SERVER_PORT/v1/workers" | jq -e '
+  (map(.completed) | add) == 9 and all(.completed > 0)' >/dev/null || {
+  echo "sharding check failed:" >&2
+  curl -s "http://127.0.0.1:$SERVER_PORT/v1/workers" | jq . >&2
+  exit 1; }
+
+say "running the same sweep on a single-process server (:$LOCAL_PORT)"
+"$bindir/constable-server" -addr "127.0.0.1:$LOCAL_PORT" -workers 4 &
+pids+=($!)
+wait_http "http://127.0.0.1:$LOCAL_PORT/healthz"
+run_sweep "http://127.0.0.1:$LOCAL_PORT" "$workdir/local.ndjson"
+
+say "diffing distributed artifacts against the single-process golden output"
+normalize "$workdir/distributed.ndjson" > "$workdir/distributed.norm"
+normalize "$workdir/local.ndjson"       > "$workdir/local.norm"
+if ! diff -u "$workdir/local.norm" "$workdir/distributed.norm"; then
+  echo "distributed sweep artifacts differ from single-process run" >&2
+  exit 1
+fi
+
+say "distributed smoke OK: 9/9 cells, both workers used, artifacts byte-identical"

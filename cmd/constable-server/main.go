@@ -1,13 +1,20 @@
 // Command constable-server serves the simulation service over HTTP: clients
-// submit JobSpecs, the bounded worker pool simulates them, and identical
-// specs — across clients — are answered from the content-addressed result
-// cache without re-simulation.
+// submit JobSpecs, the execution backend (a bounded local pool plus any
+// registered remote workers) simulates them, and identical specs — across
+// clients — are answered from the content-addressed result cache without
+// re-simulation.
 //
 // With -data-dir, finished results are also written to a persistent
 // content-addressed store (one JSON file per spec hash), so they survive
 // restarts and are shared with any other process pointing at the same
 // directory. POST /v1/sweeps runs whole workload×mechanism matrices
 // server-side; GET /v1/sweeps/{id}/events streams per-cell NDJSON.
+//
+// The server also accepts remote constable-worker registrations
+// (POST /v1/workers): registered workers add execution capacity, sweeps
+// shard across local slots and every worker, and a worker that dies has its
+// in-flight jobs requeued. Run with a negative -workers to make the server
+// a pure dispatcher. See docs/OPERATIONS.md for cluster recipes.
 //
 // Usage:
 //
@@ -25,6 +32,7 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"os"
 	"os/signal"
@@ -41,14 +49,15 @@ func main() {
 
 	var (
 		addr      = flag.String("addr", ":8080", "listen address")
-		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent simulation workers")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent local simulation workers (negative: dispatch-only, all jobs run on remote workers)")
 		cacheSize = flag.Int("cache", 4096, "result-cache capacity in entries")
 		dataDir   = flag.String("data-dir", "", "persistent result-store directory (results survive restarts; empty disables)")
+		workerTTL = flag.Duration("worker-ttl", 15*time.Second, "remote-worker lease: a worker missing heartbeats this long is expired and its jobs requeued")
 		drain     = flag.Duration("drain", 30*time.Second, "graceful-shutdown timeout for running simulations")
 	)
 	flag.Parse()
 
-	sched, err := service.Open(service.Config{Workers: *workers, CacheSize: *cacheSize, DataDir: *dataDir})
+	sched, err := service.Open(service.Config{Workers: *workers, CacheSize: *cacheSize, DataDir: *dataDir, WorkerTTL: *workerTTL})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -60,7 +69,11 @@ func main() {
 		if *dataDir != "" {
 			persist = "data-dir " + *dataDir
 		}
-		log.Printf("listening on %s (%d workers, cache %d, %s)", *addr, *workers, *cacheSize, persist)
+		local := fmt.Sprintf("%d local workers", *workers)
+		if *workers < 0 {
+			local = "dispatch-only (no local workers)"
+		}
+		log.Printf("listening on %s (%s, cache %d, %s)", *addr, local, *cacheSize, persist)
 		errc <- srv.ListenAndServe()
 	}()
 

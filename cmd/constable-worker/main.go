@@ -1,0 +1,117 @@
+// Command constable-worker is a remote execution node for constable-server:
+// it registers with a server, receives JobSpecs over HTTP, simulates them on
+// a local bounded pool, and returns full-fidelity result envelopes that the
+// server files into its cache and content-addressed store exactly like
+// locally-executed results. Attach as many workers as you have machines;
+// the server's dispatcher shards sweeps across all of them and requeues the
+// jobs of any worker that dies.
+//
+// Usage:
+//
+//	constable-worker -server http://127.0.0.1:8080 -addr :8081 -capacity 8
+//
+// The worker advertises -advertise (default http://127.0.0.1:<port of
+// -addr>, which is right for single-machine clusters and CI; set it
+// explicitly to a routable URL when the server runs on another machine),
+// heartbeats every -heartbeat, re-registers automatically if the server
+// restarts, and deregisters on SIGINT/SIGTERM before draining.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"constable/internal/worker"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("constable-worker: ")
+
+	var (
+		server    = flag.String("server", "", "base URL of the constable-server to register with (required)")
+		addr      = flag.String("addr", ":8081", "listen address for the worker's /execute endpoint")
+		advertise = flag.String("advertise", "", "URL the server dispatches to (default http://127.0.0.1:<port>)")
+		name      = flag.String("name", "", "worker name in listings (default: hostname)")
+		capacity  = flag.Int("capacity", runtime.GOMAXPROCS(0), "concurrent simulations to run and advertise")
+		heartbeat = flag.Duration("heartbeat", 5*time.Second, "lease-renewal interval (keep well under the server's -worker-ttl)")
+		drain     = flag.Duration("drain", 30*time.Second, "graceful-shutdown timeout for running simulations")
+	)
+	flag.Parse()
+	if *server == "" {
+		log.Fatal("-server is required (e.g. -server http://127.0.0.1:8080)")
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	adv := *advertise
+	if adv == "" {
+		_, port, err := net.SplitHostPort(ln.Addr().String())
+		if err != nil {
+			log.Fatal(err)
+		}
+		adv = "http://127.0.0.1:" + port
+	}
+	if *name == "" {
+		if host, err := os.Hostname(); err == nil {
+			*name = host
+		} else {
+			*name = adv
+		}
+	}
+
+	w, err := worker.New(worker.Options{
+		Server:    *server,
+		Advertise: adv,
+		Name:      *name,
+		Capacity:  *capacity,
+		Heartbeat: *heartbeat,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srv := &http.Server{Handler: w.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("serving %s (advertised %s, capacity %d), registering with %s", ln.Addr(), adv, *capacity, *server)
+		errc <- srv.Serve(ln)
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		if err := w.Run(ctx); err != nil && ctx.Err() == nil {
+			log.Printf("control loop: %v", err)
+		}
+	}()
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+		log.Printf("shutting down, draining (up to %v)", *drain)
+	}
+
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := w.Deregister(dctx); err != nil {
+		log.Printf("deregister: %v", err)
+	}
+	if err := srv.Shutdown(dctx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := w.Scheduler().Shutdown(dctx); err != nil {
+		log.Printf("scheduler shutdown: %v", err)
+	}
+}

@@ -29,7 +29,10 @@ type cell struct {
 // after the first cell failure the engine cancels the rest, queued cells
 // are dropped from the scheduler queue, and the first error is returned
 // once the sweep drains. This is the same engine behind POST /v1/sweeps, so
-// CLI drivers and HTTP clients share one code path.
+// CLI drivers and HTTP clients share one code path — and because the
+// scheduler executes through its pluggable backend, a driver pointed at a
+// scheduler with registered remote workers shards its cells across them
+// with no change here and byte-identical printed artifacts.
 func (r *Runner) runSweep(specs []*workload.Spec, makeOpts func(spec *workload.Spec, cfg int) sim.Options, numCfgs int, onCell func(cell)) error {
 	matrix := make([][]service.JobSpec, len(specs))
 	for wi := range specs {

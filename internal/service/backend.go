@@ -1,0 +1,91 @@
+package service
+
+import (
+	"context"
+	"errors"
+
+	"constable/internal/sim"
+)
+
+// ErrBackendUnavailable marks an execution failure that is the backend's
+// fault rather than the job's: the remote worker died mid-request, returned
+// a malformed or aliased result envelope, or no healthy backend exists at
+// all. The scheduler reacts by requeuing the job for another backend
+// (respecting Abandon refcounts) instead of failing it, and the MultiBackend
+// reacts by marking the offending worker unhealthy. Simulation failures —
+// the spec itself is broken, or the model faulted — are ordinary errors and
+// terminal for the job on any backend.
+var ErrBackendUnavailable = errors.New("service: backend unavailable")
+
+// Backend executes canonical JobSpecs. It is the scheduler's run-a-JobSpec
+// seam: LocalBackend simulates in-process, RemoteBackend dispatches one job
+// per HTTP request to a constable-worker, and MultiBackend composes a local
+// pool with any number of registered remote workers under capacity-aware
+// dispatch. The scheduler owns queueing, dedup, caching and persistence;
+// backends only turn one spec into one result.
+type Backend interface {
+	// Name identifies the backend in logs, metrics and worker listings.
+	Name() string
+	// Capacity is the number of jobs the backend can execute concurrently.
+	// The scheduler dispatches at most Capacity jobs at a time; a capacity
+	// of zero parks the queue until capacity appears (e.g. a remote worker
+	// registers).
+	Capacity() int
+	// Execute runs one canonical spec to completion and returns its result.
+	// hash is the spec's content hash, forwarded so remote backends can
+	// verify the result envelope they get back (alias defense). An error
+	// wrapping ErrBackendUnavailable means the job never completed anywhere
+	// and should be retried on another backend; any other error is the
+	// job's own terminal failure.
+	Execute(ctx context.Context, spec JobSpec, hash string) (*sim.RunResult, error)
+}
+
+// ExecuteRequest is the body of the server→worker POST /execute call: the
+// canonical spec to run plus its content hash, which the worker re-derives
+// and verifies before simulating so a corrupted dispatch can never produce
+// a result filed under the wrong key.
+type ExecuteRequest struct {
+	Hash string  `json:"hash"`
+	Spec JobSpec `json:"spec"`
+}
+
+// LocalBackend executes jobs in-process on the scheduler's own machine.
+type LocalBackend struct {
+	name     string
+	capacity int
+	// run executes one simulation (sim.Run in production; tests substitute
+	// a stub through the scheduler's runFn indirection).
+	run func(sim.Options) (*sim.RunResult, error)
+}
+
+// NewLocalBackend returns an in-process backend running up to capacity
+// concurrent simulations through run (sim.Run when nil). A capacity ≤ 0
+// yields a backend that accepts no work — useful for a pure dispatcher
+// server whose cells must all execute on remote workers.
+func NewLocalBackend(capacity int, run func(sim.Options) (*sim.RunResult, error)) *LocalBackend {
+	if run == nil {
+		run = sim.Run
+	}
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &LocalBackend{name: "local", capacity: capacity, run: run}
+}
+
+// Name implements Backend.
+func (l *LocalBackend) Name() string { return l.name }
+
+// Capacity implements Backend.
+func (l *LocalBackend) Capacity() int { return l.capacity }
+
+// Execute implements Backend by resolving the spec and simulating it on the
+// calling goroutine. Local execution failures are always the job's own
+// (never ErrBackendUnavailable): the process that would retry the job is
+// the same one that just failed it.
+func (l *LocalBackend) Execute(ctx context.Context, spec JobSpec, hash string) (*sim.RunResult, error) {
+	opts, err := spec.ToOptions()
+	if err != nil {
+		return nil, err
+	}
+	return l.run(opts)
+}

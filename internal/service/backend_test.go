@@ -1,0 +1,399 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"constable/internal/sim"
+)
+
+// fakeBackend is a scriptable Backend for dispatch-layer tests.
+type fakeBackend struct {
+	name string
+	cap  int
+
+	mu    sync.Mutex
+	calls int
+	// gate, when non-nil, blocks each Execute until it is closed.
+	gate chan struct{}
+	fn   func(spec JobSpec, hash string) (*sim.RunResult, error)
+}
+
+func (f *fakeBackend) Name() string  { return f.name }
+func (f *fakeBackend) Capacity() int { return f.cap }
+func (f *fakeBackend) Execute(ctx context.Context, spec JobSpec, hash string) (*sim.RunResult, error) {
+	f.mu.Lock()
+	f.calls++
+	gate := f.gate
+	f.mu.Unlock()
+	if gate != nil {
+		<-gate
+	}
+	return f.fn(spec, hash)
+}
+
+func (f *fakeBackend) callCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls
+}
+
+func okResult(spec JobSpec, hash string) (*sim.RunResult, error) {
+	return &sim.RunResult{Cycles: spec.Instructions}, nil
+}
+
+// newDispatchScheduler returns a scheduler with no local execution slots:
+// everything must flow through backends added to its MultiBackend.
+func newDispatchScheduler(t *testing.T) *Scheduler {
+	t.Helper()
+	s, err := Open(Config{Workers: -1, WorkerTTL: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestDispatcherParksUntilCapacityAppears(t *testing.T) {
+	s := newDispatchScheduler(t)
+	name := testWorkload(t)
+	j, err := s.Submit(JobSpec{Workload: name, Instructions: 1234})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With zero total capacity the job must stay queued, not fail.
+	time.Sleep(50 * time.Millisecond)
+	if got := j.Status(); got != StatusQueued {
+		t.Fatalf("status with no capacity = %s, want queued", got)
+	}
+	// A worker registering makes the parked queue flow.
+	fb := &fakeBackend{name: "fb", cap: 2, fn: okResult}
+	s.Backend().AddWorker("fb", "fake://fb", fb.cap, fb)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	res, err := j.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != 1234 {
+		t.Errorf("result cycles = %d, want 1234", res.Cycles)
+	}
+	if fb.callCount() != 1 {
+		t.Errorf("backend calls = %d, want 1", fb.callCount())
+	}
+}
+
+func TestMultiBackendCapacityAwareDistribution(t *testing.T) {
+	s := newDispatchScheduler(t)
+	name := testWorkload(t)
+	// A touch of execution latency so in-flight jobs pile up and saturate
+	// big's slots — otherwise instant completions let the most-free-slots
+	// rule send everything to the larger worker.
+	slowOK := func(spec JobSpec, hash string) (*sim.RunResult, error) {
+		time.Sleep(2 * time.Millisecond)
+		return okResult(spec, hash)
+	}
+	big := &fakeBackend{name: "big", cap: 4, fn: slowOK}
+	small := &fakeBackend{name: "small", cap: 1, fn: slowOK}
+	s.Backend().AddWorker("big", "fake://big", big.cap, big)
+	s.Backend().AddWorker("small", "fake://small", small.cap, small)
+
+	if got := s.Backend().Capacity(); got != 5 {
+		t.Fatalf("multi capacity = %d, want 5", got)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	var jobs []*Job
+	for i := 0; i < 20; i++ {
+		j, err := s.Submit(JobSpec{Workload: name, Instructions: uint64(1000 + i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	for _, j := range jobs {
+		if _, err := j.Wait(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if big.callCount()+small.callCount() != 20 {
+		t.Fatalf("calls: big %d + small %d, want 20 total", big.callCount(), small.callCount())
+	}
+	// Capacity-aware dispatch must exercise both workers, weighted toward
+	// the bigger one.
+	if big.callCount() == 0 || small.callCount() == 0 {
+		t.Errorf("dispatch skipped a worker: big %d, small %d", big.callCount(), small.callCount())
+	}
+	views := s.Workers()
+	var done uint64
+	for _, v := range views {
+		done += v.Completed
+	}
+	if done != 20 {
+		t.Errorf("per-worker completed sum = %d, want 20", done)
+	}
+}
+
+func TestBackendFailureRequeuesAndMarksUnhealthy(t *testing.T) {
+	s := newDispatchScheduler(t)
+	name := testWorkload(t)
+
+	flaky := &fakeBackend{name: "flaky", cap: 1}
+	flaky.fn = func(spec JobSpec, hash string) (*sim.RunResult, error) {
+		return nil, fmt.Errorf("%w: connection reset", ErrBackendUnavailable)
+	}
+	fv := s.Backend().AddWorker("flaky", "fake://flaky", flaky.cap, flaky)
+
+	j, err := s.Submit(JobSpec{Workload: name, Instructions: 4321})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The failing dispatch requeues the job and demotes the worker; with no
+	// healthy capacity left the job parks.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Metrics().JobsRequeued == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("job was never requeued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if v, ok := s.Backend().Worker(fv.ID); !ok || v.Healthy || v.Failures == 0 {
+		t.Errorf("flaky worker view = %+v, want unhealthy with failures", v)
+	}
+
+	// An honest worker arriving picks the requeued job up.
+	honest := &fakeBackend{name: "honest", cap: 1, fn: okResult}
+	s.Backend().AddWorker("honest", "fake://honest", honest.cap, honest)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	res, err := j.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != 4321 {
+		t.Errorf("result cycles = %d, want 4321", res.Cycles)
+	}
+	if honest.callCount() != 1 {
+		t.Errorf("honest calls = %d, want 1", honest.callCount())
+	}
+
+	// Heartbeats restore the flaky worker's dispatch eligibility — but only
+	// once the failure-backoff window has passed, so keep heartbeating.
+	restoreDeadline := time.Now().Add(5 * time.Second)
+	for {
+		v, ok := s.HeartbeatWorker(fv.ID)
+		if !ok {
+			t.Fatal("heartbeat lost the lease")
+		}
+		if v.Healthy {
+			break
+		}
+		if time.Now().After(restoreDeadline) {
+			t.Fatal("heartbeat never restored health after the backoff window")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if got := s.Backend().Capacity(); got != 2 {
+		t.Errorf("capacity after restore = %d, want 2", got)
+	}
+}
+
+// TestFailureBackoffGatesHeartbeatRestore pins the anti-livelock rule: a
+// worker that heartbeats fine but failed its last dispatch is not restored
+// by a heartbeat inside the backoff window — otherwise a reachable but
+// broken worker (wrong -advertise URL, say) would win every dispatch and
+// spin the queue in a hot requeue loop.
+func TestFailureBackoffGatesHeartbeatRestore(t *testing.T) {
+	s := newDispatchScheduler(t)
+	name := testWorkload(t)
+	broken := &fakeBackend{name: "broken", cap: 2}
+	broken.fn = func(spec JobSpec, hash string) (*sim.RunResult, error) {
+		return nil, fmt.Errorf("%w: no route to host", ErrBackendUnavailable)
+	}
+	bv := s.Backend().AddWorker("broken", "fake://broken", broken.cap, broken)
+
+	j, err := s.Submit(JobSpec{Workload: name, Instructions: 9999})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Metrics().JobsRequeued == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("job never requeued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if v, ok := s.HeartbeatWorker(bv.ID); !ok || v.Healthy {
+		t.Fatalf("heartbeat inside the backoff window restored health: %+v", v)
+	}
+	calls := broken.callCount()
+	// Even with heartbeats arriving, the suspended worker must not be
+	// redispatched to during the backoff window.
+	for i := 0; i < 10; i++ {
+		s.HeartbeatWorker(bv.ID)
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := broken.callCount(); got != calls {
+		t.Errorf("suspended worker received %d more dispatches", got-calls)
+	}
+	s.Abandon(j.ID)
+}
+
+// TestExpiredLeaseAbortsInflightDispatch pins lease-expiry semantics: when
+// a worker stops heartbeating with jobs in flight, those requests are
+// aborted at lease expiry (not after the long remote request timeout) so
+// the jobs requeue onto whoever is healthy.
+func TestExpiredLeaseAbortsInflightDispatch(t *testing.T) {
+	s, err := Open(Config{Workers: -1, WorkerTTL: 150 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	name := testWorkload(t)
+
+	// The wedged worker accepts the dispatch and never answers: its
+	// Execute only returns when the slot's lease-expiry cancels the
+	// context.
+	s.Backend().AddWorker("wedged", "fake://wedged", 1, &ctxBlockingBackend{})
+
+	start := time.Now()
+	j, err := s.Submit(JobSpec{Workload: name, Instructions: 3333})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for s.Metrics().JobsRequeued == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("in-flight job on the expired worker was never requeued")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Errorf("requeue took %v; lease expiry should abort in-flight work promptly", waited)
+	}
+
+	honest := &fakeBackend{name: "honest", cap: 1, fn: okResult}
+	s.Backend().AddWorker("honest", "fake://honest", honest.cap, honest)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	res, err := j.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != 3333 {
+		t.Errorf("result cycles = %d, want 3333", res.Cycles)
+	}
+}
+
+// ctxBlockingBackend hangs every Execute until its context is canceled —
+// the shape of a wedged worker with an open socket.
+type ctxBlockingBackend struct{}
+
+func (*ctxBlockingBackend) Name() string  { return "wedged" }
+func (*ctxBlockingBackend) Capacity() int { return 1 }
+func (*ctxBlockingBackend) Execute(ctx context.Context, spec JobSpec, hash string) (*sim.RunResult, error) {
+	<-ctx.Done()
+	return nil, ctx.Err()
+}
+
+func TestRequeueRespectsAbandonRefcounts(t *testing.T) {
+	s := newDispatchScheduler(t)
+	name := testWorkload(t)
+
+	gate := make(chan struct{})
+	dying := &fakeBackend{name: "dying", cap: 1, gate: gate}
+	dying.fn = func(spec JobSpec, hash string) (*sim.RunResult, error) {
+		return nil, fmt.Errorf("%w: worker killed", ErrBackendUnavailable)
+	}
+	s.Backend().AddWorker("dying", "fake://dying", dying.cap, dying)
+
+	j, err := s.Submit(JobSpec{Workload: name, Instructions: 7777})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for j.Status() != StatusRunning {
+		if time.Now().After(deadline) {
+			t.Fatal("job never dispatched")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The only submitter walks away while the job is in flight on the
+	// doomed worker; when the worker dies, the job must be canceled, not
+	// requeued to simulate for no one.
+	s.Abandon(j.ID)
+	close(gate)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := j.Wait(ctx); err != ErrCanceled {
+		t.Fatalf("abandoned job's terminal error = %v, want ErrCanceled", err)
+	}
+	if got := s.Metrics().JobsRequeued; got != 0 {
+		t.Errorf("requeued = %d, want 0 (nobody wanted the job anymore)", got)
+	}
+}
+
+func TestWorkerLeaseExpiry(t *testing.T) {
+	s, err := Open(Config{Workers: -1, WorkerTTL: 150 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+
+	if _, err := s.RegisterWorker("ghost", "http://127.0.0.1:1", 2); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(s.Workers()); n != 1 {
+		t.Fatalf("workers after register = %d, want 1", n)
+	}
+	// No heartbeats arrive: the janitor must expire the lease.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(s.Workers()) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker lease never expired")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	m := s.Metrics()
+	if m.WorkersRegistered != 1 || m.WorkersLost != 1 {
+		t.Errorf("workers registered/lost = %d/%d, want 1/1", m.WorkersRegistered, m.WorkersLost)
+	}
+	if m.BackendCapacity != 0 {
+		t.Errorf("capacity after expiry = %d, want 0", m.BackendCapacity)
+	}
+}
+
+func TestHeartbeatKeepsLeaseAlive(t *testing.T) {
+	s, err := Open(Config{Workers: -1, WorkerTTL: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	v, err := s.RegisterWorker("live", "http://127.0.0.1:1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := time.Now().Add(600 * time.Millisecond)
+	for time.Now().Before(stop) {
+		if _, ok := s.HeartbeatWorker(v.ID); !ok {
+			t.Fatal("heartbeat lost a live lease")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if n := len(s.Workers()); n != 1 {
+		t.Errorf("workers after heartbeating = %d, want 1", n)
+	}
+	if !s.DeregisterWorker(v.ID) {
+		t.Error("deregister of a live worker failed")
+	}
+	if n := len(s.Workers()); n != 0 {
+		t.Errorf("workers after deregister = %d, want 0", n)
+	}
+}

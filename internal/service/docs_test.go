@@ -1,0 +1,49 @@
+package service
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestAPIDocCoversAllRoutes enforces the documentation contract: every
+// route the handler registers must appear verbatim in docs/API.md. Adding
+// an endpoint without documenting it fails this test.
+func TestAPIDocCoversAllRoutes(t *testing.T) {
+	b, err := os.ReadFile("../../docs/API.md")
+	if err != nil {
+		t.Fatalf("docs/API.md must exist and document the API: %v", err)
+	}
+	doc := string(b)
+	for _, pattern := range APIRoutes() {
+		if !strings.Contains(doc, pattern) {
+			t.Errorf("docs/API.md does not document route %q", pattern)
+		}
+	}
+}
+
+// TestAPIRoutesMatchHandler keeps APIRoutes honest: each declared pattern
+// must be exactly what the ServeMux resolves for a matching request, so the
+// doc cross-check above really covers the served surface.
+func TestAPIRoutesMatchHandler(t *testing.T) {
+	s := New(Config{Workers: 1})
+	t.Cleanup(func() { s.Close() })
+	mux, ok := NewHandler(s).(*http.ServeMux)
+	if !ok {
+		t.Fatal("NewHandler no longer returns a *http.ServeMux; update this test")
+	}
+	for _, pattern := range APIRoutes() {
+		method, path, found := strings.Cut(pattern, " ")
+		if !found {
+			t.Errorf("route %q is not in 'METHOD /path' form", pattern)
+			continue
+		}
+		reqPath := strings.ReplaceAll(path, "{id}", "some-id")
+		req := httptest.NewRequest(method, reqPath, nil)
+		if _, got := mux.Handler(req); got != pattern {
+			t.Errorf("request %s %s resolves to %q, want %q", method, reqPath, got, pattern)
+		}
+	}
+}

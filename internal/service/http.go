@@ -81,226 +81,306 @@ func (req SweepRequest) matrix() ([][]JobSpec, error) {
 	return m, nil
 }
 
+// apiRoute pairs one registered pattern with its handler. The route table
+// built by routesFor is the single source of truth for the API surface:
+// NewHandler registers exactly these patterns, APIRoutes exposes them, and
+// a test cross-checks them against docs/API.md so the reference cannot
+// drift from the code.
+type apiRoute struct {
+	pattern string
+	handler http.HandlerFunc
+}
+
+// APIRoutes lists every route pattern NewHandler registers, in
+// documentation order.
+func APIRoutes() []string {
+	routes := routesFor(nil)
+	out := make([]string, len(routes))
+	for i, rt := range routes {
+		out[i] = rt.pattern
+	}
+	return out
+}
+
 // NewHandler returns the service's HTTP API over s:
 //
-//	POST /v1/runs                 submit one JobSpec; ?wait=1 blocks until finished
-//	POST /v1/runs/batch           submit a JSON array of JobSpecs
-//	GET  /v1/runs/{id}            poll one job
-//	GET  /v1/runs/{id}/result     the finished run's full RunResult document
-//	POST /v1/sweeps               submit a workload×config matrix as one sweep
-//	GET  /v1/sweeps/{id}          poll a sweep's aggregate state
-//	GET  /v1/sweeps/{id}/events   NDJSON stream of per-cell events (?results=1
-//	                              embeds each cell's full RunResult)
-//	DELETE /v1/sweeps/{id}        cancel a sweep
-//	GET  /v1/workloads            list workloads (name, category)
-//	GET  /v1/mechanisms           list mechanism presets (name, description)
-//	GET  /metrics                 plaintext scheduler metrics
-//	GET  /healthz                 liveness probe
+//	POST /v1/runs                     submit one JobSpec; ?wait=1 blocks until finished
+//	POST /v1/runs/batch               submit a JSON array of JobSpecs
+//	GET  /v1/runs/{id}                poll one job
+//	GET  /v1/runs/{id}/result         the finished run's full RunResult document
+//	DELETE /v1/runs/{id}              cancel a queued, unshared job
+//	POST /v1/sweeps                   submit a workload×config matrix as one sweep
+//	GET  /v1/sweeps/{id}              poll a sweep's aggregate state
+//	GET  /v1/sweeps/{id}/events       NDJSON stream of per-cell events (?results=1
+//	                                  embeds each cell's full RunResult)
+//	DELETE /v1/sweeps/{id}            cancel a sweep
+//	POST /v1/workers                  register a remote worker {name, url, capacity}
+//	GET  /v1/workers                  list registered workers
+//	POST /v1/workers/{id}/heartbeat   renew a worker's lease
+//	DELETE /v1/workers/{id}           deregister a worker
+//	GET  /v1/workloads                list workloads (name, category)
+//	GET  /v1/mechanisms               list mechanism presets (name, description)
+//	GET  /metrics                     plaintext scheduler metrics
+//	GET  /healthz                     liveness probe
+//
+// See docs/API.md for the complete reference with request/response examples.
 func NewHandler(s *Scheduler) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/runs", func(w http.ResponseWriter, r *http.Request) {
-		var spec JobSpec
-		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
-			httpError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
-			return
-		}
-		j, err := s.Submit(spec)
-		if err != nil {
-			httpError(w, submitStatus(err), err.Error())
-			return
-		}
-		status := http.StatusAccepted
-		if r.URL.Query().Get("wait") != "" {
-			if _, err := j.Wait(r.Context()); err != nil && errors.Is(err, r.Context().Err()) {
-				// The waiting client is gone (disconnect or timeout): drop
-				// its interest so a queued job nobody else shares is
-				// canceled instead of simulating for no one. Shared/deduped
-				// jobs keep running for their remaining submitters.
-				s.Abandon(j.ID)
-				httpError(w, http.StatusGatewayTimeout, "wait interrupted: "+err.Error())
+	for _, rt := range routesFor(s) {
+		mux.HandleFunc(rt.pattern, rt.handler)
+	}
+	return mux
+}
+
+// routesFor builds the route table over s. The handlers are closures that
+// only dereference s when invoked, so building the table with a nil
+// scheduler (APIRoutes) is safe.
+func routesFor(s *Scheduler) []apiRoute {
+	return []apiRoute{
+		{"POST /v1/runs", func(w http.ResponseWriter, r *http.Request) {
+			var spec JobSpec
+			if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+				httpError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
 				return
 			}
-			status = http.StatusOK
-		} else if j.Status() == StatusDone {
-			status = http.StatusOK // served from cache
-		}
-		writeJSON(w, status, viewOf(j))
-	})
-
-	mux.HandleFunc("POST /v1/runs/batch", func(w http.ResponseWriter, r *http.Request) {
-		var specs []JobSpec
-		if err := json.NewDecoder(r.Body).Decode(&specs); err != nil {
-			httpError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
-			return
-		}
-		if len(specs) == 0 {
-			httpError(w, http.StatusBadRequest, "empty batch")
-			return
-		}
-		views := make([]JobView, 0, len(specs))
-		for i, spec := range specs {
 			j, err := s.Submit(spec)
 			if err != nil {
-				httpError(w, submitStatus(err), "spec "+strconv.Itoa(i)+": "+err.Error())
+				httpError(w, submitStatus(err), err.Error())
 				return
 			}
-			views = append(views, viewOf(j))
-		}
-		writeJSON(w, http.StatusAccepted, views)
-	})
-
-	mux.HandleFunc("GET /v1/runs/{id}", func(w http.ResponseWriter, r *http.Request) {
-		j, ok := s.Get(r.PathValue("id"))
-		if !ok {
-			httpError(w, http.StatusNotFound, "unknown job "+r.PathValue("id"))
-			return
-		}
-		writeJSON(w, http.StatusOK, viewOf(j))
-	})
-
-	mux.HandleFunc("GET /v1/runs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
-		id := r.PathValue("id")
-		j, ok := s.Get(id)
-		if !ok {
-			httpError(w, http.StatusNotFound, "unknown job "+id)
-			return
-		}
-		res, err := j.Result()
-		switch {
-		case err != nil:
-			httpError(w, http.StatusUnprocessableEntity, "job "+id+" failed: "+err.Error())
-		case res == nil:
-			httpError(w, http.StatusConflict, "job "+id+" is "+string(j.Status())+"; result not available yet")
-		default:
-			writeJSON(w, http.StatusOK, res)
-		}
-	})
-
-	mux.HandleFunc("DELETE /v1/runs/{id}", func(w http.ResponseWriter, r *http.Request) {
-		id := r.PathValue("id")
-		if _, ok := s.Get(id); !ok {
-			httpError(w, http.StatusNotFound, "unknown job "+id)
-			return
-		}
-		if !s.Cancel(id) {
-			httpError(w, http.StatusConflict, "job "+id+" was not canceled: it is running, finished, or shared by other submitters")
-			return
-		}
-		j, _ := s.Get(id)
-		writeJSON(w, http.StatusOK, viewOf(j))
-	})
-
-	mux.HandleFunc("POST /v1/sweeps", func(w http.ResponseWriter, r *http.Request) {
-		var req SweepRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			httpError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
-			return
-		}
-		matrix, err := req.matrix()
-		if err != nil {
-			httpError(w, http.StatusBadRequest, err.Error())
-			return
-		}
-		// The sweep belongs to the server, not to this request: it keeps
-		// running after the submitting connection closes and is canceled
-		// only by DELETE (or scheduler shutdown).
-		sw, err := s.StartSweep(context.Background(), matrix, SweepOptions{FailFast: req.FailFast})
-		if err != nil {
-			httpError(w, submitStatus(err), err.Error())
-			return
-		}
-		writeJSON(w, http.StatusAccepted, sw.View())
-	})
-
-	mux.HandleFunc("GET /v1/sweeps/{id}", func(w http.ResponseWriter, r *http.Request) {
-		sw, ok := s.GetSweep(r.PathValue("id"))
-		if !ok {
-			httpError(w, http.StatusNotFound, "unknown sweep "+r.PathValue("id"))
-			return
-		}
-		writeJSON(w, http.StatusOK, sw.View())
-	})
-
-	mux.HandleFunc("GET /v1/sweeps/{id}/events", func(w http.ResponseWriter, r *http.Request) {
-		sw, ok := s.GetSweep(r.PathValue("id"))
-		if !ok {
-			httpError(w, http.StatusNotFound, "unknown sweep "+r.PathValue("id"))
-			return
-		}
-		includeResults := r.URL.Query().Get("results") != ""
-		w.Header().Set("Content-Type", "application/x-ndjson")
-		w.WriteHeader(http.StatusOK)
-		flusher, _ := w.(http.Flusher)
-		enc := json.NewEncoder(w)
-		// Replays history, then follows live; one JSON object per line,
-		// flushed per cell so clients see cells as they complete. The final
-		// line is the sweep's terminal aggregate view.
-		err := sw.Stream(r.Context(), includeResults, func(ev SweepEvent) error {
-			if err := enc.Encode(sweepStreamLine{Cell: &ev}); err != nil {
-				return err
+			status := http.StatusAccepted
+			if r.URL.Query().Get("wait") != "" {
+				if _, err := j.Wait(r.Context()); err != nil && errors.Is(err, r.Context().Err()) {
+					// The waiting client is gone (disconnect or timeout): drop
+					// its interest so a queued job nobody else shares is
+					// canceled instead of simulating for no one. Shared/deduped
+					// jobs keep running for their remaining submitters.
+					s.Abandon(j.ID)
+					httpError(w, http.StatusGatewayTimeout, "wait interrupted: "+err.Error())
+					return
+				}
+				status = http.StatusOK
+			} else if j.Status() == StatusDone {
+				status = http.StatusOK // served from cache
 			}
+			writeJSON(w, status, viewOf(j))
+		}},
+
+		{"POST /v1/runs/batch", func(w http.ResponseWriter, r *http.Request) {
+			var specs []JobSpec
+			if err := json.NewDecoder(r.Body).Decode(&specs); err != nil {
+				httpError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+				return
+			}
+			if len(specs) == 0 {
+				httpError(w, http.StatusBadRequest, "empty batch")
+				return
+			}
+			views := make([]JobView, 0, len(specs))
+			for i, spec := range specs {
+				j, err := s.Submit(spec)
+				if err != nil {
+					httpError(w, submitStatus(err), "spec "+strconv.Itoa(i)+": "+err.Error())
+					return
+				}
+				views = append(views, viewOf(j))
+			}
+			writeJSON(w, http.StatusAccepted, views)
+		}},
+
+		{"GET /v1/runs/{id}", func(w http.ResponseWriter, r *http.Request) {
+			j, ok := s.Get(r.PathValue("id"))
+			if !ok {
+				httpError(w, http.StatusNotFound, "unknown job "+r.PathValue("id"))
+				return
+			}
+			writeJSON(w, http.StatusOK, viewOf(j))
+		}},
+
+		{"GET /v1/runs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+			id := r.PathValue("id")
+			j, ok := s.Get(id)
+			if !ok {
+				httpError(w, http.StatusNotFound, "unknown job "+id)
+				return
+			}
+			res, err := j.Result()
+			switch {
+			case err != nil:
+				httpError(w, http.StatusUnprocessableEntity, "job "+id+" failed: "+err.Error())
+			case res == nil:
+				httpError(w, http.StatusConflict, "job "+id+" is "+string(j.Status())+"; result not available yet")
+			default:
+				writeJSON(w, http.StatusOK, res)
+			}
+		}},
+
+		{"DELETE /v1/runs/{id}", func(w http.ResponseWriter, r *http.Request) {
+			id := r.PathValue("id")
+			if _, ok := s.Get(id); !ok {
+				httpError(w, http.StatusNotFound, "unknown job "+id)
+				return
+			}
+			if !s.Cancel(id) {
+				httpError(w, http.StatusConflict, "job "+id+" was not canceled: it is running, finished, or shared by other submitters")
+				return
+			}
+			j, _ := s.Get(id)
+			writeJSON(w, http.StatusOK, viewOf(j))
+		}},
+
+		{"POST /v1/sweeps", func(w http.ResponseWriter, r *http.Request) {
+			var req SweepRequest
+			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+				httpError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+				return
+			}
+			matrix, err := req.matrix()
+			if err != nil {
+				httpError(w, http.StatusBadRequest, err.Error())
+				return
+			}
+			// The sweep belongs to the server, not to this request: it keeps
+			// running after the submitting connection closes and is canceled
+			// only by DELETE (or scheduler shutdown).
+			sw, err := s.StartSweep(context.Background(), matrix, SweepOptions{FailFast: req.FailFast})
+			if err != nil {
+				httpError(w, submitStatus(err), err.Error())
+				return
+			}
+			writeJSON(w, http.StatusAccepted, sw.View())
+		}},
+
+		{"GET /v1/sweeps/{id}", func(w http.ResponseWriter, r *http.Request) {
+			sw, ok := s.GetSweep(r.PathValue("id"))
+			if !ok {
+				httpError(w, http.StatusNotFound, "unknown sweep "+r.PathValue("id"))
+				return
+			}
+			writeJSON(w, http.StatusOK, sw.View())
+		}},
+
+		{"GET /v1/sweeps/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+			sw, ok := s.GetSweep(r.PathValue("id"))
+			if !ok {
+				httpError(w, http.StatusNotFound, "unknown sweep "+r.PathValue("id"))
+				return
+			}
+			includeResults := r.URL.Query().Get("results") != ""
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.WriteHeader(http.StatusOK)
+			flusher, _ := w.(http.Flusher)
+			enc := json.NewEncoder(w)
+			// Replays history, then follows live; one JSON object per line,
+			// flushed per cell so clients see cells as they complete. The final
+			// line is the sweep's terminal aggregate view.
+			err := sw.Stream(r.Context(), includeResults, func(ev SweepEvent) error {
+				if err := enc.Encode(sweepStreamLine{Cell: &ev}); err != nil {
+					return err
+				}
+				if flusher != nil {
+					flusher.Flush()
+				}
+				return nil
+			})
+			if err != nil {
+				return // client disconnected mid-stream
+			}
+			v := sw.View()
+			enc.Encode(sweepStreamLine{Sweep: &v})
 			if flusher != nil {
 				flusher.Flush()
 			}
-			return nil
-		})
-		if err != nil {
-			return // client disconnected mid-stream
-		}
-		v := sw.View()
-		enc.Encode(sweepStreamLine{Sweep: &v})
-		if flusher != nil {
-			flusher.Flush()
-		}
-	})
+		}},
 
-	mux.HandleFunc("DELETE /v1/sweeps/{id}", func(w http.ResponseWriter, r *http.Request) {
-		sw, ok := s.GetSweep(r.PathValue("id"))
-		if !ok {
-			httpError(w, http.StatusNotFound, "unknown sweep "+r.PathValue("id"))
-			return
-		}
-		sw.Cancel()
-		writeJSON(w, http.StatusOK, sw.View())
-	})
+		{"DELETE /v1/sweeps/{id}", func(w http.ResponseWriter, r *http.Request) {
+			sw, ok := s.GetSweep(r.PathValue("id"))
+			if !ok {
+				httpError(w, http.StatusNotFound, "unknown sweep "+r.PathValue("id"))
+				return
+			}
+			sw.Cancel()
+			writeJSON(w, http.StatusOK, sw.View())
+		}},
 
-	mux.HandleFunc("GET /v1/workloads", func(w http.ResponseWriter, r *http.Request) {
-		type wl struct {
-			Name     string `json:"name"`
-			Category string `json:"category"`
-		}
-		suite := workload.Suite()
-		out := make([]wl, len(suite))
-		for i, spec := range suite {
-			out[i] = wl{Name: spec.Name, Category: string(spec.Category)}
-		}
-		writeJSON(w, http.StatusOK, out)
-	})
+		{"POST /v1/workers", func(w http.ResponseWriter, r *http.Request) {
+			var req struct {
+				Name     string `json:"name"`
+				URL      string `json:"url"`
+				Capacity int    `json:"capacity"`
+			}
+			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+				httpError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+				return
+			}
+			v, err := s.RegisterWorker(req.Name, req.URL, req.Capacity)
+			if err != nil {
+				httpError(w, submitStatus(err), err.Error())
+				return
+			}
+			writeJSON(w, http.StatusCreated, v)
+		}},
 
-	mux.HandleFunc("GET /v1/mechanisms", func(w http.ResponseWriter, r *http.Request) {
-		type mech struct {
-			Name        string `json:"name"`
-			Description string `json:"description"`
-		}
-		presets := sim.Mechanisms()
-		out := make([]mech, len(presets))
-		for i, p := range presets {
-			out[i] = mech{Name: p.Name, Description: p.Description}
-		}
-		writeJSON(w, http.StatusOK, out)
-	})
+		{"GET /v1/workers", func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, http.StatusOK, s.Workers())
+		}},
 
-	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		s.Metrics().WriteTo(w)
-	})
+		{"POST /v1/workers/{id}/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+			v, ok := s.HeartbeatWorker(r.PathValue("id"))
+			if !ok {
+				// Unknown lease — expired or never registered. The worker
+				// reacts by re-registering.
+				httpError(w, http.StatusNotFound, "unknown worker "+r.PathValue("id"))
+				return
+			}
+			writeJSON(w, http.StatusOK, v)
+		}},
 
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		w.Write([]byte("ok\n"))
-	})
+		{"DELETE /v1/workers/{id}", func(w http.ResponseWriter, r *http.Request) {
+			id := r.PathValue("id")
+			if !s.DeregisterWorker(id) {
+				httpError(w, http.StatusNotFound, "unknown worker "+id)
+				return
+			}
+			writeJSON(w, http.StatusOK, map[string]any{"id": id, "deregistered": true})
+		}},
 
-	return mux
+		{"GET /v1/workloads", func(w http.ResponseWriter, r *http.Request) {
+			type wl struct {
+				Name     string `json:"name"`
+				Category string `json:"category"`
+			}
+			suite := workload.Suite()
+			out := make([]wl, len(suite))
+			for i, spec := range suite {
+				out[i] = wl{Name: spec.Name, Category: string(spec.Category)}
+			}
+			writeJSON(w, http.StatusOK, out)
+		}},
+
+		{"GET /v1/mechanisms", func(w http.ResponseWriter, r *http.Request) {
+			type mech struct {
+				Name        string `json:"name"`
+				Description string `json:"description"`
+			}
+			presets := sim.Mechanisms()
+			out := make([]mech, len(presets))
+			for i, p := range presets {
+				out[i] = mech{Name: p.Name, Description: p.Description}
+			}
+			writeJSON(w, http.StatusOK, out)
+		}},
+
+		{"GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			s.Metrics().WriteTo(w)
+		}},
+
+		{"GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			w.Write([]byte("ok\n"))
+		}},
+	}
 }
 
 // Serve runs the API on addr until the server errors or ctx-free shutdown is

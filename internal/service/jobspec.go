@@ -1,10 +1,24 @@
 // Package service is the execution subsystem shared by the CLI tools, the
 // experiment drivers and cmd/constable-server: a canonical, content-hashable
-// JobSpec describing one simulation, a bounded-worker Scheduler with per-job
-// status tracking and an LRU result cache keyed by spec hash, and an HTTP API
-// over both. One engine runs every simulation in the repo, so identical
-// (workload, mechanism, budget) cells — whether they come from two HTTP
-// clients or from two experiment drivers — are simulated exactly once.
+// JobSpec describing one simulation, a Scheduler with per-job status
+// tracking and refcounted submitter interest, an LRU result cache plus an
+// optional persistent content-addressed store keyed by spec hash, a
+// streaming sweep engine, and an HTTP API over all of it. One engine runs
+// every simulation in the repo, so identical (workload, mechanism, budget)
+// cells — whether they come from two HTTP clients or from two experiment
+// drivers — are simulated exactly once per process, and once ever with a
+// DataDir.
+//
+// Execution is pluggable: the scheduler dispatches through a Backend —
+// LocalBackend simulates in-process, RemoteBackend sends one job per HTTP
+// request to a cmd/constable-worker node, and MultiBackend (the default
+// wrapper) composes the local pool with every remote worker registered at
+// runtime under capacity-aware dispatch, per-worker health tracking, and
+// requeue of a dead worker's in-flight jobs. Results are transported and
+// persisted as sim.ResultEnvelope documents whose recorded spec hash is
+// verified at every boundary, so a result can never be filed under the
+// wrong content address. See docs/ARCHITECTURE.md for the dataflow and
+// docs/API.md for the HTTP surface.
 package service
 
 import (

@@ -13,6 +13,12 @@ type metrics struct {
 	failed    atomic.Uint64
 	canceled  atomic.Uint64
 	deduped   atomic.Uint64
+	// requeued counts jobs bounced back to the queue after a backend
+	// failure (remote worker died mid-job or returned a bad envelope).
+	requeued atomic.Uint64
+
+	workersRegistered atomic.Uint64
+	workersLost       atomic.Uint64 // deregistered, lease-expired
 
 	sweepsStarted   atomic.Uint64
 	sweepsCompleted atomic.Uint64
@@ -33,8 +39,17 @@ type MetricsSnapshot struct {
 	JobsFailed    uint64 `json:"jobs_failed"`
 	JobsCanceled  uint64 `json:"jobs_canceled"`
 	JobsDeduped   uint64 `json:"jobs_deduped"`
+	JobsRequeued  uint64 `json:"jobs_requeued"`
 	JobsRunning   int    `json:"jobs_running"`
 	QueueDepth    int    `json:"queue_depth"`
+
+	// Worker/backend families. WorkersActive counts currently-registered
+	// healthy remote workers; BackendCapacity is the total concurrent-job
+	// budget (local slots + healthy workers) the dispatcher sees.
+	WorkersRegistered uint64 `json:"workers_registered"`
+	WorkersLost       uint64 `json:"workers_lost"`
+	WorkersActive     int    `json:"workers_active"`
+	BackendCapacity   int    `json:"backend_capacity"`
 
 	SweepsStarted   uint64 `json:"sweeps_started"`
 	SweepsCompleted uint64 `json:"sweeps_completed"`
@@ -66,11 +81,16 @@ func (s *Scheduler) Metrics() MetricsSnapshot {
 		JobsFailed:    s.metrics.failed.Load(),
 		JobsCanceled:  s.metrics.canceled.Load(),
 		JobsDeduped:   s.metrics.deduped.Load(),
+		JobsRequeued:  s.metrics.requeued.Load(),
 		JobsRunning:   s.Running(),
 		QueueDepth:    s.QueueDepth(),
-		CacheHits:     hits,
-		CacheMisses:   misses,
-		CacheEntries:  s.cache.Len(),
+
+		WorkersRegistered: s.metrics.workersRegistered.Load(),
+		WorkersLost:       s.metrics.workersLost.Load(),
+		BackendCapacity:   s.backend.Capacity(),
+		CacheHits:         hits,
+		CacheMisses:       misses,
+		CacheEntries:      s.cache.Len(),
 
 		SweepsStarted:   s.metrics.sweepsStarted.Load(),
 		SweepsCompleted: s.metrics.sweepsCompleted.Load(),
@@ -84,6 +104,11 @@ func (s *Scheduler) Metrics() MetricsSnapshot {
 		m.StoreWrites = st.writes
 		m.StoreErrors = st.errors
 		m.StoreCorrupt = st.corrupt
+	}
+	for _, w := range s.backend.Workers() {
+		if w.Healthy {
+			m.WorkersActive++
+		}
 	}
 	if total := hits + misses; total > 0 {
 		m.CacheHitRate = float64(hits) / float64(total)
@@ -112,8 +137,13 @@ func (m MetricsSnapshot) WriteTo(w io.Writer) (int64, error) {
 		{"jobs_failed_total", m.JobsFailed},
 		{"jobs_canceled_total", m.JobsCanceled},
 		{"jobs_deduped_total", m.JobsDeduped},
+		{"jobs_requeued_total", m.JobsRequeued},
 		{"jobs_running", m.JobsRunning},
 		{"queue_depth", m.QueueDepth},
+		{"workers_registered_total", m.WorkersRegistered},
+		{"workers_lost_total", m.WorkersLost},
+		{"workers_active", m.WorkersActive},
+		{"backend_capacity", m.BackendCapacity},
 		{"sweeps_started_total", m.SweepsStarted},
 		{"sweeps_completed_total", m.SweepsCompleted},
 		{"sweeps_failed_total", m.SweepsFailed},

@@ -1,0 +1,411 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"constable/internal/sim"
+)
+
+// WorkerView is the API representation of one registered remote worker.
+type WorkerView struct {
+	ID       string `json:"id"`
+	Name     string `json:"name"`
+	URL      string `json:"url"`
+	Capacity int    `json:"capacity"`
+	// Healthy reports whether the worker is eligible for dispatch. A
+	// transport failure marks it unhealthy; a later heartbeat restores it.
+	Healthy bool `json:"healthy"`
+	// Inflight is the number of jobs currently dispatched to the worker.
+	Inflight int `json:"inflight"`
+	// Completed counts jobs the worker finished successfully.
+	Completed uint64 `json:"completed"`
+	// Failures counts transport-level failures (died mid-request, bad
+	// envelope) attributed to the worker.
+	Failures     uint64    `json:"failures"`
+	RegisteredAt time.Time `json:"registered_at"`
+	LastSeen     time.Time `json:"last_seen"`
+}
+
+// workerSlot tracks one backend's dispatch state inside a MultiBackend: its
+// concurrency budget, in-flight count, health and (for remotes) lease
+// bookkeeping. All fields are guarded by the owning MultiBackend's mutex,
+// except ctx/cancel which are assigned once before the slot is published.
+type workerSlot struct {
+	id      string
+	backend Backend
+	remote  bool
+
+	capacity  int
+	inflight  int
+	healthy   bool
+	completed uint64
+	failures  uint64
+
+	// consecFails counts consecutive transport failures; suspendedUntil is
+	// the earliest instant a heartbeat may restore health again. The
+	// exponential suspension prevents a worker that heartbeats fine but
+	// fails every dispatch (e.g. a wrong -advertise URL behind NAT) from
+	// livelocking the queue in a hot dispatch/fail/requeue loop.
+	consecFails    int
+	suspendedUntil time.Time
+
+	// ctx is canceled when the slot's lease expires, aborting the expired
+	// worker's in-flight requests so their jobs requeue immediately
+	// instead of waiting out the full remote request timeout. Graceful
+	// deregistration does not cancel it: a live worker drains its
+	// in-flight jobs. Nil for the local slot.
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	name       string
+	url        string
+	registered time.Time
+	lastSeen   time.Time
+}
+
+// failureSuspension is the health-restore backoff after the n-th (1-based)
+// consecutive transport failure: 500ms doubling up to 30s.
+func failureSuspension(n int) time.Duration {
+	d := 500 * time.Millisecond
+	for i := 1; i < n && d < 30*time.Second; i++ {
+		d *= 2
+	}
+	if d > 30*time.Second {
+		d = 30 * time.Second
+	}
+	return d
+}
+
+func (ws *workerSlot) view() WorkerView {
+	return WorkerView{
+		ID:           ws.id,
+		Name:         ws.name,
+		URL:          ws.url,
+		Capacity:     ws.capacity,
+		Healthy:      ws.healthy,
+		Inflight:     ws.inflight,
+		Completed:    ws.completed,
+		Failures:     ws.failures,
+		RegisteredAt: ws.registered,
+		LastSeen:     ws.lastSeen,
+	}
+}
+
+// MultiBackend composes a local backend with any number of dynamically
+// registered remote workers under capacity-aware dispatch: Execute hands
+// each job to the eligible backend with the most free slots (local first on
+// ties), tracks per-worker in-flight counts, and does per-worker
+// health/failure accounting — a worker whose request fails at the transport
+// level is marked unhealthy and excluded from dispatch until a heartbeat
+// restores it or its lease expires. Capacity is the sum of the local pool
+// and every healthy worker, so the scheduler's dispatcher automatically
+// widens as workers register and narrows as they fail.
+type MultiBackend struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	local  *workerSlot
+	slots  map[string]*workerSlot // remote workers by ID
+	order  []string               // registration order, for stable listings
+	nextID uint64
+
+	// onChange, when set (the owning scheduler installs it), is invoked
+	// without the lock held whenever total capacity may have changed, so
+	// the dispatcher re-evaluates its gate.
+	onChange func()
+}
+
+// NewMultiBackend returns a MultiBackend dispatching to local (required;
+// use a zero-capacity LocalBackend for a dispatch-only server) and to any
+// workers registered later.
+func NewMultiBackend(local Backend) *MultiBackend {
+	m := &MultiBackend{
+		local: &workerSlot{
+			id:       "local",
+			name:     local.Name(),
+			backend:  local,
+			capacity: local.Capacity(),
+			healthy:  true,
+		},
+		slots: make(map[string]*workerSlot),
+	}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// Name implements Backend.
+func (m *MultiBackend) Name() string { return "multi" }
+
+// Capacity implements Backend: the local pool plus every healthy worker.
+func (m *MultiBackend) Capacity() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.capacityLocked()
+}
+
+func (m *MultiBackend) capacityLocked() int {
+	total := m.local.capacity
+	for _, ws := range m.slots {
+		if ws.healthy {
+			total += ws.capacity
+		}
+	}
+	return total
+}
+
+// AddWorker registers a remote worker and returns its assigned view. The
+// new capacity becomes dispatchable immediately.
+func (m *MultiBackend) AddWorker(name, url string, capacity int, backend Backend) WorkerView {
+	now := time.Now()
+	ctx, cancel := context.WithCancel(context.Background())
+	m.mu.Lock()
+	m.nextID++
+	ws := &workerSlot{
+		id:         fmt.Sprintf("worker-%d", m.nextID),
+		backend:    backend,
+		remote:     true,
+		capacity:   capacity,
+		healthy:    true,
+		ctx:        ctx,
+		cancel:     cancel,
+		name:       name,
+		url:        url,
+		registered: now,
+		lastSeen:   now,
+	}
+	m.slots[ws.id] = ws
+	m.order = append(m.order, ws.id)
+	v := ws.view()
+	m.cond.Broadcast()
+	m.mu.Unlock()
+	m.notify()
+	return v
+}
+
+// RemoveWorker deregisters a worker. Jobs already dispatched to it keep
+// running to completion (or to a transport failure, which requeues them);
+// no new jobs are dispatched. It reports whether the worker existed.
+func (m *MultiBackend) RemoveWorker(id string) bool {
+	m.mu.Lock()
+	_, ok := m.slots[id]
+	if ok {
+		delete(m.slots, id)
+		for i, oid := range m.order {
+			if oid == id {
+				m.order = append(m.order[:i], m.order[i+1:]...)
+				break
+			}
+		}
+	}
+	m.cond.Broadcast()
+	m.mu.Unlock()
+	if ok {
+		m.notify()
+	}
+	return ok
+}
+
+// Heartbeat renews a worker's lease and — once the failure-backoff window
+// has passed — restores its health, so a worker demoted by a transient
+// transport failure becomes dispatchable again while one that fails every
+// dispatch retries at a bounded, decaying rate instead of livelocking the
+// queue. It returns the refreshed view, or false for an unknown ID — the
+// worker should re-register.
+func (m *MultiBackend) Heartbeat(id string) (WorkerView, bool) {
+	m.mu.Lock()
+	ws, ok := m.slots[id]
+	if !ok {
+		m.mu.Unlock()
+		return WorkerView{}, false
+	}
+	ws.lastSeen = time.Now()
+	restored := false
+	if !ws.healthy && time.Now().After(ws.suspendedUntil) {
+		ws.healthy = true
+		restored = true
+	}
+	v := ws.view()
+	if restored {
+		m.cond.Broadcast()
+	}
+	m.mu.Unlock()
+	if restored {
+		m.notify()
+	}
+	return v, true
+}
+
+// Worker returns one worker's view by ID.
+func (m *MultiBackend) Worker(id string) (WorkerView, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ws, ok := m.slots[id]
+	if !ok {
+		return WorkerView{}, false
+	}
+	return ws.view(), true
+}
+
+// Workers lists the registered remote workers in registration order.
+func (m *MultiBackend) Workers() []WorkerView {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]WorkerView, 0, len(m.order))
+	for _, id := range m.order {
+		if ws, ok := m.slots[id]; ok {
+			out = append(out, ws.view())
+		}
+	}
+	return out
+}
+
+// expire removes every worker whose lease (last heartbeat) is older than
+// ttl, returning the removed views. The scheduler's janitor calls it
+// periodically; jobs in flight on an expired worker fail at the transport
+// level on their own and requeue.
+func (m *MultiBackend) expire(ttl time.Duration) []WorkerView {
+	cutoff := time.Now().Add(-ttl)
+	var removed []WorkerView
+	m.mu.Lock()
+	for i := 0; i < len(m.order); {
+		id := m.order[i]
+		ws := m.slots[id]
+		if ws != nil && ws.lastSeen.Before(cutoff) {
+			removed = append(removed, ws.view())
+			delete(m.slots, id)
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			// An expired worker is presumed dead: abort its in-flight
+			// requests now so their jobs requeue immediately instead of
+			// waiting out the remote request timeout.
+			ws.cancel()
+			continue
+		}
+		i++
+	}
+	if removed != nil {
+		m.cond.Broadcast()
+	}
+	m.mu.Unlock()
+	if removed != nil {
+		m.notify()
+	}
+	return removed
+}
+
+func (m *MultiBackend) notify() {
+	if m.onChange != nil {
+		m.onChange()
+	}
+}
+
+// acquire picks the eligible slot (healthy, below its concurrency budget)
+// with the most free capacity, local winning ties, and reserves one slot on
+// it. When every eligible backend is saturated it waits for a slot to free;
+// when no healthy backend exists at all it returns ErrBackendUnavailable so
+// the job goes back to the scheduler queue instead of blocking forever.
+func (m *MultiBackend) acquire(ctx context.Context) (*workerSlot, error) {
+	unhook := context.AfterFunc(ctx, func() {
+		m.mu.Lock()
+		m.cond.Broadcast()
+		m.mu.Unlock()
+	})
+	defer unhook()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		var best *workerSlot
+		// The local slot honors the same failure suspension as workers: a
+		// custom Config.Backend that fails at the transport level backs
+		// off instead of spinning (sim.Run-backed local pools never
+		// return ErrBackendUnavailable, so this never gates them).
+		if m.local.capacity > m.local.inflight && time.Now().After(m.local.suspendedUntil) {
+			best = m.local
+		}
+		for _, id := range m.order {
+			ws := m.slots[id]
+			if ws == nil || !ws.healthy || ws.inflight >= ws.capacity {
+				continue
+			}
+			if best == nil || ws.capacity-ws.inflight > best.capacity-best.inflight {
+				best = ws
+			}
+		}
+		if best != nil {
+			best.inflight++
+			return best, nil
+		}
+		if m.capacityLocked() == 0 {
+			return nil, fmt.Errorf("%w: no healthy backend", ErrBackendUnavailable)
+		}
+		m.cond.Wait()
+	}
+}
+
+// Execute implements Backend: it reserves a slot on the best eligible
+// backend, runs the job there, and releases the slot. A transport-level
+// failure (ErrBackendUnavailable) on a remote worker marks that worker
+// unhealthy — removing its capacity from dispatch until a heartbeat
+// restores it after the failure-backoff window — and propagates to the
+// scheduler, which requeues the job. A remote dispatch also aborts the
+// moment the slot's lease expires, so a wedged worker's jobs requeue at
+// lease-expiry speed rather than at the remote request timeout.
+func (m *MultiBackend) Execute(ctx context.Context, spec JobSpec, hash string) (*sim.RunResult, error) {
+	ws, err := m.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	execCtx := ctx
+	if ws.remote {
+		var cancel context.CancelFunc
+		execCtx, cancel = context.WithCancel(ctx)
+		stop := context.AfterFunc(ws.ctx, cancel) // lease expiry aborts the request
+		defer stop()
+		defer cancel()
+	}
+	res, err := ws.backend.Execute(execCtx, spec, hash)
+	if err != nil && ctx.Err() == nil && execCtx.Err() != nil {
+		// The request died because the lease expired, not because of
+		// anything the caller did: surface it as a backend failure so the
+		// scheduler requeues the job.
+		err = fmt.Errorf("%w: worker %s lease expired mid-job: %v", ErrBackendUnavailable, ws.name, err)
+	}
+
+	m.mu.Lock()
+	ws.inflight--
+	capacityChanged := false
+	switch {
+	case err == nil:
+		ws.completed++
+		ws.consecFails = 0
+	case errors.Is(err, ErrBackendUnavailable):
+		ws.failures++
+		ws.consecFails++
+		d := failureSuspension(ws.consecFails)
+		ws.suspendedUntil = time.Now().Add(d)
+		if ws.remote && ws.healthy {
+			ws.healthy = false
+			capacityChanged = true
+		}
+		// Wake the dispatch gate when the suspension lapses — the local
+		// slot has no heartbeat to restore it, and a suspended-but-counted
+		// slot must not park the queue past its backoff.
+		time.AfterFunc(d, func() {
+			m.mu.Lock()
+			m.cond.Broadcast()
+			m.mu.Unlock()
+			m.notify()
+		})
+	}
+	m.cond.Broadcast()
+	m.mu.Unlock()
+	if capacityChanged {
+		m.notify()
+	}
+	return res, err
+}

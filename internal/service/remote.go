@@ -1,0 +1,111 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"constable/internal/sim"
+)
+
+// remoteRequestTimeout bounds one worker round trip. Simulations are
+// seconds-long, not hours-long, so a request that has produced nothing for
+// this long means the worker is wedged; the job requeues elsewhere (the
+// worker's own run, if it ever finishes, still lands in the worker-local
+// cache and is simply never collected).
+const remoteRequestTimeout = 10 * time.Minute
+
+// RemoteBackend executes jobs on one constable-worker over HTTP: each
+// Execute is a single POST {url}/execute carrying the canonical spec and
+// its content hash, answered with a full sim.ResultEnvelope. The envelope
+// is verified against the dispatched hash before the result is accepted
+// (alias defense, mirroring the persistent store's Load): a worker
+// returning a mismatched or undecodable envelope is indistinguishable from
+// a corrupt one, so the error wraps ErrBackendUnavailable and the job
+// retries on an honest backend.
+type RemoteBackend struct {
+	name   string
+	url    string // base URL, no trailing slash
+	client *http.Client
+}
+
+// NewRemoteBackend returns a backend dispatching to the worker at url
+// (e.g. http://10.0.0.5:8081).
+func NewRemoteBackend(name, url string) *RemoteBackend {
+	return &RemoteBackend{
+		name:   name,
+		url:    strings.TrimRight(url, "/"),
+		client: &http.Client{Timeout: remoteRequestTimeout},
+	}
+}
+
+// Name implements Backend.
+func (r *RemoteBackend) Name() string { return r.name }
+
+// Capacity implements Backend. A RemoteBackend is always dispatched through
+// a MultiBackend slot, which owns the concurrency budget the worker
+// advertised at registration; standalone it reports one slot.
+func (r *RemoteBackend) Capacity() int { return 1 }
+
+// Execute implements Backend: one job, one HTTP round trip.
+//
+// Status mapping: 200 carries a result envelope (verified against hash);
+// 422 is the simulation's own failure, terminal for the job; anything else
+// — transport errors, timeouts, 5xx, a closed worker — wraps
+// ErrBackendUnavailable so the scheduler requeues the job.
+func (r *RemoteBackend) Execute(ctx context.Context, spec JobSpec, hash string) (*sim.RunResult, error) {
+	body, err := json.Marshal(ExecuteRequest{Hash: hash, Spec: spec})
+	if err != nil {
+		// Failing to even build the dispatch is this backend's problem, not
+		// the job's: requeue rather than terminally failing the job.
+		return nil, fmt.Errorf("%w: encode dispatch to worker %s: %v", ErrBackendUnavailable, r.name, err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, r.url+"/execute", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("%w: worker %s has an unusable url %q: %v", ErrBackendUnavailable, r.name, r.url, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("%w: worker %s: %v", ErrBackendUnavailable, r.name, err)
+	}
+	defer resp.Body.Close()
+
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var env sim.ResultEnvelope
+		if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+			return nil, fmt.Errorf("%w: worker %s returned an undecodable envelope: %v", ErrBackendUnavailable, r.name, err)
+		}
+		res, err := env.Open(hash)
+		if err != nil {
+			return nil, fmt.Errorf("%w: worker %s: %v", ErrBackendUnavailable, r.name, err)
+		}
+		return res, nil
+	case http.StatusUnprocessableEntity:
+		// The worker ran the simulation and it failed: that failure belongs
+		// to the job, not the transport, and retrying elsewhere would only
+		// fail the same way.
+		return nil, fmt.Errorf("worker %s: %s", r.name, decodeErrorBody(resp.Body))
+	default:
+		return nil, fmt.Errorf("%w: worker %s: HTTP %d: %s", ErrBackendUnavailable, r.name, resp.StatusCode, decodeErrorBody(resp.Body))
+	}
+}
+
+// decodeErrorBody extracts the {"error": ...} message the worker and server
+// APIs use, falling back to the raw (truncated) body.
+func decodeErrorBody(body io.Reader) string {
+	b, _ := io.ReadAll(io.LimitReader(body, 4096))
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(b, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	return strings.TrimSpace(string(b))
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net/url"
 	"runtime"
 	"sync"
 	"time"
@@ -115,9 +116,22 @@ var ErrCanceled = errors.New("service: job canceled")
 
 // Config parameterizes a Scheduler.
 type Config struct {
-	// Workers bounds the number of concurrent simulations
-	// (default runtime.GOMAXPROCS(0)).
+	// Workers bounds the number of concurrent local simulations. Zero
+	// selects the default (runtime.GOMAXPROCS(0)); a negative value
+	// disables local execution entirely, turning the scheduler into a pure
+	// dispatcher whose jobs all run on registered remote workers.
 	Workers int
+	// Backend overrides the execution backend. Nil (the default) builds a
+	// MultiBackend over an in-process LocalBackend with Workers slots —
+	// remote workers registered at runtime add capacity to it. A non-Multi
+	// backend is wrapped in a MultiBackend so worker registration always
+	// works.
+	Backend Backend
+	// WorkerTTL is how long a registered remote worker may go without a
+	// heartbeat before it is expired and its capacity removed (default
+	// 15s). In-flight jobs on an expired worker fail at the transport
+	// level and requeue.
+	WorkerTTL time.Duration
 	// CacheSize is the LRU result-cache capacity in entries. Zero selects
 	// the default (1024); any negative value disables in-memory caching.
 	CacheSize int
@@ -133,15 +147,20 @@ type Config struct {
 	DataDir string
 }
 
-// Scheduler runs JobSpecs on a bounded worker pool over sim.Run, tracking
-// per-job status and deduplicating identical specs: a spec whose hash matches
-// a cached result completes instantly, and one matching a queued or running
-// job shares that job instead of enqueuing a duplicate.
+// Scheduler runs JobSpecs through a pluggable execution Backend — by
+// default a MultiBackend over an in-process pool plus any remote workers
+// that register — tracking per-job status and deduplicating identical
+// specs: a spec whose hash matches a cached result completes instantly, and
+// one matching a queued or running job shares that job instead of enqueuing
+// a duplicate. Wherever a job executes, its result flows into the same LRU
+// cache and persistent store.
 type Scheduler struct {
-	workers int
+	backend *MultiBackend
 	cache   *resultCache
 	store   *resultStore // nil without Config.DataDir
-	// runFn executes one simulation; tests substitute a stub.
+	// runFn executes one local simulation; tests substitute a stub. The
+	// default LocalBackend reads it through a closure at execution time, so
+	// installing a stub after Open but before the first Submit works.
 	runFn func(sim.Options) (*sim.RunResult, error)
 
 	mu        sync.Mutex
@@ -153,22 +172,28 @@ type Scheduler struct {
 	doneIDs   []string // finished job IDs, oldest first, for byID eviction
 	closed    bool
 	nextID    uint64
-	running   int
+	running   int // jobs dispatched to the backend and not yet returned
 
 	sweeps    map[string]*Sweep
 	sweepDone []string // finished sweep IDs, oldest first, for eviction
 	nextSweep uint64
+
+	janitorStop chan struct{}
 
 	wg sync.WaitGroup
 
 	metrics metrics
 }
 
-// Open starts a scheduler with cfg's worker pool. It errors only when
+// Open starts a scheduler over cfg's execution backend. It errors only when
 // Config.DataDir is set and the store directory cannot be created.
 func Open(cfg Config) (*Scheduler, error) {
-	if cfg.Workers <= 0 {
-		cfg.Workers = runtime.GOMAXPROCS(0)
+	localWorkers := cfg.Workers
+	if localWorkers == 0 {
+		localWorkers = runtime.GOMAXPROCS(0)
+	}
+	if localWorkers < 0 {
+		localWorkers = 0
 	}
 	if cfg.CacheSize == 0 {
 		cfg.CacheSize = 1024
@@ -176,14 +201,17 @@ func Open(cfg Config) (*Scheduler, error) {
 	if cfg.JobRetention <= 0 {
 		cfg.JobRetention = 16384
 	}
+	if cfg.WorkerTTL <= 0 {
+		cfg.WorkerTTL = 15 * time.Second
+	}
 	s := &Scheduler{
-		workers:   cfg.Workers,
-		cache:     newResultCache(cfg.CacheSize),
-		runFn:     sim.Run,
-		byID:      make(map[string]*Job),
-		inflight:  make(map[string]*Job),
-		retention: cfg.JobRetention,
-		sweeps:    make(map[string]*Sweep),
+		cache:       newResultCache(cfg.CacheSize),
+		runFn:       sim.Run,
+		byID:        make(map[string]*Job),
+		inflight:    make(map[string]*Job),
+		retention:   cfg.JobRetention,
+		sweeps:      make(map[string]*Sweep),
+		janitorStop: make(chan struct{}),
 	}
 	if cfg.DataDir != "" {
 		store, err := newResultStore(cfg.DataDir)
@@ -192,16 +220,35 @@ func Open(cfg Config) (*Scheduler, error) {
 		}
 		s.store = store
 	}
-	s.cond = sync.NewCond(&s.mu)
-	for i := 0; i < s.workers; i++ {
-		s.wg.Add(1)
-		go s.worker()
+	base := cfg.Backend
+	if base == nil {
+		// The closure defers the runFn read to execution time (test stubs).
+		base = NewLocalBackend(localWorkers, func(o sim.Options) (*sim.RunResult, error) { return s.runFn(o) })
 	}
+	if multi, ok := base.(*MultiBackend); ok {
+		s.backend = multi
+	} else {
+		s.backend = NewMultiBackend(base)
+	}
+	s.backend.onChange = s.wake
+	s.cond = sync.NewCond(&s.mu)
+	s.wg.Add(1)
+	go s.dispatch()
+	go s.janitor(cfg.WorkerTTL)
 	return s, nil
 }
 
-// New starts a scheduler with cfg's worker pool, panicking when the result
-// store cannot be opened. Callers with an untrusted DataDir should use Open.
+// wake re-evaluates the dispatcher's gate after a capacity change (a worker
+// registered, failed, or expired).
+func (s *Scheduler) wake() {
+	s.mu.Lock()
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// New starts a scheduler over cfg's execution backend, panicking when the
+// result store cannot be opened. Callers with an untrusted DataDir should
+// use Open.
 func New(cfg Config) *Scheduler {
 	s, err := Open(cfg)
 	if err != nil {
@@ -465,6 +512,7 @@ func (s *Scheduler) Shutdown(ctx context.Context) error {
 	}
 	s.cond.Broadcast()
 	s.mu.Unlock()
+	close(s.janitorStop)
 
 	for _, j := range canceled {
 		j.finish(nil, ErrCanceled, StatusCanceled, false)
@@ -504,15 +552,19 @@ func (s *Scheduler) retireLocked(j *Job) {
 	}
 }
 
-// worker pops queued jobs and simulates them until shutdown.
-func (s *Scheduler) worker() {
+// dispatch is the scheduler's single dispatcher goroutine: it pops queued
+// jobs whenever the backend has free capacity and hands each to its own
+// runJob goroutine. Capacity is re-read on every iteration, so the gate
+// automatically widens when a remote worker registers (the backend's
+// onChange hook broadcasts the cond) and narrows when one fails.
+func (s *Scheduler) dispatch() {
 	defer s.wg.Done()
 	for {
 		s.mu.Lock()
-		for len(s.queue) == 0 && !s.closed {
+		for !s.closed && (len(s.queue) == 0 || s.running >= s.backend.Capacity()) {
 			s.cond.Wait()
 		}
-		if len(s.queue) == 0 && s.closed {
+		if s.closed {
 			s.mu.Unlock()
 			return
 		}
@@ -520,41 +572,147 @@ func (s *Scheduler) worker() {
 		s.queue = s.queue[1:]
 		s.running++
 		s.mu.Unlock()
-
-		j.mu.Lock()
-		j.status = StatusRunning
-		j.started = time.Now()
-		j.mu.Unlock()
-
-		opts, err := j.Spec.ToOptions()
-		var res *sim.RunResult
-		if err == nil {
-			res, err = s.runFn(opts)
-		}
-		elapsed := time.Since(j.started)
-
-		s.mu.Lock()
-		s.running--
-		delete(s.inflight, j.Hash)
-		s.mu.Unlock()
-
-		if err != nil {
-			j.finish(nil, err, StatusFailed, false)
-			s.retire(j)
-			s.metrics.failed.Add(1)
-			continue
-		}
-		s.cache.Add(j.Hash, res)
-		if s.store != nil {
-			// Persistence is best-effort: a full disk degrades to LRU-only
-			// caching (the failure is counted in the store metrics) rather
-			// than failing the job, whose in-memory result is still valid.
-			_ = s.store.Save(j.Hash, res)
-		}
-		j.finish(res, nil, StatusDone, false)
-		s.retire(j)
-		s.metrics.completed.Add(1)
-		s.metrics.simInstructions.Add(j.Spec.Instructions * uint64(j.Spec.Threads))
-		s.metrics.simBusyNanos.Add(uint64(elapsed.Nanoseconds()))
+		s.wg.Add(1)
+		go s.runJob(j)
 	}
 }
+
+// runJob executes one dispatched job on the backend and routes the outcome:
+// success populates the LRU and the persistent store exactly as a local run
+// always has, a simulation failure is terminal, and a backend failure
+// (remote worker died mid-job, returned a bad envelope, or no healthy
+// backend exists) requeues the job at the head of the queue — unless every
+// submitter has abandoned it in the meantime, in which case requeuing would
+// simulate for no one and the job is canceled instead.
+func (s *Scheduler) runJob(j *Job) {
+	defer s.wg.Done()
+	started := time.Now()
+	j.mu.Lock()
+	j.status = StatusRunning
+	j.started = started
+	j.mu.Unlock()
+
+	res, err := s.backend.Execute(context.Background(), j.Spec, j.Hash)
+	elapsed := time.Since(started)
+
+	if err != nil && errors.Is(err, ErrBackendUnavailable) {
+		s.mu.Lock()
+		s.running--
+		if s.closed || j.refs <= 0 {
+			// Shutdown, or nobody is interested anymore: don't requeue.
+			delete(s.inflight, j.Hash)
+			j.finish(nil, ErrCanceled, StatusCanceled, false)
+			s.retireLocked(j)
+			s.cond.Broadcast()
+			s.mu.Unlock()
+			s.metrics.canceled.Add(1)
+			return
+		}
+		j.mu.Lock()
+		j.status = StatusQueued
+		j.mu.Unlock()
+		s.queue = append([]*Job{j}, s.queue...) // head: oldest work first
+		s.cond.Broadcast()
+		s.mu.Unlock()
+		s.metrics.requeued.Add(1)
+		return
+	}
+
+	s.mu.Lock()
+	s.running--
+	delete(s.inflight, j.Hash)
+	s.cond.Broadcast() // slot freed
+	s.mu.Unlock()
+
+	if err != nil {
+		j.finish(nil, err, StatusFailed, false)
+		s.retire(j)
+		s.metrics.failed.Add(1)
+		return
+	}
+	s.cache.Add(j.Hash, res)
+	if s.store != nil {
+		// Persistence is best-effort: a full disk degrades to LRU-only
+		// caching (the failure is counted in the store metrics) rather
+		// than failing the job, whose in-memory result is still valid.
+		_ = s.store.Save(j.Hash, res)
+	}
+	j.finish(res, nil, StatusDone, false)
+	s.retire(j)
+	s.metrics.completed.Add(1)
+	s.metrics.simInstructions.Add(j.Spec.Instructions * uint64(j.Spec.Threads))
+	s.metrics.simBusyNanos.Add(uint64(elapsed.Nanoseconds()))
+}
+
+// janitor expires remote workers whose lease lapsed, until shutdown.
+func (s *Scheduler) janitor(ttl time.Duration) {
+	interval := ttl / 4
+	if interval < 50*time.Millisecond {
+		interval = 50 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.janitorStop:
+			return
+		case <-t.C:
+			if removed := s.backend.expire(ttl); removed != nil {
+				s.metrics.workersLost.Add(uint64(len(removed)))
+			}
+		}
+	}
+}
+
+// RegisterWorker adds a remote constable-worker (reachable at workerURL, an
+// absolute http(s) URL, able to run capacity concurrent jobs) to the
+// execution backend and returns its assigned identity. The new capacity is
+// dispatchable immediately; the worker must heartbeat within the configured
+// WorkerTTL to stay registered.
+func (s *Scheduler) RegisterWorker(name, workerURL string, capacity int) (WorkerView, error) {
+	u, err := url.Parse(workerURL)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		// Catch the scheme-less registration ("10.0.0.5:8081") up front:
+		// accepted, it would make every dispatch to the worker fail.
+		return WorkerView{}, fmt.Errorf("service: worker url %q must be absolute, e.g. http://host:port", workerURL)
+	}
+	if capacity <= 0 {
+		capacity = 1
+	}
+	if name == "" {
+		name = workerURL
+	}
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return WorkerView{}, ErrShuttingDown
+	}
+	v := s.backend.AddWorker(name, workerURL, capacity, NewRemoteBackend(name, workerURL))
+	s.metrics.workersRegistered.Add(1)
+	return v, nil
+}
+
+// HeartbeatWorker renews a worker's lease (and restores its health after a
+// transient failure). The second return is false for an unknown ID — the
+// worker should re-register.
+func (s *Scheduler) HeartbeatWorker(id string) (WorkerView, bool) {
+	return s.backend.Heartbeat(id)
+}
+
+// DeregisterWorker removes a worker from dispatch (graceful worker
+// shutdown). Jobs already in flight on it drain normally.
+func (s *Scheduler) DeregisterWorker(id string) bool {
+	ok := s.backend.RemoveWorker(id)
+	if ok {
+		s.metrics.workersLost.Add(1)
+	}
+	return ok
+}
+
+// Workers lists the registered remote workers.
+func (s *Scheduler) Workers() []WorkerView { return s.backend.Workers() }
+
+// Backend returns the scheduler's MultiBackend — the composition of the
+// local pool and every registered remote worker.
+func (s *Scheduler) Backend() *MultiBackend { return s.backend }

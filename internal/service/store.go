@@ -8,45 +8,8 @@ import (
 	"strings"
 	"sync/atomic"
 
-	"constable/internal/constable"
-	"constable/internal/pipeline"
 	"constable/internal/sim"
 )
-
-// storeSchema versions the on-disk envelope. Bump it whenever the envelope
-// or sim.RunResult changes incompatibly; loads of other versions are treated
-// as misses so the cell simply re-simulates and is re-written.
-const storeSchema = 1
-
-// storeEnvelope is the on-disk form of one result. sim.RunResult hides its
-// typed programmatic views (Pipeline/Constable stats, hierarchy access
-// counts) from its public JSON schema, but the experiment drivers read them,
-// so the envelope persists them explicitly alongside the public document.
-// The envelope also records the JobSpec hash it was stored under: Load
-// verifies it against the requested key, so a file that was renamed, copied
-// between shards, or truncated-and-rewritten can never alias another spec's
-// result.
-type storeEnvelope struct {
-	Schema int            `json:"schema"`
-	Hash   string         `json:"hash"`
-	Result *sim.RunResult `json:"result"`
-	Typed  storeTyped     `json:"typed"`
-}
-
-// storeTyped carries the RunResult fields excluded from the public JSON
-// schema (tagged `json:"-"`), which round-trip only through the store.
-type storeTyped struct {
-	Pipeline  pipeline.Stats  `json:"pipeline"`
-	Constable constable.Stats `json:"constable"`
-
-	L1DAccesses  uint64 `json:"l1d_accesses"`
-	L2Accesses   uint64 `json:"l2_accesses"`
-	LLCAccesses  uint64 `json:"llc_accesses"`
-	DTLBAccesses uint64 `json:"dtlb_accesses"`
-
-	EVESPredictions uint64 `json:"eves_predictions"`
-	EVESMispredicts uint64 `json:"eves_mispredicts"`
-}
 
 // resultStore is the persistent content-addressed result store: one JSON
 // file per finished RunResult, keyed by JobSpec hash, sharded into
@@ -97,45 +60,29 @@ func (st *resultStore) Load(hash string) (*sim.RunResult, bool) {
 		st.misses.Add(1)
 		return nil, false
 	}
-	var env storeEnvelope
-	if err := json.Unmarshal(b, &env); err != nil || env.Schema != storeSchema ||
-		env.Hash != hash || env.Result == nil {
+	var env sim.ResultEnvelope
+	if err := json.Unmarshal(b, &env); err != nil {
 		st.corrupt.Add(1)
 		st.misses.Add(1)
 		return nil, false
 	}
-	res := env.Result
-	res.Pipeline = env.Typed.Pipeline
-	res.Constable = env.Typed.Constable
-	res.L1DAccesses = env.Typed.L1DAccesses
-	res.L2Accesses = env.Typed.L2Accesses
-	res.LLCAccesses = env.Typed.LLCAccesses
-	res.DTLBAccesses = env.Typed.DTLBAccesses
-	res.EVESPredictions = env.Typed.EVESPredictions
-	res.EVESMispredicts = env.Typed.EVESMispredicts
+	res, err := env.Open(hash)
+	if err != nil {
+		st.corrupt.Add(1)
+		st.misses.Add(1)
+		return nil, false
+	}
 	st.hits.Add(1)
 	return res, true
 }
 
 // Save persists res under hash. The write is atomic (temp file in the same
 // shard directory, then rename), so a crashed or concurrent writer can only
-// ever leave a complete file or none.
+// ever leave a complete file or none. The on-disk form is a
+// sim.ResultEnvelope: the public RunResult document plus the typed views
+// hidden from the public JSON schema, which the experiment drivers read.
 func (st *resultStore) Save(hash string, res *sim.RunResult) error {
-	env := storeEnvelope{
-		Schema: storeSchema,
-		Hash:   hash,
-		Result: res,
-		Typed: storeTyped{
-			Pipeline:        res.Pipeline,
-			Constable:       res.Constable,
-			L1DAccesses:     res.L1DAccesses,
-			L2Accesses:      res.L2Accesses,
-			LLCAccesses:     res.LLCAccesses,
-			DTLBAccesses:    res.DTLBAccesses,
-			EVESPredictions: res.EVESPredictions,
-			EVESMispredicts: res.EVESMispredicts,
-		},
-	}
+	env := sim.NewResultEnvelope(hash, res)
 	b, err := json.Marshal(env)
 	if err != nil {
 		st.errors.Add(1)

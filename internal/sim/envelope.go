@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"fmt"
+
+	"constable/internal/constable"
+	"constable/internal/pipeline"
+)
+
+// EnvelopeSchema versions the full-fidelity RunResult encoding used for
+// persistence (the service's content-addressed store) and transport (the
+// server↔worker wire format). Bump it whenever ResultEnvelope, TypedViews or
+// RunResult changes incompatibly; consumers treat other versions as absent
+// results, so a mixed-version cluster re-simulates rather than decoding
+// garbage.
+const EnvelopeSchema = 1
+
+// TypedViews carries the RunResult fields excluded from the public JSON
+// schema (tagged `json:"-"`): the typed Pipeline/Constable programmatic
+// views, the hierarchy access counts and the EVES accounting the experiment
+// drivers read. They round-trip only through a ResultEnvelope.
+type TypedViews struct {
+	Pipeline  pipeline.Stats  `json:"pipeline"`
+	Constable constable.Stats `json:"constable"`
+
+	L1DAccesses  uint64 `json:"l1d_accesses"`
+	L2Accesses   uint64 `json:"l2_accesses"`
+	LLCAccesses  uint64 `json:"llc_accesses"`
+	DTLBAccesses uint64 `json:"dtlb_accesses"`
+
+	EVESPredictions uint64 `json:"eves_predictions"`
+	EVESMispredicts uint64 `json:"eves_mispredicts"`
+}
+
+// ResultEnvelope is the full-fidelity serialized form of one RunResult: the
+// public document plus the typed views, stamped with the schema version and
+// the content hash of the JobSpec that produced it. The recorded hash lets
+// any consumer verify an envelope against the key it was requested under —
+// a file renamed across store shards, or a result returned by a confused or
+// malicious remote worker, can never alias another spec's result.
+type ResultEnvelope struct {
+	Schema int        `json:"schema"`
+	Hash   string     `json:"hash"`
+	Result *RunResult `json:"result"`
+	Typed  TypedViews `json:"typed"`
+}
+
+// NewResultEnvelope wraps res (produced by the job whose canonical spec
+// hashes to hash) for persistence or transport.
+func NewResultEnvelope(hash string, res *RunResult) ResultEnvelope {
+	return ResultEnvelope{
+		Schema: EnvelopeSchema,
+		Hash:   hash,
+		Result: res,
+		Typed: TypedViews{
+			Pipeline:        res.Pipeline,
+			Constable:       res.Constable,
+			L1DAccesses:     res.L1DAccesses,
+			L2Accesses:      res.L2Accesses,
+			LLCAccesses:     res.LLCAccesses,
+			DTLBAccesses:    res.DTLBAccesses,
+			EVESPredictions: res.EVESPredictions,
+			EVESMispredicts: res.EVESMispredicts,
+		},
+	}
+}
+
+// Open validates the envelope — schema version, presence of a result, and
+// (when wantHash is non-empty) that the recorded producing-spec hash matches
+// the key the caller asked for — and returns the RunResult with its typed
+// views restored. The returned result is the envelope's own freshly-decoded
+// document, owned by the caller.
+func (e ResultEnvelope) Open(wantHash string) (*RunResult, error) {
+	if e.Schema != EnvelopeSchema {
+		return nil, fmt.Errorf("sim: result envelope schema %d, want %d", e.Schema, EnvelopeSchema)
+	}
+	if e.Result == nil {
+		return nil, fmt.Errorf("sim: result envelope has no result document")
+	}
+	if wantHash != "" && e.Hash != wantHash {
+		return nil, fmt.Errorf("sim: result envelope hash %.12s does not match requested key %.12s", e.Hash, wantHash)
+	}
+	res := e.Result
+	res.Pipeline = e.Typed.Pipeline
+	res.Constable = e.Typed.Constable
+	res.L1DAccesses = e.Typed.L1DAccesses
+	res.L2Accesses = e.Typed.L2Accesses
+	res.LLCAccesses = e.Typed.LLCAccesses
+	res.DTLBAccesses = e.Typed.DTLBAccesses
+	res.EVESPredictions = e.Typed.EVESPredictions
+	res.EVESMispredicts = e.Typed.EVESMispredicts
+	return res, nil
+}

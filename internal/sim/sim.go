@@ -3,6 +3,16 @@
 // is the entry point the experiment drivers, the CLI tools and the examples
 // use. It owns the golden-check methodology (§8.5): every run verifies each
 // retiring load against the functional model and fails loudly on a mismatch.
+//
+// Run returns a structured RunResult — identity, configuration digest,
+// cycles/IPC, the counter snapshot populated through the stats registry,
+// the per-mechanism breakdown and the power summary. A result's
+// full-fidelity serialized form is the ResultEnvelope, which additionally
+// carries the typed programmatic views excluded from the public JSON schema
+// and stamps the producing JobSpec's content hash; the service layer uses
+// it both on disk (the persistent store) and on the wire (server↔worker
+// transport). The mechanism registry (Mechanisms, MechanismByName) is the
+// single name→configuration table shared by every driver and the HTTP API.
 package sim
 
 import (

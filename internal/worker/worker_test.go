@@ -1,0 +1,452 @@
+package worker
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"constable/internal/service"
+	"constable/internal/sim"
+	"constable/internal/workload"
+)
+
+// startServer boots a dispatch-only scheduler (no local execution slots —
+// every cell must run on a remote worker) behind the real HTTP API.
+func startServer(t testing.TB) (*service.Scheduler, *httptest.Server) {
+	t.Helper()
+	s, err := service.Open(service.Config{Workers: -1, WorkerTTL: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	ts := httptest.NewServer(service.NewHandler(s))
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// startWorkerNode boots one worker, serves its handler, and registers it
+// with the server through the public API — the full production handshake.
+func startWorkerNode(t testing.TB, serverURL, name string, capacity int) (*Worker, *httptest.Server) {
+	t.Helper()
+	w, err := New(Options{Server: serverURL, Name: name, Capacity: capacity})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { w.Close() })
+	ts := httptest.NewServer(w.Handler())
+	t.Cleanup(ts.Close)
+	w.opts.Advertise = ts.URL
+	if err := w.Register(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	return w, ts
+}
+
+// testMatrix builds rows×cols distinct cells over the small suite.
+func testMatrix(rows, cols int, insts uint64) [][]service.JobSpec {
+	suite := workload.SmallSuite()
+	m := make([][]service.JobSpec, rows)
+	for ri := range m {
+		row := make([]service.JobSpec, cols)
+		for ci := range row {
+			row[ci] = service.JobSpec{
+				Workload:     suite[ri%len(suite)].Name,
+				Instructions: insts + uint64(ri*cols+ci),
+			}
+		}
+		m[ri] = row
+	}
+	return m
+}
+
+// runSweepCollect runs matrix on s and returns each done cell's envelope
+// JSON keyed by "row,col" — the full-fidelity printed artifact of the cell,
+// including the typed views the experiment drivers read.
+func runSweepCollect(t testing.TB, s *service.Scheduler, matrix [][]service.JobSpec) map[string][]byte {
+	t.Helper()
+	sw, err := s.StartSweep(context.Background(), matrix, service.SweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	out := make(map[string][]byte)
+	err = sw.Stream(ctx, true, func(ev service.SweepEvent) error {
+		if ev.Status != service.StatusDone {
+			return fmt.Errorf("cell (%d,%d) status %s: %s", ev.Row, ev.Col, ev.Status, ev.Error)
+		}
+		if ev.Result == nil {
+			return fmt.Errorf("cell (%d,%d) has no result", ev.Row, ev.Col)
+		}
+		b, err := json.Marshal(sim.NewResultEnvelope(ev.Hash, ev.Result))
+		if err != nil {
+			return err
+		}
+		out[fmt.Sprintf("%d,%d", ev.Row, ev.Col)] = b
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.Status() != service.SweepDone {
+		t.Fatalf("sweep status %s, want done", sw.Status())
+	}
+	return out
+}
+
+// TestDistributedSweepMatchesLocal shards one sweep across two remote
+// workers (the server itself has zero local slots) and requires the
+// resulting artifacts to be byte-identical to a pure single-process run.
+func TestDistributedSweepMatchesLocal(t *testing.T) {
+	s, ts := startServer(t)
+	startWorkerNode(t, ts.URL, "w1", 2)
+	startWorkerNode(t, ts.URL, "w2", 2)
+
+	matrix := testMatrix(3, 3, 2000)
+	distributed := runSweepCollect(t, s, matrix)
+
+	local, err := service.Open(service.Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { local.Close() })
+	reference := runSweepCollect(t, local, matrix)
+
+	if len(distributed) != len(reference) {
+		t.Fatalf("distributed run produced %d cells, local %d", len(distributed), len(reference))
+	}
+	for key, want := range reference {
+		got, ok := distributed[key]
+		if !ok {
+			t.Fatalf("cell %s missing from distributed run", key)
+		}
+		if string(got) != string(want) {
+			t.Errorf("cell %s: distributed artifact differs from single-process run\n got: %.200s\nwant: %.200s", key, got, want)
+		}
+	}
+
+	// Every cell executed remotely, spread across both workers.
+	var total uint64
+	for _, v := range s.Workers() {
+		if v.Completed == 0 {
+			t.Errorf("worker %s executed no cells; sharding skipped it", v.Name)
+		}
+		total += v.Completed
+	}
+	if total != uint64(len(reference)) {
+		t.Errorf("remote completions = %d, want %d (server has no local slots)", total, len(reference))
+	}
+}
+
+// TestWorkerDeathMidSweepRequeues kills one of two workers while a sweep is
+// in flight and requires the sweep to finish with every cell done, the dead
+// worker's in-flight jobs requeued onto the survivor, and artifacts still
+// byte-identical to a single-process run.
+func TestWorkerDeathMidSweepRequeues(t *testing.T) {
+	s, ts := startServer(t)
+	_, wts1 := startWorkerNode(t, ts.URL, "doomed", 1)
+	startWorkerNode(t, ts.URL, "survivor", 1)
+
+	matrix := testMatrix(2, 4, 60_000)
+	sw, err := s.StartSweep(context.Background(), matrix, service.SweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	events := 0
+	distributed := make(map[string][]byte)
+	err = sw.Stream(ctx, true, func(ev service.SweepEvent) error {
+		if ev.Status != service.StatusDone {
+			return fmt.Errorf("cell (%d,%d) status %s: %s", ev.Row, ev.Col, ev.Status, ev.Error)
+		}
+		b, err := json.Marshal(sim.NewResultEnvelope(ev.Hash, ev.Result))
+		if err != nil {
+			return err
+		}
+		distributed[fmt.Sprintf("%d,%d", ev.Row, ev.Col)] = b
+		events++
+		if events == 1 {
+			// Kill the first worker with cells still outstanding: sever its
+			// live connections (requests in flight fail at the transport
+			// level) and stop its listener (new dispatches fail too).
+			wts1.CloseClientConnections()
+			wts1.Close()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.Status() != service.SweepDone {
+		t.Fatalf("sweep status %s, want done", sw.Status())
+	}
+	if got := len(distributed); got != 8 {
+		t.Fatalf("completed cells = %d, want 8", got)
+	}
+
+	local, err := service.Open(service.Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { local.Close() })
+	reference := runSweepCollect(t, local, matrix)
+	for key, want := range reference {
+		if got := distributed[key]; string(got) != string(want) {
+			t.Errorf("cell %s: artifact differs after worker death", key)
+		}
+	}
+
+	m := s.Metrics()
+	if m.JobsRequeued == 0 {
+		t.Error("no job was requeued despite a worker dying mid-sweep")
+	}
+	if m.JobsFailed != 0 {
+		t.Errorf("failed jobs = %d, want 0 (worker death must not fail cells)", m.JobsFailed)
+	}
+}
+
+// TestAliasedEnvelopeRejected points the server at a worker that answers
+// with a result envelope recorded under the wrong JobSpec hash. The server
+// must reject it (the store-mirroring alias defense), demote the worker,
+// and requeue the job onto an honest one.
+func TestAliasedEnvelopeRejected(t *testing.T) {
+	s, ts := startServer(t)
+
+	malicious := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		env := sim.NewResultEnvelope("0000000000000000", &sim.RunResult{Cycles: 1})
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(env)
+	}))
+	t.Cleanup(malicious.Close)
+	// Register the malicious worker with more capacity so the most-free
+	// dispatch rule picks it first.
+	if _, err := s.RegisterWorker("malicious", malicious.URL, 4); err != nil {
+		t.Fatal(err)
+	}
+	startWorkerNode(t, ts.URL, "honest", 1)
+
+	j, err := s.Submit(service.JobSpec{Workload: workload.SmallSuite()[0].Name, Instructions: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	res, err := j.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles == 1 {
+		t.Fatal("the aliased result was accepted")
+	}
+
+	m := s.Metrics()
+	if m.JobsRequeued == 0 {
+		t.Error("bad envelope did not requeue the job")
+	}
+	for _, v := range s.Workers() {
+		if v.Name == "malicious" {
+			if v.Healthy || v.Failures == 0 {
+				t.Errorf("malicious worker still healthy: %+v", v)
+			}
+		}
+	}
+}
+
+// TestWorkerRejectsMismatchedDispatch exercises the worker-side half of the
+// alias defense: a dispatch whose recorded hash does not match the spec it
+// carries is refused before simulating.
+func TestWorkerRejectsMismatchedDispatch(t *testing.T) {
+	w, err := New(Options{Server: "http://unused.invalid", Capacity: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { w.Close() })
+	ts := httptest.NewServer(w.Handler())
+	t.Cleanup(ts.Close)
+
+	body := fmt.Sprintf(`{"hash":"%s","spec":{"workload":"%s","instructions":2000}}`,
+		strings.Repeat("ab", 32), workload.SmallSuite()[0].Name)
+	resp, err := http.Post(ts.URL+"/execute", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("mismatched dispatch: HTTP %d, want 400", resp.StatusCode)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || !strings.Contains(e.Error, "does not match") {
+		t.Errorf("error body = %q, %v", e.Error, err)
+	}
+}
+
+// TestWorkerShutdownAnswers503 pins the graceful-drain contract: a dispatch
+// arriving while the worker's pool is shutting down must answer 503 (the
+// worker's condition → server requeues elsewhere), never 422 (the job's
+// failure → terminal).
+func TestWorkerShutdownAnswers503(t *testing.T) {
+	w, err := New(Options{Server: "http://unused.invalid", Capacity: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(w.Handler())
+	t.Cleanup(ts.Close)
+	w.Close() // the pool is draining; new submissions are refused
+
+	body := fmt.Sprintf(`{"spec":{"workload":"%s","instructions":2000}}`, workload.SmallSuite()[0].Name)
+	resp, err := http.Post(ts.URL+"/execute", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("dispatch to a draining worker: HTTP %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestWorkerAbandonsAbortedDispatch pins the zombie-work defense: when the
+// dispatching server aborts an /execute request (lease-expiry cancel,
+// timeout), a queued sole-interest job on the worker must be abandoned —
+// not left to simulate for no one while the cell re-runs elsewhere.
+func TestWorkerAbandonsAbortedDispatch(t *testing.T) {
+	gate := make(chan struct{})
+	var gateOnce sync.Once
+	started := make(chan struct{}, 4)
+	w, err := New(Options{
+		Server:   "http://unused.invalid",
+		Capacity: 1,
+		Run: func(o sim.Options) (*sim.RunResult, error) {
+			started <- struct{}{}
+			<-gate
+			return &sim.RunResult{Cycles: o.Instructions}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { w.Close() })
+	t.Cleanup(func() { gateOnce.Do(func() { close(gate) }) }) // LIFO: gate opens before Close drains
+	ts := httptest.NewServer(w.Handler())
+	t.Cleanup(ts.Close)
+
+	// Occupy the worker's only slot so the dispatched job queues.
+	name := workload.SmallSuite()[0].Name
+	if _, err := w.sched.Submit(service.JobSpec{Workload: name, Instructions: 111_111}); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	body := fmt.Sprintf(`{"spec":{"workload":"%s","instructions":222222}}`, name)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/execute", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if resp != nil {
+			resp.Body.Close()
+		}
+		errc <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for w.sched.QueueDepth() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("dispatched job never queued on the worker")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The server gives up on the dispatch: the worker must abandon the
+	// queued job rather than keep it for nobody.
+	cancel()
+	if err := <-errc; err == nil {
+		t.Fatal("expected the aborted request to error")
+	}
+	for w.sched.Metrics().JobsCanceled != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("aborted dispatch's queued job was not abandoned (canceled=%d, queue=%d)",
+				w.sched.Metrics().JobsCanceled, w.sched.QueueDepth())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	gateOnce.Do(func() { close(gate) })
+}
+
+// TestWorkerHeartbeatReregistersAfterServerRestart simulates a server
+// losing its worker registry (restart): the next heartbeat gets a 404 and
+// the worker must transparently re-register.
+func TestWorkerHeartbeatReregistersAfterServerRestart(t *testing.T) {
+	s, ts := startServer(t)
+	w, _ := startWorkerNode(t, ts.URL, "phoenix", 1)
+
+	oldID := w.ID()
+	if oldID == "" {
+		t.Fatal("worker has no ID after registration")
+	}
+	// The server forgets the worker (as a restart would).
+	if !s.DeregisterWorker(oldID) {
+		t.Fatal("deregister failed")
+	}
+	if err := w.heartbeat(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if w.ID() == "" || w.ID() == oldID {
+		t.Errorf("worker did not re-register: id %q (old %q)", w.ID(), oldID)
+	}
+	if n := len(s.Workers()); n != 1 {
+		t.Errorf("workers after re-register = %d, want 1", n)
+	}
+}
+
+// BenchmarkSweepDistributed measures distributed sweep throughput (cells/s
+// through submit → dispatch → HTTP → worker → envelope → store/stream) with
+// one and with two remote workers attached to a dispatch-only server.
+// Simulation cost is stubbed to a fixed latency, mirroring
+// BenchmarkSweepThroughput's isolation of the orchestration stack, so the
+// two-worker case demonstrates the horizontal-scaling win even on a
+// single-core machine. CI uploads its timings as
+// BENCH_sweep_distributed.json next to the single-process BENCH_sweep.json.
+func BenchmarkSweepDistributed(b *testing.B) {
+	fixedLatency := func(o sim.Options) (*sim.RunResult, error) {
+		time.Sleep(2 * time.Millisecond)
+		return &sim.RunResult{Cycles: o.Instructions}, nil
+	}
+	for _, workers := range []int{1, 2} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			s, ts := startServer(b)
+			for i := 0; i < workers; i++ {
+				w, err := New(Options{Server: ts.URL, Name: fmt.Sprintf("w%d", i+1), Capacity: 2, Run: fixedLatency})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.Cleanup(func() { w.Close() })
+				wts := httptest.NewServer(w.Handler())
+				b.Cleanup(wts.Close)
+				w.opts.Advertise = wts.URL
+				if err := w.Register(context.Background()); err != nil {
+					b.Fatal(err)
+				}
+			}
+			const rows, cols = 2, 4
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Distinct budgets per iteration so every cell simulates.
+				matrix := testMatrix(rows, cols, uint64(10_000+i*rows*cols))
+				runSweepCollect(b, s, matrix)
+			}
+			b.ReportMetric(float64(rows*cols*b.N)/b.Elapsed().Seconds(), "cells/s")
+		})
+	}
+}

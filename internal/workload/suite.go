@@ -1,9 +1,11 @@
-// Suite definition: 90 named workloads across the paper's five categories
-// (Client, Enterprise, FSPEC17, ISPEC17, Server — Table 4). Each workload is
-// a deterministic kernel mix; mixes are tuned per category so the measured
-// global-stable fractions reproduce the Fig. 3 shape (Client/Enterprise/
-// Server well above the SPEC suites, ≈34% overall average) as an emergent
-// property of execution.
+// This file defines the suite: 90 named workloads across the paper's five
+// categories (Client, Enterprise, FSPEC17, ISPEC17, Server — Table 4). Each
+// workload is a deterministic kernel mix; mixes are tuned per category so
+// the measured global-stable fractions reproduce the Fig. 3 shape (Client/
+// Enterprise/Server well above the SPEC suites, ≈34% overall average) as an
+// emergent property of execution. (The package doc comment lives in
+// kernels.go.)
+
 package workload
 
 import (
