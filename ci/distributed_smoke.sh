@@ -1,14 +1,19 @@
 #!/usr/bin/env bash
 # Distributed-sweep smoke test: boot a dispatch-only constable-server plus
-# two constable-workers, run a sweep sharded across both, and diff the
-# per-cell artifacts against the same sweep on a single-process server.
-# Needs: go, curl, jq. Runs in CI and locally (./ci/distributed_smoke.sh).
+# two constable-workers, run a sweep sharded across both under batched
+# dispatch (the default) AND under per-cell dispatch (-batch 1), and diff
+# both per-cell artifact streams against the same sweep on a
+# single-process server. Needs: go, curl, jq. Runs in CI and locally
+# (./ci/distributed_smoke.sh).
 set -euo pipefail
 
 SERVER_PORT=${SERVER_PORT:-18080}
+CELL_PORT=${CELL_PORT:-18085}
 LOCAL_PORT=${LOCAL_PORT:-18090}
 W1_PORT=${W1_PORT:-18081}
 W2_PORT=${W2_PORT:-18082}
+W3_PORT=${W3_PORT:-18083}
+W4_PORT=${W4_PORT:-18084}
 
 workdir=$(mktemp -d)
 bindir="$workdir/bin"
@@ -60,31 +65,55 @@ run_sweep() { # base-url outfile
 say "building binaries"
 go build -o "$bindir/" ./cmd/constable-server ./cmd/constable-worker
 
-say "starting dispatch-only server (:$SERVER_PORT) + 2 workers (:$W1_PORT, :$W2_PORT)"
-"$bindir/constable-server" -addr "127.0.0.1:$SERVER_PORT" -workers -1 -data-dir "$workdir/server-data" &
-pids+=($!)
-wait_http "http://127.0.0.1:$SERVER_PORT/healthz"
-"$bindir/constable-worker" -server "http://127.0.0.1:$SERVER_PORT" -addr "127.0.0.1:$W1_PORT" -name w1 -capacity 2 &
-pids+=($!)
-"$bindir/constable-worker" -server "http://127.0.0.1:$SERVER_PORT" -addr "127.0.0.1:$W2_PORT" -name w2 -capacity 2 &
-pids+=($!)
-for _ in $(seq 1 100); do
-  n=$(curl -sf "http://127.0.0.1:$SERVER_PORT/v1/workers" | jq length)
-  [ "$n" -eq 2 ] && break
-  sleep 0.1
-done
-[ "$(curl -sf "http://127.0.0.1:$SERVER_PORT/v1/workers" | jq length)" -eq 2 ] || {
-  echo "workers never registered" >&2; exit 1; }
+# boot_cluster name server-port server-extra-args w1-port w2-port
+boot_cluster() {
+  local tag=$1 port=$2 extra=$3 w1=$4 w2=$5
+  # shellcheck disable=SC2086
+  "$bindir/constable-server" -addr "127.0.0.1:$port" -workers -1 $extra \
+    -data-dir "$workdir/$tag-data" &
+  pids+=($!)
+  wait_http "http://127.0.0.1:$port/healthz"
+  "$bindir/constable-worker" -server "http://127.0.0.1:$port" -addr "127.0.0.1:$w1" -name "$tag-w1" -capacity 2 &
+  pids+=($!)
+  "$bindir/constable-worker" -server "http://127.0.0.1:$port" -addr "127.0.0.1:$w2" -name "$tag-w2" -capacity 2 &
+  pids+=($!)
+  for _ in $(seq 1 100); do
+    n=$(curl -sf "http://127.0.0.1:$port/v1/workers" | jq length)
+    [ "$n" -eq 2 ] && break
+    sleep 0.1
+  done
+  [ "$(curl -sf "http://127.0.0.1:$port/v1/workers" | jq length)" -eq 2 ] || {
+    echo "$tag workers never registered" >&2; exit 1; }
+}
 
-say "running distributed sweep (9 cells across 2 workers)"
-run_sweep "http://127.0.0.1:$SERVER_PORT" "$workdir/distributed.ndjson"
+check_sharding() { # base-url tag
+  curl -sf "$1/v1/workers" | jq -e '
+    (map(.completed) | add) == 9 and all(.completed > 0)' >/dev/null || {
+    echo "$2 sharding check failed:" >&2
+    curl -s "$1/v1/workers" | jq . >&2
+    exit 1; }
+}
 
-say "checking both workers executed cells"
-curl -sf "http://127.0.0.1:$SERVER_PORT/v1/workers" | jq -e '
-  (map(.completed) | add) == 9 and all(.completed > 0)' >/dev/null || {
-  echo "sharding check failed:" >&2
-  curl -s "http://127.0.0.1:$SERVER_PORT/v1/workers" | jq . >&2
+say "starting batched dispatch-only server (:$SERVER_PORT) + 2 workers"
+boot_cluster batched "$SERVER_PORT" "" "$W1_PORT" "$W2_PORT"
+
+say "running batched distributed sweep (9 cells across 2 workers)"
+run_sweep "http://127.0.0.1:$SERVER_PORT" "$workdir/batched.ndjson"
+check_sharding "http://127.0.0.1:$SERVER_PORT" batched
+
+say "checking the batched server dispatched multi-cell chunks"
+curl -sf "http://127.0.0.1:$SERVER_PORT/metrics" \
+  | awk '$1 == "constable_batches_dispatched_total" && $2 > 0 {found=1} END {exit !found}' || {
+  echo "constable_batches_dispatched_total is 0: batching never engaged" >&2
+  curl -s "http://127.0.0.1:$SERVER_PORT/metrics" >&2
   exit 1; }
+
+say "starting per-cell (-batch 1) dispatch-only server (:$CELL_PORT) + 2 workers"
+boot_cluster percell "$CELL_PORT" "-batch 1" "$W3_PORT" "$W4_PORT"
+
+say "running the same sweep per-cell"
+run_sweep "http://127.0.0.1:$CELL_PORT" "$workdir/percell.ndjson"
+check_sharding "http://127.0.0.1:$CELL_PORT" percell
 
 say "running the same sweep on a single-process server (:$LOCAL_PORT)"
 "$bindir/constable-server" -addr "127.0.0.1:$LOCAL_PORT" -workers 4 &
@@ -92,12 +121,17 @@ pids+=($!)
 wait_http "http://127.0.0.1:$LOCAL_PORT/healthz"
 run_sweep "http://127.0.0.1:$LOCAL_PORT" "$workdir/local.ndjson"
 
-say "diffing distributed artifacts against the single-process golden output"
-normalize "$workdir/distributed.ndjson" > "$workdir/distributed.norm"
-normalize "$workdir/local.ndjson"       > "$workdir/local.norm"
-if ! diff -u "$workdir/local.norm" "$workdir/distributed.norm"; then
-  echo "distributed sweep artifacts differ from single-process run" >&2
+say "diffing batched and per-cell artifacts against the single-process golden output"
+normalize "$workdir/batched.ndjson" > "$workdir/batched.norm"
+normalize "$workdir/percell.ndjson" > "$workdir/percell.norm"
+normalize "$workdir/local.ndjson"   > "$workdir/local.norm"
+if ! diff -u "$workdir/local.norm" "$workdir/batched.norm"; then
+  echo "batched sweep artifacts differ from single-process run" >&2
+  exit 1
+fi
+if ! diff -u "$workdir/local.norm" "$workdir/percell.norm"; then
+  echo "per-cell sweep artifacts differ from single-process run" >&2
   exit 1
 fi
 
-say "distributed smoke OK: 9/9 cells, both workers used, artifacts byte-identical"
+say "distributed smoke OK: 9/9 cells in both modes, all workers used, chunks dispatched, artifacts byte-identical"

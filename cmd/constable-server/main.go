@@ -53,11 +53,12 @@ func main() {
 		cacheSize = flag.Int("cache", 4096, "result-cache capacity in entries")
 		dataDir   = flag.String("data-dir", "", "persistent result-store directory (results survive restarts; empty disables)")
 		workerTTL = flag.Duration("worker-ttl", 15*time.Second, "remote-worker lease: a worker missing heartbeats this long is expired and its jobs requeued")
+		batch     = flag.Int("batch", 0, "max jobs dispatched to one backend as a single chunk; chunks also adapt to each worker's free capacity (0 = default 16, 1 = per-cell dispatch)")
 		drain     = flag.Duration("drain", 30*time.Second, "graceful-shutdown timeout for running simulations")
 	)
 	flag.Parse()
 
-	sched, err := service.Open(service.Config{Workers: *workers, CacheSize: *cacheSize, DataDir: *dataDir, WorkerTTL: *workerTTL})
+	sched, err := service.Open(service.Config{Workers: *workers, CacheSize: *cacheSize, DataDir: *dataDir, WorkerTTL: *workerTTL, MaxBatch: *batch})
 	if err != nil {
 		log.Fatal(err)
 	}

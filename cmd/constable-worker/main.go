@@ -1,10 +1,12 @@
 // Command constable-worker is a remote execution node for constable-server:
-// it registers with a server, receives JobSpecs over HTTP, simulates them on
-// a local bounded pool, and returns full-fidelity result envelopes that the
-// server files into its cache and content-addressed store exactly like
-// locally-executed results. Attach as many workers as you have machines;
-// the server's dispatcher shards sweeps across all of them and requeues the
-// jobs of any worker that dies.
+// it registers with a server, receives JobSpecs over HTTP — one per request
+// on /execute, or whole capacity-sized chunks on /execute/batch — simulates
+// them on a local bounded pool, and returns full-fidelity result envelopes
+// that the server files into its cache and content-addressed store exactly
+// like locally-executed results. Attach as many workers as you have
+// machines; the server's dispatcher shards sweeps across all of them
+// (chunk sizes adapt to each worker's free capacity; tune the cap with the
+// server's -batch flag) and requeues the jobs of any worker that dies.
 //
 // Usage:
 //

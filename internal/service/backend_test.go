@@ -35,6 +35,17 @@ func (f *fakeBackend) Execute(ctx context.Context, spec JobSpec, hash string) (*
 	return f.fn(spec, hash)
 }
 
+// ExecuteBatch runs the chunk cell-by-cell so per-item call counts keep
+// meaning "cells executed" in the assertions below.
+func (f *fakeBackend) ExecuteBatch(ctx context.Context, specs []JobSpec, hashes []string) ([]BatchResult, error) {
+	out := make([]BatchResult, len(specs))
+	for i := range specs {
+		res, err := f.Execute(ctx, specs[i], hashes[i])
+		out[i] = BatchResult{Result: res, Err: err}
+	}
+	return out, nil
+}
+
 func (f *fakeBackend) callCount() int {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -297,6 +308,11 @@ type ctxBlockingBackend struct{}
 func (*ctxBlockingBackend) Name() string  { return "wedged" }
 func (*ctxBlockingBackend) Capacity() int { return 1 }
 func (*ctxBlockingBackend) Execute(ctx context.Context, spec JobSpec, hash string) (*sim.RunResult, error) {
+	<-ctx.Done()
+	return nil, ctx.Err()
+}
+
+func (b *ctxBlockingBackend) ExecuteBatch(ctx context.Context, specs []JobSpec, hashes []string) ([]BatchResult, error) {
 	<-ctx.Done()
 	return nil, ctx.Err()
 }

@@ -17,6 +17,12 @@ type metrics struct {
 	// failure (remote worker died mid-job or returned a bad envelope).
 	requeued atomic.Uint64
 
+	// batchesDispatched counts multi-cell chunks handed to a backend in one
+	// round trip; batchCells the cells they carried. Their ratio is the
+	// realized mean chunk size — the lever POST /execute/batch exists for.
+	batchesDispatched atomic.Uint64
+	batchCells        atomic.Uint64
+
 	workersRegistered atomic.Uint64
 	workersLost       atomic.Uint64 // deregistered, lease-expired
 
@@ -42,6 +48,12 @@ type MetricsSnapshot struct {
 	JobsRequeued  uint64 `json:"jobs_requeued"`
 	JobsRunning   int    `json:"jobs_running"`
 	QueueDepth    int    `json:"queue_depth"`
+
+	// Batched-dispatch families: chunks of ≥2 cells sent to one backend in
+	// one round trip, and the cells they carried (single-cell dispatches
+	// count in neither).
+	BatchesDispatched uint64 `json:"batches_dispatched"`
+	BatchCells        uint64 `json:"batch_cells"`
 
 	// Worker/backend families. WorkersActive counts currently-registered
 	// healthy remote workers; BackendCapacity is the total concurrent-job
@@ -84,6 +96,9 @@ func (s *Scheduler) Metrics() MetricsSnapshot {
 		JobsRequeued:  s.metrics.requeued.Load(),
 		JobsRunning:   s.Running(),
 		QueueDepth:    s.QueueDepth(),
+
+		BatchesDispatched: s.metrics.batchesDispatched.Load(),
+		BatchCells:        s.metrics.batchCells.Load(),
 
 		WorkersRegistered: s.metrics.workersRegistered.Load(),
 		WorkersLost:       s.metrics.workersLost.Load(),
@@ -140,6 +155,8 @@ func (m MetricsSnapshot) WriteTo(w io.Writer) (int64, error) {
 		{"jobs_requeued_total", m.JobsRequeued},
 		{"jobs_running", m.JobsRunning},
 		{"queue_depth", m.QueueDepth},
+		{"batches_dispatched_total", m.BatchesDispatched},
+		{"batch_cells_total", m.BatchCells},
 		{"workers_registered_total", m.WorkersRegistered},
 		{"workers_lost_total", m.WorkersLost},
 		{"workers_active", m.WorkersActive},

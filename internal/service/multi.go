@@ -112,6 +112,12 @@ type MultiBackend struct {
 	order  []string               // registration order, for stable listings
 	nextID uint64
 
+	// maxBatch is the owning scheduler's chunk-size cap. Above 1 it also
+	// doubles each remote slot's dispatch budget (see budgetLocked): the
+	// worker can hold one chunk running and one queued, so its pool never
+	// drains dry while a finished chunk's response is on the wire.
+	maxBatch int
+
 	// onChange, when set (the owning scheduler installs it), is invoked
 	// without the lock held whenever total capacity may have changed, so
 	// the dispatcher re-evaluates its gate.
@@ -151,6 +157,35 @@ func (m *MultiBackend) capacityLocked() int {
 	for _, ws := range m.slots {
 		if ws.healthy {
 			total += ws.capacity
+		}
+	}
+	return total
+}
+
+// budgetLocked is the number of cells the dispatcher may have in flight on
+// one slot. For the local pool it is exactly the pool's concurrency. For a
+// remote worker under batched dispatch it is double the advertised
+// capacity: the extra chunk queues on the worker's private scheduler and
+// starts the moment the running chunk finishes, hiding the response round
+// trip instead of idling the worker for it.
+func (m *MultiBackend) budgetLocked(ws *workerSlot) int {
+	if ws.remote && m.maxBatch > 1 {
+		return 2 * ws.capacity
+	}
+	return ws.capacity
+}
+
+// DispatchBudget is the total number of cells the dispatcher may have in
+// flight across every eligible slot — the gate the scheduler's dispatcher
+// fills up to. It exceeds Capacity exactly when batched dispatch
+// double-buffers remote workers.
+func (m *MultiBackend) DispatchBudget() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	total := m.local.capacity
+	for _, ws := range m.slots {
+		if ws.healthy {
+			total += m.budgetLocked(ws)
 		}
 	}
 	return total
@@ -301,12 +336,47 @@ func (m *MultiBackend) notify() {
 	}
 }
 
-// acquire picks the eligible slot (healthy, below its concurrency budget)
-// with the most free capacity, local winning ties, and reserves one slot on
-// it. When every eligible backend is saturated it waits for a slot to free;
-// when no healthy backend exists at all it returns ErrBackendUnavailable so
-// the job goes back to the scheduler queue instead of blocking forever.
-func (m *MultiBackend) acquire(ctx context.Context) (*workerSlot, error) {
+// reservation is a claim of n in-flight cells on one slot, handed out by
+// Reserve and settled by execute (or returned unused by release). The
+// scheduler's dispatcher reserves first and pops the queue second, so jobs
+// stay cancelable right up to the moment a backend is actually ready for
+// them.
+type reservation struct {
+	m  *MultiBackend
+	ws *workerSlot
+	n  int
+}
+
+// Granted is the number of cells the reservation holds.
+func (r *reservation) Granted() int { return r.n }
+
+// shrink returns the unused tail of the reservation (the queue had fewer
+// live jobs than the slot had room for).
+func (r *reservation) shrink(to int) {
+	if to >= r.n {
+		return
+	}
+	r.m.mu.Lock()
+	r.ws.inflight -= r.n - to
+	r.n = to
+	r.m.cond.Broadcast()
+	r.m.mu.Unlock()
+}
+
+// release gives the whole reservation back without executing anything.
+func (r *reservation) release() { r.shrink(0) }
+
+// Reserve picks the eligible slot (healthy, below its dispatch budget) with
+// the most free room, local winning ties, and claims up to want cells on it
+// — the adaptive chunk size: a worker with three free slots gets a
+// three-cell chunk even when forty cells are queued, so no single worker
+// hoards the queue. When every eligible backend is saturated it waits for
+// room; when no healthy backend exists at all it returns
+// ErrBackendUnavailable so the dispatcher parks instead of spinning.
+func (m *MultiBackend) Reserve(ctx context.Context, want int) (*reservation, error) {
+	if want < 1 {
+		want = 1
+	}
 	unhook := context.AfterFunc(ctx, func() {
 		m.mu.Lock()
 		m.cond.Broadcast()
@@ -320,25 +390,37 @@ func (m *MultiBackend) acquire(ctx context.Context) (*workerSlot, error) {
 			return nil, err
 		}
 		var best *workerSlot
+		bestFree := 0
 		// The local slot honors the same failure suspension as workers: a
 		// custom Config.Backend that fails at the transport level backs
 		// off instead of spinning (sim.Run-backed local pools never
 		// return ErrBackendUnavailable, so this never gates them).
-		if m.local.capacity > m.local.inflight && time.Now().After(m.local.suspendedUntil) {
-			best = m.local
+		if free := m.local.capacity - m.local.inflight; free > 0 && time.Now().After(m.local.suspendedUntil) {
+			best, bestFree = m.local, free
 		}
 		for _, id := range m.order {
 			ws := m.slots[id]
-			if ws == nil || !ws.healthy || ws.inflight >= ws.capacity {
+			if ws == nil || !ws.healthy {
 				continue
 			}
-			if best == nil || ws.capacity-ws.inflight > best.capacity-best.inflight {
-				best = ws
+			free := m.budgetLocked(ws) - ws.inflight
+			if free <= 0 {
+				continue
+			}
+			if best == nil || free > bestFree {
+				best, bestFree = ws, free
 			}
 		}
 		if best != nil {
-			best.inflight++
-			return best, nil
+			// One grant never exceeds the slot's actual concurrency: the
+			// remote budget is 2×capacity so that *two* capacity-sized
+			// chunks overlap — one running while the other is on the wire
+			// or queued worker-side. Granting the whole budget as a single
+			// chunk would serialize the round trips the double-buffer
+			// exists to hide.
+			n := min(want, bestFree, best.capacity)
+			best.inflight += n
+			return &reservation{m: m, ws: best, n: n}, nil
 		}
 		if m.capacityLocked() == 0 {
 			return nil, fmt.Errorf("%w: no healthy backend", ErrBackendUnavailable)
@@ -347,19 +429,16 @@ func (m *MultiBackend) acquire(ctx context.Context) (*workerSlot, error) {
 	}
 }
 
-// Execute implements Backend: it reserves a slot on the best eligible
-// backend, runs the job there, and releases the slot. A transport-level
-// failure (ErrBackendUnavailable) on a remote worker marks that worker
-// unhealthy — removing its capacity from dispatch until a heartbeat
-// restores it after the failure-backoff window — and propagates to the
-// scheduler, which requeues the job. A remote dispatch also aborts the
-// moment the slot's lease expires, so a wedged worker's jobs requeue at
-// lease-expiry speed rather than at the remote request timeout.
-func (m *MultiBackend) Execute(ctx context.Context, spec JobSpec, hash string) (*sim.RunResult, error) {
-	ws, err := m.acquire(ctx)
-	if err != nil {
-		return nil, err
-	}
+// execute runs the chunk on the reserved slot and settles the reservation:
+// the in-flight claim is released, per-worker completion/failure accounting
+// mirrors what per-cell dispatch always did, and a chunk-level transport
+// failure demotes the worker. A remote dispatch also aborts the moment the
+// slot's lease expires, so a wedged worker's cells requeue at lease-expiry
+// speed rather than at the (chunk-scaled) remote request timeout. The
+// returned slice always has one entry per spec: a chunk-level error is
+// fanned out to every cell.
+func (r *reservation) execute(ctx context.Context, specs []JobSpec, hashes []string) []BatchResult {
+	m, ws := r.m, r.ws
 	execCtx := ctx
 	if ws.remote {
 		var cancel context.CancelFunc
@@ -368,22 +447,63 @@ func (m *MultiBackend) Execute(ctx context.Context, spec JobSpec, hash string) (
 		defer stop()
 		defer cancel()
 	}
-	res, err := ws.backend.Execute(execCtx, spec, hash)
-	if err != nil && ctx.Err() == nil && execCtx.Err() != nil {
-		// The request died because the lease expired, not because of
-		// anything the caller did: surface it as a backend failure so the
-		// scheduler requeues the job.
-		err = fmt.Errorf("%w: worker %s lease expired mid-job: %v", ErrBackendUnavailable, ws.name, err)
+	var results []BatchResult
+	var chunkErr error
+	// leaseExpired rewrites an exchange error once the slot's lease — not
+	// the caller — killed the context: the failure belongs to the backend,
+	// so it must wrap ErrBackendUnavailable for the scheduler to requeue.
+	leaseExpired := func(err error) error {
+		if err != nil && ctx.Err() == nil && execCtx.Err() != nil {
+			return fmt.Errorf("%w: worker %s lease expired mid-chunk: %v", ErrBackendUnavailable, ws.name, err)
+		}
+		return err
 	}
+	if len(specs) == 1 {
+		// One cell rides the single-dispatch path: batch framing would buy
+		// nothing, and older workers without the batch endpoint stay on
+		// their native protocol.
+		res, err := ws.backend.Execute(execCtx, specs[0], hashes[0])
+		err = leaseExpired(err)
+		results = []BatchResult{{Result: res, Err: err}}
+		if err != nil && errors.Is(err, ErrBackendUnavailable) {
+			chunkErr = err
+		}
+	} else {
+		results, chunkErr = ws.backend.ExecuteBatch(execCtx, specs, hashes)
+		chunkErr = leaseExpired(chunkErr)
+	}
+	if chunkErr != nil && len(specs) > 1 {
+		results = make([]BatchResult, len(specs))
+		for i := range results {
+			results[i] = BatchResult{Err: chunkErr}
+		}
+	}
+	succeeded, unavailable := 0, 0
+	for _, br := range results {
+		switch {
+		case br.Err == nil:
+			succeeded++
+		case errors.Is(br.Err, ErrBackendUnavailable):
+			unavailable++
+		}
+	}
+	// A chunk-level transport error is the worker's fault; so is a chunk
+	// where every single cell came back backend-unavailable — the shape an
+	// unreachable worker produces through the per-cell fallback path, or a
+	// broken worker answering 200 with nothing but requeue items. Without
+	// this the failure-backoff machinery never engages for batches and the
+	// dispatcher hot-loops dispatch→fail→requeue against the same worker.
+	// A chunk with at least one delivered outcome keeps the worker healthy:
+	// it demonstrably answered, and any requeue-marked stragglers retry as
+	// smaller chunks that fall through to this same accounting.
+	transportFailure := (chunkErr != nil && errors.Is(chunkErr, ErrBackendUnavailable)) ||
+		unavailable == len(results)
 
 	m.mu.Lock()
-	ws.inflight--
+	ws.inflight -= r.n
 	capacityChanged := false
 	switch {
-	case err == nil:
-		ws.completed++
-		ws.consecFails = 0
-	case errors.Is(err, ErrBackendUnavailable):
+	case transportFailure:
 		ws.failures++
 		ws.consecFails++
 		d := failureSuspension(ws.consecFails)
@@ -401,11 +521,50 @@ func (m *MultiBackend) Execute(ctx context.Context, spec JobSpec, hash string) (
 			m.mu.Unlock()
 			m.notify()
 		})
+	default:
+		ws.completed += uint64(succeeded)
+		if succeeded > 0 {
+			// The backend delivered results: the transport is healthy again.
+			ws.consecFails = 0
+		}
 	}
 	m.cond.Broadcast()
 	m.mu.Unlock()
 	if capacityChanged {
 		m.notify()
 	}
-	return res, err
+	return results
+}
+
+// Execute implements Backend: a one-cell chunk on the best eligible slot.
+// A transport-level failure (ErrBackendUnavailable) on a remote worker
+// marks that worker unhealthy — removing its capacity from dispatch until a
+// heartbeat restores it after the failure-backoff window — and propagates
+// to the scheduler, which requeues the job.
+func (m *MultiBackend) Execute(ctx context.Context, spec JobSpec, hash string) (*sim.RunResult, error) {
+	r, err := m.Reserve(ctx, 1)
+	if err != nil {
+		return nil, err
+	}
+	results := r.execute(ctx, []JobSpec{spec}, []string{hash})
+	return results[0].Result, results[0].Err
+}
+
+// ExecuteBatch implements Backend by carving the chunk into sub-chunks
+// sized to whatever slot Reserve grants, sequentially. The scheduler's
+// dispatcher does not use this path — it reserves first and pops the queue
+// second — but embedders driving a MultiBackend directly get correct
+// chunked semantics.
+func (m *MultiBackend) ExecuteBatch(ctx context.Context, specs []JobSpec, hashes []string) ([]BatchResult, error) {
+	out := make([]BatchResult, 0, len(specs))
+	for off := 0; off < len(specs); {
+		r, err := m.Reserve(ctx, len(specs)-off)
+		if err != nil {
+			return nil, err
+		}
+		n := r.Granted()
+		out = append(out, r.execute(ctx, specs[off:off+n], hashes[off:off+n])...)
+		off += n
+	}
+	return out, nil
 }

@@ -8,73 +8,112 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
 
 	"constable/internal/sim"
 )
 
-// remoteRequestTimeout bounds one worker round trip. Simulations are
-// seconds-long, not hours-long, so a request that has produced nothing for
-// this long means the worker is wedged; the job requeues elsewhere (the
-// worker's own run, if it ever finishes, still lands in the worker-local
-// cache and is simply never collected).
+// remoteRequestTimeout bounds one dispatched cell's worker round trip.
+// Simulations are seconds-long, not hours-long, so a cell that has produced
+// nothing for this long means the worker is wedged; the job requeues
+// elsewhere (the worker's own run, if it ever finishes, still lands in the
+// worker-local cache and is simply never collected). Batched dispatches
+// scale this per cell — see ExecuteBatch — so a legitimately large chunk is
+// never misclassified as a wedged worker. It is deliberately a per-dispatch
+// context deadline, not an http.Client.Timeout: a client-wide timeout would
+// silently bound the whole chunk at the single-cell budget.
 const remoteRequestTimeout = 10 * time.Minute
 
-// RemoteBackend executes jobs on one constable-worker over HTTP: each
-// Execute is a single POST {url}/execute carrying the canonical spec and
-// its content hash, answered with a full sim.ResultEnvelope. The envelope
-// is verified against the dispatched hash before the result is accepted
-// (alias defense, mirroring the persistent store's Load): a worker
-// returning a mismatched or undecodable envelope is indistinguishable from
-// a corrupt one, so the error wraps ErrBackendUnavailable and the job
-// retries on an honest backend.
+// RemoteBackend executes jobs on one constable-worker over HTTP: Execute is
+// a single POST {url}/execute carrying one canonical spec and its content
+// hash, ExecuteBatch a single POST {url}/execute/batch carrying a whole
+// chunk, answered with full sim.ResultEnvelope documents. Every envelope is
+// verified against the dispatched hash before the result is accepted (alias
+// defense, mirroring the persistent store's Load): a worker returning a
+// mismatched or undecodable envelope is indistinguishable from a corrupt
+// one, so the error wraps ErrBackendUnavailable and the job retries on an
+// honest backend.
 type RemoteBackend struct {
-	name   string
-	url    string // base URL, no trailing slash
-	client *http.Client
+	name     string
+	url      string // base URL, no trailing slash
+	capacity int
+	client   *http.Client
+	// timeout is the per-cell round-trip budget (remoteRequestTimeout in
+	// production; tests shrink it to exercise deadline behavior).
+	timeout time.Duration
+
+	// noBatch is set after the worker answers /execute/batch with 404/405 —
+	// an older worker without the batch endpoint — so subsequent chunks
+	// skip straight to per-cell dispatch instead of re-probing every time.
+	mu      sync.Mutex
+	noBatch bool
 }
 
 // NewRemoteBackend returns a backend dispatching to the worker at url
-// (e.g. http://10.0.0.5:8081).
-func NewRemoteBackend(name, url string) *RemoteBackend {
+// (e.g. http://10.0.0.5:8081) which advertised room for capacity
+// concurrent jobs. The transport keeps up to capacity idle connections to
+// the worker: the default http.Transport caps idle conns per host at 2,
+// which silently turned a wide per-cell dispatch into a TCP-dial-per-job
+// churn once the MultiBackend filled more than two slots on one worker.
+func NewRemoteBackend(name, url string, capacity int) *RemoteBackend {
+	if capacity < 1 {
+		capacity = 1
+	}
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	tr.MaxIdleConnsPerHost = capacity
+	if tr.MaxIdleConns < capacity {
+		tr.MaxIdleConns = capacity
+	}
 	return &RemoteBackend{
-		name:   name,
-		url:    strings.TrimRight(url, "/"),
-		client: &http.Client{Timeout: remoteRequestTimeout},
+		name:     name,
+		url:      strings.TrimRight(url, "/"),
+		capacity: capacity,
+		client:   &http.Client{Transport: tr},
+		timeout:  remoteRequestTimeout,
 	}
 }
 
 // Name implements Backend.
 func (r *RemoteBackend) Name() string { return r.name }
 
-// Capacity implements Backend. A RemoteBackend is always dispatched through
-// a MultiBackend slot, which owns the concurrency budget the worker
-// advertised at registration; standalone it reports one slot.
-func (r *RemoteBackend) Capacity() int { return 1 }
+// Capacity implements Backend: the concurrency the worker advertised at
+// registration. When dispatched through a MultiBackend slot the slot owns
+// the budget; standalone the backend reports it directly.
+func (r *RemoteBackend) Capacity() int { return r.capacity }
 
-// Execute implements Backend: one job, one HTTP round trip.
+// drainClose consumes whatever the exchange left unread, then closes the
+// body. Returning a connection to the keep-alive pool requires reading the
+// response to EOF first: error paths that closed early — and success paths
+// whose json.Decoder stopped at the end of the value, one newline short of
+// EOF — were silently discarding every connection, so each dispatch paid a
+// fresh TCP dial.
+func drainClose(body io.ReadCloser) {
+	io.Copy(io.Discard, io.LimitReader(body, 1<<20))
+	body.Close()
+}
+
+// Execute implements Backend: one job, one HTTP round trip, bounded by one
+// per-cell timeout.
 //
 // Status mapping: 200 carries a result envelope (verified against hash);
 // 422 is the simulation's own failure, terminal for the job; anything else
 // — transport errors, timeouts, 5xx, a closed worker — wraps
 // ErrBackendUnavailable so the scheduler requeues the job.
 func (r *RemoteBackend) Execute(ctx context.Context, spec JobSpec, hash string) (*sim.RunResult, error) {
+	ctx, cancel := context.WithTimeout(ctx, r.timeout)
+	defer cancel()
 	body, err := json.Marshal(ExecuteRequest{Hash: hash, Spec: spec})
 	if err != nil {
 		// Failing to even build the dispatch is this backend's problem, not
 		// the job's: requeue rather than terminally failing the job.
 		return nil, fmt.Errorf("%w: encode dispatch to worker %s: %v", ErrBackendUnavailable, r.name, err)
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, r.url+"/execute", bytes.NewReader(body))
+	resp, err := r.post(ctx, "/execute", body)
 	if err != nil {
-		return nil, fmt.Errorf("%w: worker %s has an unusable url %q: %v", ErrBackendUnavailable, r.name, r.url, err)
+		return nil, err
 	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := r.client.Do(req)
-	if err != nil {
-		return nil, fmt.Errorf("%w: worker %s: %v", ErrBackendUnavailable, r.name, err)
-	}
-	defer resp.Body.Close()
+	defer drainClose(resp.Body)
 
 	switch resp.StatusCode {
 	case http.StatusOK:
@@ -95,6 +134,112 @@ func (r *RemoteBackend) Execute(ctx context.Context, spec JobSpec, hash string) 
 	default:
 		return nil, fmt.Errorf("%w: worker %s: HTTP %d: %s", ErrBackendUnavailable, r.name, resp.StatusCode, decodeErrorBody(resp.Body))
 	}
+}
+
+// ExecuteBatch implements Backend: the whole chunk rides one POST
+// {url}/execute/batch round trip, with the context deadline scaled by
+// chunk size so a large chunk gets the same per-cell budget a single
+// dispatch does. Per-cell outcomes come back item-for-item; a worker-side
+// per-cell condition (draining mid-chunk, corrupted item) requeues only
+// that cell. A corrupt or miscounted response taints the whole exchange —
+// there is no telling which cells to trust — so it fails the chunk at the
+// transport level and every cell requeues on an honest backend.
+//
+// Workers predating the batch endpoint answer 404/405; the chunk falls
+// back to concurrent per-cell dispatch, so a mixed-version cluster keeps
+// working at the old cadence.
+func (r *RemoteBackend) ExecuteBatch(ctx context.Context, specs []JobSpec, hashes []string) ([]BatchResult, error) {
+	ctx, cancel := context.WithTimeout(ctx, time.Duration(len(specs))*r.timeout)
+	defer cancel()
+	r.mu.Lock()
+	noBatch := r.noBatch
+	r.mu.Unlock()
+	if noBatch {
+		return r.executeCells(ctx, specs, hashes), nil
+	}
+
+	items := make([]ExecuteRequest, len(specs))
+	for i := range specs {
+		items[i] = ExecuteRequest{Hash: hashes[i], Spec: specs[i]}
+	}
+	body, err := json.Marshal(BatchExecuteRequest{Items: items})
+	if err != nil {
+		return nil, fmt.Errorf("%w: encode batch dispatch to worker %s: %v", ErrBackendUnavailable, r.name, err)
+	}
+	resp, err := r.post(ctx, "/execute/batch", body)
+	if err != nil {
+		return nil, err
+	}
+	defer drainClose(resp.Body)
+
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var br BatchExecuteResponse
+		if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+			return nil, fmt.Errorf("%w: worker %s returned an undecodable batch response: %v", ErrBackendUnavailable, r.name, err)
+		}
+		if len(br.Items) != len(specs) {
+			return nil, fmt.Errorf("%w: worker %s answered %d cells for a %d-cell chunk", ErrBackendUnavailable, r.name, len(br.Items), len(specs))
+		}
+		out := make([]BatchResult, len(specs))
+		for i, it := range br.Items {
+			switch {
+			case it.Envelope != nil:
+				res, err := it.Envelope.Open(hashes[i])
+				if err != nil {
+					return nil, fmt.Errorf("%w: worker %s: chunk cell %d: %v", ErrBackendUnavailable, r.name, i, err)
+				}
+				out[i] = BatchResult{Result: res}
+			case it.Requeue:
+				out[i] = BatchResult{Err: fmt.Errorf("%w: worker %s: %s", ErrBackendUnavailable, r.name, it.Error)}
+			default:
+				out[i] = BatchResult{Err: fmt.Errorf("worker %s: %s", r.name, it.Error)}
+			}
+		}
+		return out, nil
+	case http.StatusNotFound, http.StatusMethodNotAllowed:
+		// An older worker without the batch route: remember and dispatch
+		// the cells individually (concurrently, as the per-cell protocol
+		// always has).
+		r.mu.Lock()
+		r.noBatch = true
+		r.mu.Unlock()
+		return r.executeCells(ctx, specs, hashes), nil
+	default:
+		return nil, fmt.Errorf("%w: worker %s: HTTP %d: %s", ErrBackendUnavailable, r.name, resp.StatusCode, decodeErrorBody(resp.Body))
+	}
+}
+
+// executeCells is the batch-endpoint fallback: every cell dispatched as its
+// own concurrent /execute round trip.
+func (r *RemoteBackend) executeCells(ctx context.Context, specs []JobSpec, hashes []string) []BatchResult {
+	out := make([]BatchResult, len(specs))
+	var wg sync.WaitGroup
+	for i := range specs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := r.Execute(ctx, specs[i], hashes[i])
+			out[i] = BatchResult{Result: res, Err: err}
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// post sends one JSON dispatch and classifies request-level failures as
+// backend-unavailable. The caller owns the response body (drainClose it).
+func (r *RemoteBackend) post(ctx context.Context, path string, body []byte) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, r.url+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("%w: worker %s has an unusable url %q: %v", ErrBackendUnavailable, r.name, r.url, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("%w: worker %s: %v", ErrBackendUnavailable, r.name, err)
+	}
+	return resp, nil
 }
 
 // decodeErrorBody extracts the {"error": ...} message the worker and server

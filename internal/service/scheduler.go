@@ -132,6 +132,13 @@ type Config struct {
 	// 15s). In-flight jobs on an expired worker fail at the transport
 	// level and requeue.
 	WorkerTTL time.Duration
+	// MaxBatch caps how many queued jobs the dispatcher hands one backend
+	// as a single chunk (one worker round trip carries the whole chunk).
+	// Chunks are additionally sized adaptively to each worker's free
+	// capacity, so MaxBatch only bounds the degenerate single-worker case.
+	// Zero selects the default (16); 1 (or any negative value) restores
+	// per-cell dispatch.
+	MaxBatch int
 	// CacheSize is the LRU result-cache capacity in entries. Zero selects
 	// the default (1024); any negative value disables in-memory caching.
 	CacheSize int
@@ -173,12 +180,17 @@ type Scheduler struct {
 	closed    bool
 	nextID    uint64
 	running   int // jobs dispatched to the backend and not yet returned
+	maxBatch  int // dispatch chunk-size cap (Config.MaxBatch, defaulted)
 
 	sweeps    map[string]*Sweep
 	sweepDone []string // finished sweep IDs, oldest first, for eviction
 	nextSweep uint64
 
 	janitorStop chan struct{}
+	// dispatchCtx unblocks a dispatcher parked inside the backend's Reserve
+	// wait when Shutdown begins.
+	dispatchCtx    context.Context
+	dispatchCancel context.CancelFunc
 
 	wg sync.WaitGroup
 
@@ -204,15 +216,23 @@ func Open(cfg Config) (*Scheduler, error) {
 	if cfg.WorkerTTL <= 0 {
 		cfg.WorkerTTL = 15 * time.Second
 	}
+	if cfg.MaxBatch == 0 {
+		cfg.MaxBatch = 16
+	}
+	if cfg.MaxBatch < 1 {
+		cfg.MaxBatch = 1
+	}
 	s := &Scheduler{
 		cache:       newResultCache(cfg.CacheSize),
 		runFn:       sim.Run,
 		byID:        make(map[string]*Job),
 		inflight:    make(map[string]*Job),
 		retention:   cfg.JobRetention,
+		maxBatch:    cfg.MaxBatch,
 		sweeps:      make(map[string]*Sweep),
 		janitorStop: make(chan struct{}),
 	}
+	s.dispatchCtx, s.dispatchCancel = context.WithCancel(context.Background())
 	if cfg.DataDir != "" {
 		store, err := newResultStore(cfg.DataDir)
 		if err != nil {
@@ -230,6 +250,7 @@ func Open(cfg Config) (*Scheduler, error) {
 	} else {
 		s.backend = NewMultiBackend(base)
 	}
+	s.backend.maxBatch = s.maxBatch
 	s.backend.onChange = s.wake
 	s.cond = sync.NewCond(&s.mu)
 	s.wg.Add(1)
@@ -367,10 +388,14 @@ func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
 	}
 	if ok {
 		// Store hit: promote into the LRU so later duplicates don't touch
-		// the disk again.
+		// the disk again. The job keeps its own clone of the promoted
+		// document — the copy the LRU now owns and the copy this job's
+		// callers receive must never alias, mirroring the cache's
+		// deep-copy-on-Add/Get contract: a caller mutating its store-hit
+		// result must not be able to corrupt what later hits observe.
 		delete(s.inflight, hash)
 		s.cache.Add(hash, res)
-		j.finish(res, nil, StatusDone, true)
+		j.finish(res.Clone(), nil, StatusDone, true)
 		s.retireLocked(j)
 		return j, nil
 	}
@@ -512,6 +537,7 @@ func (s *Scheduler) Shutdown(ctx context.Context) error {
 	}
 	s.cond.Broadcast()
 	s.mu.Unlock()
+	s.dispatchCancel() // unpark a dispatcher waiting inside Reserve
 	close(s.janitorStop)
 
 	for _, j := range canceled {
@@ -552,96 +578,155 @@ func (s *Scheduler) retireLocked(j *Job) {
 	}
 }
 
-// dispatch is the scheduler's single dispatcher goroutine: it pops queued
-// jobs whenever the backend has free capacity and hands each to its own
-// runJob goroutine. Capacity is re-read on every iteration, so the gate
-// automatically widens when a remote worker registers (the backend's
-// onChange hook broadcasts the cond) and narrows when one fails.
+// dispatch is the scheduler's single dispatcher goroutine. Whenever the
+// backend has free dispatch budget it reserves a chunk of cells on the
+// single best backend slot — sized adaptively to that slot's free capacity
+// and capped at Config.MaxBatch — pops that many queued jobs, and hands the
+// chunk to its own runChunk goroutine; a remote chunk then rides one worker
+// round trip instead of one per cell. Budget is re-read on every iteration,
+// so the gate automatically widens when a remote worker registers (the
+// backend's onChange hook broadcasts the cond) and narrows when one fails.
+//
+// Ordering: reservation happens before the queue pop, so jobs stay in the
+// queue — cancelable, abandonable, visible to QueueDepth — for as long as
+// no backend is actually ready for them.
 func (s *Scheduler) dispatch() {
 	defer s.wg.Done()
 	for {
 		s.mu.Lock()
-		for !s.closed && (len(s.queue) == 0 || s.running >= s.backend.Capacity()) {
+		for !s.closed && (len(s.queue) == 0 || s.running >= s.backend.DispatchBudget()) {
 			s.cond.Wait()
 		}
 		if s.closed {
 			s.mu.Unlock()
 			return
 		}
-		j := s.queue[0]
-		s.queue = s.queue[1:]
-		s.running++
+		want := min(len(s.queue), s.maxBatch)
 		s.mu.Unlock()
+
+		r, err := s.backend.Reserve(s.dispatchCtx, want)
+		if err != nil {
+			// Shutdown canceled the wait, or every backend vanished while
+			// we were reserving: re-evaluate the gate (with zero capacity
+			// the cond parks until a worker registers).
+			continue
+		}
+		s.mu.Lock()
+		n := min(r.Granted(), len(s.queue))
+		var chunk []*Job
+		if n > 0 {
+			chunk = append(chunk, s.queue[:n]...)
+			s.queue = s.queue[n:]
+			s.running += n
+		}
+		s.mu.Unlock()
+		if len(chunk) == 0 {
+			// Everything queued was canceled while we waited for the slot.
+			r.release()
+			continue
+		}
+		r.shrink(len(chunk))
+		if len(chunk) > 1 {
+			s.metrics.batchesDispatched.Add(1)
+			s.metrics.batchCells.Add(uint64(len(chunk)))
+		}
 		s.wg.Add(1)
-		go s.runJob(j)
+		go s.runChunk(r, chunk)
 	}
 }
 
-// runJob executes one dispatched job on the backend and routes the outcome:
-// success populates the LRU and the persistent store exactly as a local run
-// always has, a simulation failure is terminal, and a backend failure
-// (remote worker died mid-job, returned a bad envelope, or no healthy
-// backend exists) requeues the job at the head of the queue — unless every
-// submitter has abandoned it in the meantime, in which case requeuing would
-// simulate for no one and the job is canceled instead.
-func (s *Scheduler) runJob(j *Job) {
+// runChunk executes one dispatched chunk on its reserved backend slot and
+// routes each cell's outcome individually: success populates the LRU and
+// the persistent store exactly as a local run always has, a simulation
+// failure is terminal for that cell alone, and a backend failure (remote
+// worker died mid-chunk, returned a bad envelope, or no healthy backend
+// exists) requeues the affected cells at the head of the queue in their
+// original order — except cells every submitter has abandoned in the
+// meantime: those are dropped from the chunk and canceled, not requeued to
+// simulate for no one, while their live siblings still requeue. The chunk
+// is never the unit of failure; the cell is.
+func (s *Scheduler) runChunk(r *reservation, chunk []*Job) {
 	defer s.wg.Done()
 	started := time.Now()
-	j.mu.Lock()
-	j.status = StatusRunning
-	j.started = started
-	j.mu.Unlock()
+	specs := make([]JobSpec, len(chunk))
+	hashes := make([]string, len(chunk))
+	for i, j := range chunk {
+		j.mu.Lock()
+		j.status = StatusRunning
+		j.started = started
+		j.mu.Unlock()
+		specs[i] = j.Spec
+		hashes[i] = j.Hash
+	}
 
-	res, err := s.backend.Execute(context.Background(), j.Spec, j.Hash)
+	results := r.execute(context.Background(), specs, hashes)
 	elapsed := time.Since(started)
 
-	if err != nil && errors.Is(err, ErrBackendUnavailable) {
-		s.mu.Lock()
-		s.running--
-		if s.closed || j.refs <= 0 {
-			// Shutdown, or nobody is interested anymore: don't requeue.
-			delete(s.inflight, j.Hash)
-			j.finish(nil, ErrCanceled, StatusCanceled, false)
-			s.retireLocked(j)
-			s.cond.Broadcast()
-			s.mu.Unlock()
-			s.metrics.canceled.Add(1)
-			return
-		}
-		j.mu.Lock()
-		j.status = StatusQueued
-		j.mu.Unlock()
-		s.queue = append([]*Job{j}, s.queue...) // head: oldest work first
-		s.cond.Broadcast()
-		s.mu.Unlock()
-		s.metrics.requeued.Add(1)
-		return
-	}
-
+	// Split the outcomes under one lock so requeued cells re-enter the
+	// queue head as a block, preserving their relative order (oldest work
+	// first). Terminal cells finish after the lock drops: caching and
+	// persistence do real work (deep copies, disk writes) that must not
+	// serialize every Submit behind this chunk.
 	s.mu.Lock()
-	s.running--
-	delete(s.inflight, j.Hash)
-	s.cond.Broadcast() // slot freed
+	s.running -= len(chunk)
+	var requeued, dropped []*Job
+	var terminal []int
+	for i, j := range chunk {
+		if err := results[i].Err; err != nil && errors.Is(err, ErrBackendUnavailable) {
+			if s.closed || j.refs <= 0 {
+				// Shutdown, or nobody is interested anymore: drop the cell
+				// from the chunk instead of requeuing it.
+				delete(s.inflight, j.Hash)
+				dropped = append(dropped, j)
+				continue
+			}
+			j.mu.Lock()
+			j.status = StatusQueued
+			j.mu.Unlock()
+			requeued = append(requeued, j)
+			continue
+		}
+		delete(s.inflight, j.Hash)
+		terminal = append(terminal, i)
+	}
+	if len(requeued) > 0 {
+		s.queue = append(requeued, s.queue...)
+	}
+	s.cond.Broadcast()
 	s.mu.Unlock()
 
-	if err != nil {
-		j.finish(nil, err, StatusFailed, false)
+	if len(requeued) > 0 {
+		s.metrics.requeued.Add(uint64(len(requeued)))
+	}
+	for _, j := range dropped {
+		j.finish(nil, ErrCanceled, StatusCanceled, false)
 		s.retire(j)
-		s.metrics.failed.Add(1)
-		return
+		s.metrics.canceled.Add(1)
 	}
-	s.cache.Add(j.Hash, res)
-	if s.store != nil {
-		// Persistence is best-effort: a full disk degrades to LRU-only
-		// caching (the failure is counted in the store metrics) rather
-		// than failing the job, whose in-memory result is still valid.
-		_ = s.store.Save(j.Hash, res)
+	for _, i := range terminal {
+		j := chunk[i]
+		if err := results[i].Err; err != nil {
+			j.finish(nil, err, StatusFailed, false)
+			s.retire(j)
+			s.metrics.failed.Add(1)
+			continue
+		}
+		res := results[i].Result
+		s.cache.Add(j.Hash, res)
+		if s.store != nil {
+			// Persistence is best-effort: a full disk degrades to LRU-only
+			// caching (the failure is counted in the store metrics) rather
+			// than failing the job, whose in-memory result is still valid.
+			_ = s.store.Save(j.Hash, res)
+		}
+		j.finish(res, nil, StatusDone, false)
+		s.retire(j)
+		s.metrics.completed.Add(1)
+		s.metrics.simInstructions.Add(j.Spec.Instructions * uint64(j.Spec.Threads))
+		// Busy time is attributed per cell at chunk wall-time granularity —
+		// the same dispatch-to-result window the per-cell path measured.
+		s.metrics.simBusyNanos.Add(uint64(elapsed.Nanoseconds()))
 	}
-	j.finish(res, nil, StatusDone, false)
-	s.retire(j)
-	s.metrics.completed.Add(1)
-	s.metrics.simInstructions.Add(j.Spec.Instructions * uint64(j.Spec.Threads))
-	s.metrics.simBusyNanos.Add(uint64(elapsed.Nanoseconds()))
 }
 
 // janitor expires remote workers whose lease lapsed, until shutdown.
@@ -688,7 +773,7 @@ func (s *Scheduler) RegisterWorker(name, workerURL string, capacity int) (Worker
 	if closed {
 		return WorkerView{}, ErrShuttingDown
 	}
-	v := s.backend.AddWorker(name, workerURL, capacity, NewRemoteBackend(name, workerURL))
+	v := s.backend.AddWorker(name, workerURL, capacity, NewRemoteBackend(name, workerURL, capacity))
 	s.metrics.workersRegistered.Add(1)
 	return v, nil
 }

@@ -94,10 +94,15 @@ const sweepRetention = 1024
 
 // StartSweep validates and submits a whole workload×config matrix as one
 // job group and returns immediately; cells stream out through
-// (*Sweep).Stream as they complete, with no full-matrix barrier. Identical
-// cells — within the matrix or against anything the scheduler has already
-// seen — are deduplicated or served from the cache/store like any other
-// submission. Canceling ctx (or calling (*Sweep).Cancel) cancels the sweep:
+// (*Sweep).Stream as they complete, with no full-matrix barrier. The
+// matrix's rows land on the shared queue in row-major order, from which
+// the dispatcher shards them into chunks sized to each backend's free
+// capacity (Config.MaxBatch caps a chunk) — a remote worker receives whole
+// chunks per round trip, yet per-cell identity is preserved end to end, so
+// artifacts stay byte-identical to per-cell dispatch and the NDJSON event
+// stream keeps its ordering contract. Identical cells — within the matrix
+// or against anything the scheduler has already seen — are deduplicated or
+// served from the cache/store like any other submission. Canceling ctx (or calling (*Sweep).Cancel) cancels the sweep:
 // queued cells with no other interested submitter are dropped from the
 // scheduler's queue; running cells finish and still populate the cache and
 // store, but the sweep stops waiting for them.

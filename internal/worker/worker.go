@@ -12,11 +12,12 @@
 //     heartbeat means the lease expired (e.g. the server restarted); the
 //     worker re-registers.
 //   - The server dispatches work by POSTing a service.ExecuteRequest to
-//     {url}/execute. The worker re-derives the spec's canonical hash and
-//     refuses a dispatch whose recorded hash does not match — the same
-//     alias defense the result store applies on load — then simulates and
-//     replies 200 with a sim.ResultEnvelope (or 422 with the simulation's
-//     own error).
+//     {url}/execute, or a whole chunk as a service.BatchExecuteRequest to
+//     {url}/execute/batch. The worker re-derives each spec's canonical
+//     hash and refuses a dispatch whose recorded hash does not match — the
+//     same alias defense the result store applies on load — then simulates
+//     and replies 200 with a sim.ResultEnvelope per cell (or the cell's
+//     own error; a single /execute answers 422 for a simulation failure).
 //   - On shutdown the worker DELETEs its registration so the server stops
 //     dispatching to it before the listener closes.
 //
@@ -32,6 +33,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"runtime"
 	"sync"
@@ -117,11 +119,13 @@ func (w *Worker) Scheduler() *service.Scheduler { return w.sched }
 
 // Handler returns the worker's HTTP surface:
 //
-//	POST /execute   run one service.ExecuteRequest, answer a sim.ResultEnvelope
-//	GET  /healthz   liveness probe
+//	POST /execute         run one service.ExecuteRequest, answer a sim.ResultEnvelope
+//	POST /execute/batch   run a service.BatchExecuteRequest chunk, answer per-cell
+//	GET  /healthz         liveness probe
 func (w *Worker) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /execute", w.handleExecute)
+	mux.HandleFunc("POST /execute/batch", w.handleExecuteBatch)
 	mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, r *http.Request) {
 		rw.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		rw.Write([]byte("ok\n"))
@@ -188,6 +192,100 @@ func (w *Worker) handleExecute(rw http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(rw, http.StatusOK, sim.NewResultEnvelope(hash, res))
+}
+
+// handleExecuteBatch runs a whole dispatch chunk through the worker's
+// private scheduler and answers item-for-item: the chunk's cells are all
+// submitted up front (so the local pool pipelines them at its own
+// concurrency and identical cells dedup), then collected in order. Failure
+// granularity is the cell, mirroring the single-dispatch status mapping:
+// a cell's own simulation failure is terminal for that cell alone
+// (requeue=false), a worker-side condition (draining pool, corrupted
+// dispatch item) marks just that cell requeue=true, and only a chunk that
+// cannot be accepted at all — malformed JSON, or the whole pool already
+// shutting down — fails the request itself.
+func (w *Worker) handleExecuteBatch(rw http.ResponseWriter, r *http.Request) {
+	var req service.BatchExecuteRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(rw, http.StatusBadRequest, map[string]string{"error": "invalid JSON: " + err.Error()})
+		return
+	}
+	if len(req.Items) == 0 {
+		writeJSON(rw, http.StatusBadRequest, map[string]string{"error": "empty batch"})
+		return
+	}
+	items := make([]service.BatchExecuteItem, len(req.Items))
+	jobs := make([]*service.Job, len(req.Items))
+	hashes := make([]string, len(req.Items))
+	abandonFrom := func(i int) {
+		for ; i < len(jobs); i++ {
+			if jobs[i] != nil {
+				w.sched.Abandon(jobs[i].ID)
+			}
+		}
+	}
+	for i, it := range req.Items {
+		hash, err := it.Spec.Hash()
+		if err != nil {
+			items[i] = service.BatchExecuteItem{Error: err.Error()}
+			continue
+		}
+		// Alias defense per cell, mirroring handleExecute: a corrupted item
+		// must not simulate under the wrong content address — but unlike a
+		// fully corrupt request it poisons only itself, and the server may
+		// retry the cell over an honest transport.
+		if it.Hash != "" && it.Hash != hash {
+			items[i] = service.BatchExecuteItem{
+				Error:   fmt.Sprintf("worker: dispatched hash %.12s does not match spec hash %.12s", it.Hash, hash),
+				Requeue: true,
+			}
+			continue
+		}
+		j, err := w.sched.Submit(it.Spec)
+		if err != nil {
+			if errors.Is(err, service.ErrShuttingDown) {
+				// The pool is draining: nothing in this chunk can run here.
+				// Drop interest in the cells already queued and let the
+				// server requeue the whole chunk elsewhere.
+				abandonFrom(0)
+				writeJSON(rw, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
+				return
+			}
+			items[i] = service.BatchExecuteItem{Error: err.Error()}
+			continue
+		}
+		jobs[i] = j
+		hashes[i] = hash
+	}
+	for i, j := range jobs {
+		if j == nil {
+			continue
+		}
+		res, err := j.Wait(r.Context())
+		if err != nil {
+			if errors.Is(err, r.Context().Err()) {
+				// The dispatching server aborted the chunk (lease-expiry
+				// cancel, deadline, server death) and has already requeued
+				// the cells elsewhere: drop this dispatch's interest in
+				// everything still pending, so queued sole-interest cells
+				// leave the pool instead of simulating for no one.
+				abandonFrom(i)
+				writeJSON(rw, http.StatusServiceUnavailable, map[string]string{"error": "dispatch aborted: " + err.Error()})
+				return
+			}
+			if errors.Is(err, service.ErrShuttingDown) || errors.Is(err, service.ErrCanceled) {
+				// The worker's condition, not the cell's: this cell should
+				// requeue elsewhere while finished siblings still land.
+				items[i] = service.BatchExecuteItem{Error: err.Error(), Requeue: true}
+				continue
+			}
+			items[i] = service.BatchExecuteItem{Error: err.Error()}
+			continue
+		}
+		env := sim.NewResultEnvelope(hashes[i], res)
+		items[i] = service.BatchExecuteItem{Envelope: &env}
+	}
+	writeJSON(rw, http.StatusOK, service.BatchExecuteResponse{Items: items})
 }
 
 // Register announces the worker to the server and stores the assigned ID.
@@ -278,10 +376,37 @@ func (w *Worker) Deregister(ctx context.Context) error {
 	return nil
 }
 
+// heartbeatInterval returns one lease-renewal (or registration-retry)
+// delay: d with ±15% uniform jitter. A fleet restarted by one orchestrator
+// tick would otherwise renew in lockstep forever — every worker's fixed
+// Ticker firing at the same instant against one server — so each wait is
+// drawn fresh and the fleet decorrelates within a few periods.
+func heartbeatInterval(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	return time.Duration(float64(d) * (0.85 + 0.3*rand.Float64()))
+}
+
+// sleepHeartbeat waits one jittered heartbeat interval, or until ctx ends.
+func sleepHeartbeat(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(heartbeatInterval(d))
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
 // Run registers (retrying until the server answers — the worker may start
 // before the server) and then heartbeats until ctx ends, when it
-// deregisters and returns. Run owns only the control-plane loop: the
-// caller serves Handler() separately and drains the local pool itself
+// deregisters and returns. Registration retries and lease renewals share
+// one jittered cadence (heartbeatInterval): the old split — a one-shot
+// time.After for the retry path, a fixed Ticker afterwards — renewed in
+// lockstep across a restarted fleet. Run owns only the control-plane loop:
+// the caller serves Handler() separately and drains the local pool itself
 // (Close, or Scheduler().Shutdown for a bounded drain) once Run returns,
 // as cmd/constable-worker does.
 func (w *Worker) Run(ctx context.Context) error {
@@ -291,27 +416,21 @@ func (w *Worker) Run(ctx context.Context) error {
 		} else if ctx.Err() != nil {
 			return ctx.Err()
 		}
-		select {
-		case <-ctx.Done():
-			return ctx.Err()
-		case <-time.After(w.opts.Heartbeat):
+		if err := sleepHeartbeat(ctx, w.opts.Heartbeat); err != nil {
+			return err
 		}
 	}
-	t := time.NewTicker(w.opts.Heartbeat)
-	defer t.Stop()
 	for {
-		select {
-		case <-ctx.Done():
+		if err := sleepHeartbeat(ctx, w.opts.Heartbeat); err != nil {
 			// Deregister on a fresh context: ctx is already dead.
 			dctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-			err := w.Deregister(dctx)
+			derr := w.Deregister(dctx)
 			cancel()
-			return err
-		case <-t.C:
-			// Best-effort: a flaky heartbeat retries next tick, and the
-			// server restores health on the first one that lands.
-			_ = w.heartbeat(ctx)
+			return derr
 		}
+		// Best-effort: a flaky heartbeat retries next tick, and the
+		// server restores health on the first one that lands.
+		_ = w.heartbeat(ctx)
 	}
 }
 

@@ -3,6 +3,7 @@ package worker
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -17,10 +18,17 @@ import (
 )
 
 // startServer boots a dispatch-only scheduler (no local execution slots —
-// every cell must run on a remote worker) behind the real HTTP API.
+// every cell must run on a remote worker) behind the real HTTP API, at the
+// default (batched) dispatch configuration.
 func startServer(t testing.TB) (*service.Scheduler, *httptest.Server) {
+	return startServerBatch(t, 0)
+}
+
+// startServerBatch is startServer with an explicit dispatch chunk cap
+// (service.Config.MaxBatch: 0 = default, 1 = per-cell).
+func startServerBatch(t testing.TB, batch int) (*service.Scheduler, *httptest.Server) {
 	t.Helper()
-	s, err := service.Open(service.Config{Workers: -1, WorkerTTL: time.Hour})
+	s, err := service.Open(service.Config{Workers: -1, WorkerTTL: time.Hour, MaxBatch: batch})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,45 +110,63 @@ func runSweepCollect(t testing.TB, s *service.Scheduler, matrix [][]service.JobS
 
 // TestDistributedSweepMatchesLocal shards one sweep across two remote
 // workers (the server itself has zero local slots) and requires the
-// resulting artifacts to be byte-identical to a pure single-process run.
+// resulting artifacts to be byte-identical to a pure single-process run —
+// under batched dispatch (the default) and in per-cell mode alike.
 func TestDistributedSweepMatchesLocal(t *testing.T) {
-	s, ts := startServer(t)
-	startWorkerNode(t, ts.URL, "w1", 2)
-	startWorkerNode(t, ts.URL, "w2", 2)
+	for _, tc := range []struct {
+		name  string
+		batch int
+	}{
+		{"batch=16", 16},
+		{"batch=1", 1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s, ts := startServerBatch(t, tc.batch)
+			startWorkerNode(t, ts.URL, "w1", 2)
+			startWorkerNode(t, ts.URL, "w2", 2)
 
-	matrix := testMatrix(3, 3, 2000)
-	distributed := runSweepCollect(t, s, matrix)
+			matrix := testMatrix(3, 3, 2000)
+			distributed := runSweepCollect(t, s, matrix)
 
-	local, err := service.Open(service.Config{Workers: 4})
-	if err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(func() { local.Close() })
-	reference := runSweepCollect(t, local, matrix)
+			local, err := service.Open(service.Config{Workers: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { local.Close() })
+			reference := runSweepCollect(t, local, matrix)
 
-	if len(distributed) != len(reference) {
-		t.Fatalf("distributed run produced %d cells, local %d", len(distributed), len(reference))
-	}
-	for key, want := range reference {
-		got, ok := distributed[key]
-		if !ok {
-			t.Fatalf("cell %s missing from distributed run", key)
-		}
-		if string(got) != string(want) {
-			t.Errorf("cell %s: distributed artifact differs from single-process run\n got: %.200s\nwant: %.200s", key, got, want)
-		}
-	}
+			if len(distributed) != len(reference) {
+				t.Fatalf("distributed run produced %d cells, local %d", len(distributed), len(reference))
+			}
+			for key, want := range reference {
+				got, ok := distributed[key]
+				if !ok {
+					t.Fatalf("cell %s missing from distributed run", key)
+				}
+				if string(got) != string(want) {
+					t.Errorf("cell %s: distributed artifact differs from single-process run\n got: %.200s\nwant: %.200s", key, got, want)
+				}
+			}
 
-	// Every cell executed remotely, spread across both workers.
-	var total uint64
-	for _, v := range s.Workers() {
-		if v.Completed == 0 {
-			t.Errorf("worker %s executed no cells; sharding skipped it", v.Name)
-		}
-		total += v.Completed
-	}
-	if total != uint64(len(reference)) {
-		t.Errorf("remote completions = %d, want %d (server has no local slots)", total, len(reference))
+			// Every cell executed remotely, spread across both workers.
+			var total uint64
+			for _, v := range s.Workers() {
+				if v.Completed == 0 {
+					t.Errorf("worker %s executed no cells; sharding skipped it", v.Name)
+				}
+				total += v.Completed
+			}
+			if total != uint64(len(reference)) {
+				t.Errorf("remote completions = %d, want %d (server has no local slots)", total, len(reference))
+			}
+			m := s.Metrics()
+			if tc.batch > 1 && m.BatchesDispatched == 0 {
+				t.Error("batched server dispatched no multi-cell chunks")
+			}
+			if tc.batch == 1 && m.BatchesDispatched != 0 {
+				t.Errorf("per-cell server dispatched %d chunks", m.BatchesDispatched)
+			}
+		})
 	}
 }
 
@@ -384,6 +410,198 @@ func TestWorkerAbandonsAbortedDispatch(t *testing.T) {
 	gateOnce.Do(func() { close(gate) })
 }
 
+// TestWorkerKilledMidChunkRequeuesOnlyUnabandoned kills a worker while a
+// whole dispatch chunk is in flight on it, with some of the chunk's cells
+// already abandoned by their only submitter. The un-abandoned cells must
+// requeue (and complete on a survivor worker); the abandoned ones must be
+// canceled — dropped from the chunk — not resimulated for no one.
+func TestWorkerKilledMidChunkRequeuesOnlyUnabandoned(t *testing.T) {
+	s, ts := startServer(t)
+
+	gate := make(chan struct{})
+	var gateOnce sync.Once
+	openGate := func() { gateOnce.Do(func() { close(gate) }) }
+	t.Cleanup(openGate) // LIFO: gate opens before worker Close drains
+	doomed, err := New(Options{
+		Server:   ts.URL,
+		Name:     "doomed",
+		Capacity: 2,
+		Run: func(o sim.Options) (*sim.RunResult, error) {
+			<-gate
+			return &sim.RunResult{Cycles: o.Instructions}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { doomed.Close() })
+
+	// Queue four distinct cells before any capacity exists, so they ride
+	// one chunk (capacity 2 → dispatch budget 4) to the doomed worker.
+	name := workload.SmallSuite()[0].Name
+	var jobs []*service.Job
+	for i := 0; i < 4; i++ {
+		j, err := s.Submit(service.JobSpec{Workload: name, Instructions: uint64(50_000 + i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	wts := httptest.NewServer(doomed.Handler())
+	t.Cleanup(wts.Close)
+	doomed.opts.Advertise = wts.URL
+	if err := doomed.Register(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait until the whole chunk landed on the worker's private pool (two
+	// simulating, two queued behind them).
+	deadline := time.Now().Add(10 * time.Second)
+	for doomed.sched.Running()+doomed.sched.QueueDepth() != 4 {
+		if time.Now().After(deadline) {
+			t.Fatalf("chunk never landed on the worker (running=%d queued=%d)",
+				doomed.sched.Running(), doomed.sched.QueueDepth())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Two cells lose their only submitter mid-chunk; then the worker dies
+	// with the chunk still open.
+	s.Abandon(jobs[2].ID)
+	s.Abandon(jobs[3].ID)
+	wts.CloseClientConnections()
+	wts.Close()
+
+	survivor, err := New(Options{Server: ts.URL, Name: "survivor", Capacity: 2,
+		Run: func(o sim.Options) (*sim.RunResult, error) {
+			return &sim.RunResult{Cycles: o.Instructions}, nil
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { survivor.Close() })
+	sts := httptest.NewServer(survivor.Handler())
+	t.Cleanup(sts.Close)
+	survivor.opts.Advertise = sts.URL
+	if err := survivor.Register(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	for i := 0; i < 2; i++ {
+		res, err := jobs[i].Wait(ctx)
+		if err != nil {
+			t.Fatalf("surviving cell %d: %v", i, err)
+		}
+		if res.Cycles != jobs[i].Spec.Instructions {
+			t.Errorf("surviving cell %d cycles = %d", i, res.Cycles)
+		}
+	}
+	for i := 2; i < 4; i++ {
+		if _, err := jobs[i].Wait(ctx); !errors.Is(err, service.ErrCanceled) {
+			t.Fatalf("abandoned cell %d terminal error = %v, want ErrCanceled", i, err)
+		}
+	}
+	openGate()
+
+	m := s.Metrics()
+	if m.JobsRequeued != 2 {
+		t.Errorf("requeued = %d, want 2 (only the un-abandoned cells)", m.JobsRequeued)
+	}
+	if m.JobsCanceled != 2 {
+		t.Errorf("canceled = %d, want 2 (the abandoned cells)", m.JobsCanceled)
+	}
+	if m.JobsFailed != 0 {
+		t.Errorf("failed = %d, want 0 (worker death must not fail cells)", m.JobsFailed)
+	}
+}
+
+// TestMixedChunkOverHTTP pins per-cell failure granularity across the real
+// batch wire protocol: a chunk with one cell whose simulation fails must
+// fail that cell terminally (the 422-equivalent of the batch protocol)
+// while its siblings land normally — no requeue of anything.
+func TestMixedChunkOverHTTP(t *testing.T) {
+	s, ts := startServer(t)
+
+	const badBudget = 66_666
+	name := workload.SmallSuite()[0].Name
+	var jobs []*service.Job
+	for _, insts := range []uint64{40_000, badBudget, 40_001} {
+		j, err := s.Submit(service.JobSpec{Workload: name, Instructions: insts})
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	w, err := New(Options{Server: ts.URL, Name: "mixed", Capacity: 2,
+		Run: func(o sim.Options) (*sim.RunResult, error) {
+			if o.Instructions == badBudget {
+				return nil, fmt.Errorf("simulation exploded at %d", o.Instructions)
+			}
+			return &sim.RunResult{Cycles: o.Instructions}, nil
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { w.Close() })
+	wts := httptest.NewServer(w.Handler())
+	t.Cleanup(wts.Close)
+	w.opts.Advertise = wts.URL
+	if err := w.Register(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	for _, i := range []int{0, 2} {
+		res, err := jobs[i].Wait(ctx)
+		if err != nil {
+			t.Fatalf("sibling cell %d failed: %v", i, err)
+		}
+		if res.Cycles != jobs[i].Spec.Instructions {
+			t.Errorf("sibling cell %d cycles = %d", i, res.Cycles)
+		}
+	}
+	_, err = jobs[1].Wait(ctx)
+	if err == nil || !strings.Contains(err.Error(), "simulation exploded") {
+		t.Fatalf("bad cell error = %v, want its own terminal simulation failure", err)
+	}
+
+	m := s.Metrics()
+	if m.JobsRequeued != 0 {
+		t.Errorf("requeued = %d, want 0 (a terminal cell must not bounce its chunk)", m.JobsRequeued)
+	}
+	if m.JobsFailed != 1 || m.JobsCompleted != 2 {
+		t.Errorf("failed/completed = %d/%d, want 1/2", m.JobsFailed, m.JobsCompleted)
+	}
+	if m.BatchesDispatched == 0 {
+		t.Error("the chunk was not dispatched over the batch path")
+	}
+}
+
+// TestHeartbeatJitter pins the lease-renewal cadence: intervals stay within
+// ±15% of the configured heartbeat and vary draw to draw, so a fleet
+// restarted in lockstep decorrelates instead of stampeding one server.
+func TestHeartbeatJitter(t *testing.T) {
+	const base = time.Second
+	lo, hi := 850*time.Millisecond, 1150*time.Millisecond
+	distinct := make(map[time.Duration]bool)
+	for i := 0; i < 200; i++ {
+		d := heartbeatInterval(base)
+		if d < lo || d > hi {
+			t.Fatalf("interval %v outside [%v, %v]", d, lo, hi)
+		}
+		distinct[d] = true
+	}
+	if len(distinct) < 10 {
+		t.Errorf("only %d distinct intervals in 200 draws; jitter is not jittering", len(distinct))
+	}
+	if got := heartbeatInterval(0); got != 0 {
+		t.Errorf("heartbeatInterval(0) = %v, want 0", got)
+	}
+}
+
 // TestWorkerHeartbeatReregistersAfterServerRestart simulates a server
 // losing its worker registry (restart): the next heartbeat gets a 404 and
 // the worker must transparently re-register.
@@ -412,41 +630,49 @@ func TestWorkerHeartbeatReregistersAfterServerRestart(t *testing.T) {
 
 // BenchmarkSweepDistributed measures distributed sweep throughput (cells/s
 // through submit → dispatch → HTTP → worker → envelope → store/stream) with
-// one and with two remote workers attached to a dispatch-only server.
-// Simulation cost is stubbed to a fixed latency, mirroring
-// BenchmarkSweepThroughput's isolation of the orchestration stack, so the
-// two-worker case demonstrates the horizontal-scaling win even on a
-// single-core machine. CI uploads its timings as
-// BENCH_sweep_distributed.json next to the single-process BENCH_sweep.json.
+// one and with two remote workers attached to a dispatch-only server, in
+// per-cell dispatch mode (batch=1, the PR-4 protocol) and under batched
+// dispatch (batch=16, the default). Simulation cost is stubbed to a fixed
+// latency, mirroring BenchmarkSweepThroughput's isolation of the
+// orchestration stack, so the worker and batch dimensions demonstrate the
+// scaling wins even on a single-core machine. Workers advertise 8 slots
+// and sweeps carry 32 cells (production-shaped: multi-core workers, Fig.
+// 9-sized matrices) — the earlier 2-slot/8-cell shape capped the whole
+// measurement at 4 concurrent cells, hiding any transport improvement
+// behind the sleep floor. CI uploads the full grid as
+// BENCH_sweep_distributed.json and the batched subset as
+// BENCH_sweep_batched.json, next to the single-process BENCH_sweep.json.
 func BenchmarkSweepDistributed(b *testing.B) {
 	fixedLatency := func(o sim.Options) (*sim.RunResult, error) {
 		time.Sleep(2 * time.Millisecond)
 		return &sim.RunResult{Cycles: o.Instructions}, nil
 	}
 	for _, workers := range []int{1, 2} {
-		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
-			s, ts := startServer(b)
-			for i := 0; i < workers; i++ {
-				w, err := New(Options{Server: ts.URL, Name: fmt.Sprintf("w%d", i+1), Capacity: 2, Run: fixedLatency})
-				if err != nil {
-					b.Fatal(err)
+		for _, batch := range []int{1, 16} {
+			b.Run(fmt.Sprintf("workers=%d/batch=%d", workers, batch), func(b *testing.B) {
+				s, ts := startServerBatch(b, batch)
+				for i := 0; i < workers; i++ {
+					w, err := New(Options{Server: ts.URL, Name: fmt.Sprintf("w%d", i+1), Capacity: 8, Run: fixedLatency})
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.Cleanup(func() { w.Close() })
+					wts := httptest.NewServer(w.Handler())
+					b.Cleanup(wts.Close)
+					w.opts.Advertise = wts.URL
+					if err := w.Register(context.Background()); err != nil {
+						b.Fatal(err)
+					}
 				}
-				b.Cleanup(func() { w.Close() })
-				wts := httptest.NewServer(w.Handler())
-				b.Cleanup(wts.Close)
-				w.opts.Advertise = wts.URL
-				if err := w.Register(context.Background()); err != nil {
-					b.Fatal(err)
+				const rows, cols = 4, 8
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					// Distinct budgets per iteration so every cell simulates.
+					matrix := testMatrix(rows, cols, uint64(10_000+i*rows*cols))
+					runSweepCollect(b, s, matrix)
 				}
-			}
-			const rows, cols = 2, 4
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				// Distinct budgets per iteration so every cell simulates.
-				matrix := testMatrix(rows, cols, uint64(10_000+i*rows*cols))
-				runSweepCollect(b, s, matrix)
-			}
-			b.ReportMetric(float64(rows*cols*b.N)/b.Elapsed().Seconds(), "cells/s")
-		})
+				b.ReportMetric(float64(rows*cols*b.N)/b.Elapsed().Seconds(), "cells/s")
+			})
+		}
 	}
 }
