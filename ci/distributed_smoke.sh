@@ -51,10 +51,10 @@ normalize() {
     | sort
 }
 
-run_sweep() { # base-url outfile
-  local base=$1 out=$2
+run_sweep() { # base-url outfile [sweep-body]
+  local base=$1 out=$2 body=${3:-$SWEEP_BODY}
   local id
-  id=$(curl -sf "$base/v1/sweeps" -d "$SWEEP_BODY" | jq -r .id)
+  id=$(curl -sf "$base/v1/sweeps" -d "$body" | jq -r .id)
   curl -sfN "$base/v1/sweeps/$id/events?results=1" > "$out"
   # Every cell must be done.
   local bad
@@ -63,7 +63,7 @@ run_sweep() { # base-url outfile
 }
 
 say "building binaries"
-go build -o "$bindir/" ./cmd/constable-server ./cmd/constable-worker
+go build -o "$bindir/" ./cmd/constable-server ./cmd/constable-worker ./cmd/tracetool
 
 # boot_cluster name server-port server-extra-args w1-port w2-port
 boot_cluster() {
@@ -134,4 +134,50 @@ if ! diff -u "$workdir/local.norm" "$workdir/percell.norm"; then
   exit 1
 fi
 
-say "distributed smoke OK: 9/9 cells in both modes, all workers used, chunks dispatched, artifacts byte-identical"
+say "capturing a trace and uploading it to the batched server"
+"$bindir/tracetool" -capture -workload server-kvstore-00 -n 20000 -o "$workdir/smoke.trace"
+upload=$(curl -sf --data-binary "@$workdir/smoke.trace" "http://127.0.0.1:$SERVER_PORT/v1/traces")
+hash=$(echo "$upload" | jq -r .hash)
+[ -n "$hash" ] && [ "$hash" != "null" ] || { echo "upload returned no hash: $upload" >&2; exit 1; }
+echo "$upload" | jq -e '.dedup != true and .instructions == 20000' >/dev/null || {
+  echo "first upload unexpectedly deduped or miscounted: $upload" >&2; exit 1; }
+
+say "re-uploading via tracetool to prove content-addressed dedup"
+"$bindir/tracetool" -upload "$workdir/smoke.trace" -server "http://127.0.0.1:$SERVER_PORT" \
+  | grep -q "dedup" || { echo "re-upload was not deduped" >&2; exit 1; }
+
+TRACE_SWEEP_BODY=$(cat <<EOF
+{
+  "workloads":  ["trace:$hash", "server-kvstore-00"],
+  "mechanisms": ["baseline", "constable"],
+  "instructions": 20000
+}
+EOF
+)
+
+say "running a trace-referenced sweep across the 2-worker cluster (workers fetch the trace by hash)"
+run_sweep "http://127.0.0.1:$SERVER_PORT" "$workdir/trace-dist.ndjson" "$TRACE_SWEEP_BODY"
+
+say "running the same trace sweep on the single-process server"
+curl -sf --data-binary "@$workdir/smoke.trace" "http://127.0.0.1:$LOCAL_PORT/v1/traces" >/dev/null
+run_sweep "http://127.0.0.1:$LOCAL_PORT" "$workdir/trace-local.ndjson" "$TRACE_SWEEP_BODY"
+
+say "diffing trace-sweep artifacts between distributed and single-process runs"
+normalize "$workdir/trace-dist.ndjson"  > "$workdir/trace-dist.norm"
+normalize "$workdir/trace-local.ndjson" > "$workdir/trace-local.norm"
+if ! diff -u "$workdir/trace-local.norm" "$workdir/trace-dist.norm"; then
+  echo "trace-referenced sweep artifacts differ between distributed and single-process runs" >&2
+  exit 1
+fi
+
+say "checking trace-store metrics on the batched server"
+curl -sf "http://127.0.0.1:$SERVER_PORT/metrics" | awk '
+  $1 == "constable_traces_uploaded_total" && $2 > 0 {up=1}
+  $1 == "constable_traces_deduped_total"  && $2 > 0 {de=1}
+  $1 == "constable_traces_fetched_total"  && $2 > 0 {fe=1}
+  END {exit !(up && de && fe)}' || {
+  echo "trace metrics check failed (need uploaded/deduped/fetched all > 0):" >&2
+  curl -s "http://127.0.0.1:$SERVER_PORT/metrics" | grep constable_trace >&2
+  exit 1; }
+
+say "distributed smoke OK: 9/9 cells in both modes, all workers used, chunks dispatched, trace sweep byte-identical with fetch-by-hash, artifacts byte-identical"

@@ -55,10 +55,13 @@ func main() {
 		workerTTL = flag.Duration("worker-ttl", 15*time.Second, "remote-worker lease: a worker missing heartbeats this long is expired and its jobs requeued")
 		batch     = flag.Int("batch", 0, "max jobs dispatched to one backend as a single chunk; chunks also adapt to each worker's free capacity (0 = default 16, 1 = per-cell dispatch)")
 		drain     = flag.Duration("drain", 30*time.Second, "graceful-shutdown timeout for running simulations")
+		maxBody   = flag.Int64("max-body", 0, "max JSON request-body bytes on the API (0 = default 8 MiB)")
+		maxTrace  = flag.Int64("max-trace-body", 0, "max raw trace-upload bytes on POST /v1/traces (0 = default 256 MiB)")
 	)
 	flag.Parse()
 
-	sched, err := service.Open(service.Config{Workers: *workers, CacheSize: *cacheSize, DataDir: *dataDir, WorkerTTL: *workerTTL, MaxBatch: *batch})
+	sched, err := service.Open(service.Config{Workers: *workers, CacheSize: *cacheSize, DataDir: *dataDir,
+		WorkerTTL: *workerTTL, MaxBatch: *batch, MaxBody: *maxBody, MaxTraceBody: *maxTrace})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,14 +7,20 @@
 //	tracetool -capture -workload server-kvstore-00 -n 500000 -o kvstore.trace
 //	tracetool -replay kvstore.trace -mech constable
 //	tracetool -info kvstore.trace
+//	tracetool -upload kvstore.trace -server http://localhost:8080
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"constable/internal/cache"
 	"constable/internal/fsim"
@@ -38,6 +44,8 @@ func main() {
 		out     = flag.String("o", "workload.trace", "output trace path")
 		apx     = flag.Bool("apx", false, "capture the 32-register (APX) build")
 		mech    = flag.String("mech", "baseline", "replay mechanism: "+strings.Join(sim.MechanismNames(), ", "))
+		upload  = flag.String("upload", "", "upload a trace file to a constable-server")
+		server  = flag.String("server", "http://localhost:8080", "server base URL for -upload")
 	)
 	flag.Parse()
 
@@ -54,9 +62,54 @@ func main() {
 		if err := doInfo(*info); err != nil {
 			log.Fatal(err)
 		}
+	case *upload != "":
+		if err := doUpload(*upload, *server); err != nil {
+			log.Fatal(err)
+		}
 	default:
-		log.Fatal("pass -capture, -replay <file> or -info <file>")
+		log.Fatal("pass -capture, -replay <file>, -info <file> or -upload <file>")
 	}
+}
+
+// doUpload POSTs the raw trace bytes to {server}/v1/traces and prints the
+// content hash the server assigned. Re-uploading the same bytes is reported
+// as a dedup hit rather than an error — the store is content-addressed.
+func doUpload(path, server string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	client := &http.Client{Timeout: 2 * time.Minute}
+	resp, err := client.Post(strings.TrimRight(server, "/")+"/v1/traces",
+		"application/octet-stream", bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("upload rejected: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	var info struct {
+		Hash         string `json:"hash"`
+		Name         string `json:"name"`
+		Instructions uint64 `json:"instructions"`
+		Dedup        bool   `json:"dedup"`
+	}
+	if err := json.Unmarshal(body, &info); err != nil {
+		return fmt.Errorf("decoding upload response: %w", err)
+	}
+	verb := "uploaded"
+	if info.Dedup {
+		verb = "already stored (dedup)"
+	}
+	fmt.Printf("%s %s: %d instructions, %d bytes\n", verb, path, info.Instructions, len(data))
+	fmt.Printf("hash: %s\n", info.Hash)
+	fmt.Printf("workload name: %s\n", info.Name)
+	return nil
 }
 
 func doCapture(name, out string, n uint64, apx bool) error {

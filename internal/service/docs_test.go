@@ -41,6 +41,7 @@ func TestAPIRoutesMatchHandler(t *testing.T) {
 			continue
 		}
 		reqPath := strings.ReplaceAll(path, "{id}", "some-id")
+		reqPath = strings.ReplaceAll(reqPath, "{hash}", strings.Repeat("ab", 32))
 		req := httptest.NewRequest(method, reqPath, nil)
 		if _, got := mux.Handler(req); got != pattern {
 			t.Errorf("request %s %s resolves to %q, want %q", method, reqPath, got, pattern)

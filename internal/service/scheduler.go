@@ -5,11 +5,13 @@ import (
 	"errors"
 	"fmt"
 	"net/url"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"time"
 
 	"constable/internal/sim"
+	"constable/internal/workload"
 )
 
 // JobStatus is the lifecycle state of a submitted job.
@@ -150,8 +152,20 @@ type Config struct {
 	// result store: every finished result is written there (one JSON file
 	// per JobSpec hash, sharded, atomically renamed into place) and LRU
 	// misses fall through to it, so results survive restarts and are
-	// shared between processes pointing at the same directory.
+	// shared between processes pointing at the same directory. Uploaded
+	// traces persist under its traces/ subdirectory; without a DataDir the
+	// trace store is memory-only.
 	DataDir string
+	// TraceFetch, when set, lets the trace store retrieve missing trace
+	// bytes by content hash — workers install a closure that downloads
+	// GET /v1/traces/{hash} from their server. Fetched bytes are verified
+	// against the requested hash before use.
+	TraceFetch TraceFetchFunc
+	// MaxBody caps HTTP request bodies on the JSON API routes (bytes;
+	// default 8 MiB). MaxTraceBody is the separate, larger cap for raw
+	// trace uploads on POST /v1/traces (default 256 MiB).
+	MaxBody      int64
+	MaxTraceBody int64
 }
 
 // Scheduler runs JobSpecs through a pluggable execution Backend — by
@@ -165,6 +179,12 @@ type Scheduler struct {
 	backend *MultiBackend
 	cache   *resultCache
 	store   *resultStore // nil without Config.DataDir
+	traces  *traceStore  // always non-nil; memory-only without Config.DataDir
+
+	// maxBody / maxTraceBody are the HTTP request-body caps the handler
+	// enforces (Config.MaxBody / Config.MaxTraceBody, defaulted).
+	maxBody      int64
+	maxTraceBody int64
 	// runFn executes one local simulation; tests substitute a stub. The
 	// default LocalBackend reads it through a closure at execution time, so
 	// installing a stub after Open but before the first Submit works.
@@ -222,24 +242,39 @@ func Open(cfg Config) (*Scheduler, error) {
 	if cfg.MaxBatch < 1 {
 		cfg.MaxBatch = 1
 	}
+	if cfg.MaxBody <= 0 {
+		cfg.MaxBody = 8 << 20 // 8 MiB
+	}
+	if cfg.MaxTraceBody <= 0 {
+		cfg.MaxTraceBody = 256 << 20 // 256 MiB
+	}
 	s := &Scheduler{
-		cache:       newResultCache(cfg.CacheSize),
-		runFn:       sim.Run,
-		byID:        make(map[string]*Job),
-		inflight:    make(map[string]*Job),
-		retention:   cfg.JobRetention,
-		maxBatch:    cfg.MaxBatch,
-		sweeps:      make(map[string]*Sweep),
-		janitorStop: make(chan struct{}),
+		cache:        newResultCache(cfg.CacheSize),
+		runFn:        sim.Run,
+		byID:         make(map[string]*Job),
+		inflight:     make(map[string]*Job),
+		retention:    cfg.JobRetention,
+		maxBatch:     cfg.MaxBatch,
+		maxBody:      cfg.MaxBody,
+		maxTraceBody: cfg.MaxTraceBody,
+		sweeps:       make(map[string]*Sweep),
+		janitorStop:  make(chan struct{}),
 	}
 	s.dispatchCtx, s.dispatchCancel = context.WithCancel(context.Background())
+	traceDir := ""
 	if cfg.DataDir != "" {
 		store, err := newResultStore(cfg.DataDir)
 		if err != nil {
 			return nil, err
 		}
 		s.store = store
+		traceDir = filepath.Join(cfg.DataDir, "traces")
 	}
+	traces, err := newTraceStore(traceDir, cfg.TraceFetch)
+	if err != nil {
+		return nil, err
+	}
+	s.traces = traces
 	base := cfg.Backend
 	if base == nil {
 		// The closure defers the runFn read to execution time (test stubs).
@@ -252,6 +287,7 @@ func Open(cfg Config) (*Scheduler, error) {
 	}
 	s.backend.maxBatch = s.maxBatch
 	s.backend.onChange = s.wake
+	s.backend.setWorkloadResolver(s.resolveWorkload)
 	s.cond = sync.NewCond(&s.mu)
 	s.wg.Add(1)
 	go s.dispatch()
@@ -317,9 +353,30 @@ func Default() *Scheduler {
 	return defaultSch
 }
 
+// resolveWorkload maps a canonical workload name to its Spec: suite names
+// through the built-in registry, "trace:<hash>" references through the trace
+// store (fetching by hash when the store has a fetch path). It is the
+// WorkloadResolver the local backend executes with.
+func (s *Scheduler) resolveWorkload(name string) (*workload.Spec, error) {
+	if workload.IsTraceName(name) {
+		h, err := workload.TraceHash(name)
+		if err != nil {
+			return nil, err
+		}
+		return s.traces.Resolve(h)
+	}
+	return workload.ByName(name)
+}
+
+// Traces exposes the scheduler's trace store to the HTTP layer and tools.
+func (s *Scheduler) Traces() *traceStore { return s.traces }
+
 // Submit validates spec, assigns a job ID and either enqueues the work or
 // resolves it immediately from the result cache. Submitting a spec whose
 // hash matches a job still queued or running returns that existing job.
+// A trace-referenced spec is resolved up front — on a worker this is what
+// triggers the fetch-by-hash from the server — so a job for an unavailable
+// trace fails at submission (ErrTraceUnavailable) rather than mid-dispatch.
 func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
 	canonical, err := spec.Canonical()
 	if err != nil {
@@ -328,6 +385,11 @@ func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
 	hash, err := canonical.Hash()
 	if err != nil {
 		return nil, err
+	}
+	if workload.IsTraceName(canonical.Workload) {
+		if _, err := s.resolveWorkload(canonical.Workload); err != nil {
+			return nil, err
+		}
 	}
 
 	s.mu.Lock()

@@ -1,0 +1,406 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"constable/internal/workload"
+)
+
+// ErrTraceUnavailable marks a trace-referenced job whose trace bytes could
+// not be produced: not in the local store and either no fetch path or the
+// fetch failed. Worker handlers map it to a requeue (the server may still
+// have the trace; another worker or the local pool can run the job), not a
+// terminal job failure.
+var ErrTraceUnavailable = errors.New("trace unavailable")
+
+// TraceFetchFunc retrieves raw trace bytes by content hash from elsewhere —
+// workers install one that downloads from the server. The returned bytes are
+// verified against the requested hash before use, so a fetch path cannot
+// inject a different stream than the one the job's content hash pinned.
+type TraceFetchFunc func(hash string) ([]byte, error)
+
+// TraceInfo describes one stored trace.
+type TraceInfo struct {
+	// Hash is the sha256 of the raw trace bytes; Name is the workload
+	// reference ("trace:<hash>") accepted by job and sweep specs.
+	Hash string `json:"hash"`
+	Name string `json:"name"`
+	// Bytes is the encoded size on disk/in memory.
+	Bytes int64 `json:"bytes"`
+	// Instructions, Loads and Stores summarize the decoded stream.
+	Instructions uint64 `json:"instructions"`
+	Loads        uint64 `json:"loads"`
+	Stores       uint64 `json:"stores"`
+	// UploadedAt is when this store first saw the trace (UTC). Zero for
+	// entries installed by a fetch rather than an upload.
+	UploadedAt time.Time `json:"uploaded_at,omitzero"`
+}
+
+// traceSpecCacheSize bounds how many resolved trace-backed workload Specs
+// stay pinned in memory. Each resolved Spec holds the full decoded trace
+// bytes, so this is a real memory bound, not a tuning nicety.
+const traceSpecCacheSize = 8
+
+// traceStore is the content-addressed trace blob store: raw trace streams
+// keyed by their sha256, sharded on disk as dir/<hash[:2]>/<hash>.trace with
+// a <hash>.json metadata sidecar, written via temp file + atomic rename —
+// the same durability discipline as the result store. With an empty dir the
+// store is memory-only (workers, tests). Every byte path is hash-verified:
+// uploads are fully decoded and validated before acceptance, loads and
+// fetches recompute the sha256 against the requested key, so a corrupt or
+// aliased blob can never reach the timing model.
+type traceStore struct {
+	dir   string // "" = memory-only
+	fetch TraceFetchFunc
+
+	mu    sync.Mutex
+	mem   map[string][]byte    // blobs, memory-only mode
+	meta  map[string]TraceInfo // index of stored traces
+	specs map[string]*workload.Spec
+	order []string // specs insertion order, oldest first
+	// fetchOrder tracks fetch-installed entries in a memory-only store
+	// (oldest first) so a long-lived worker's cache of server traces stays
+	// bounded. Direct uploads are never evicted — on a worker they don't
+	// happen, and on a memory-only server they are the user's data.
+	fetchOrder []string
+
+	uploaded, deduped, fetched, deleted, corrupt atomic.Uint64
+}
+
+// newTraceStore opens a store rooted at dir (memory-only when dir is empty),
+// sweeping orphaned temp files and rebuilding the metadata index from the
+// sidecars of prior runs.
+func newTraceStore(dir string, fetch TraceFetchFunc) (*traceStore, error) {
+	ts := &traceStore{
+		dir:   dir,
+		fetch: fetch,
+		mem:   make(map[string][]byte),
+		meta:  make(map[string]TraceInfo),
+		specs: make(map[string]*workload.Spec),
+	}
+	if dir == "" {
+		return ts, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("service: trace store: %w", err)
+	}
+	filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return nil
+		}
+		if strings.HasPrefix(d.Name(), ".") && strings.Contains(d.Name(), ".tmp") {
+			os.Remove(path)
+			return nil
+		}
+		if filepath.Ext(path) != ".json" {
+			return nil
+		}
+		b, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return nil
+		}
+		var info TraceInfo
+		if json.Unmarshal(b, &info) != nil || info.Hash == "" ||
+			strings.TrimSuffix(d.Name(), ".json") != info.Hash {
+			ts.corrupt.Add(1)
+			return nil
+		}
+		ts.meta[info.Hash] = info
+		return nil
+	})
+	return ts, nil
+}
+
+func (ts *traceStore) blobPath(hash string) string {
+	shard := "xx"
+	if len(hash) >= 2 {
+		shard = hash[:2]
+	}
+	return filepath.Join(ts.dir, shard, hash+".trace")
+}
+
+func (ts *traceStore) metaPath(hash string) string {
+	return strings.TrimSuffix(ts.blobPath(hash), ".trace") + ".json"
+}
+
+// Put validates data as a trace stream and stores it under its content
+// hash. Re-uploading an already-stored trace is an idempotent no-op:
+// existed reports true and the original metadata is returned unchanged.
+func (ts *traceStore) Put(data []byte) (TraceInfo, bool, error) {
+	spec, err := workload.FromTraceBytes(data)
+	if err != nil {
+		return TraceInfo{}, false, err
+	}
+	hash, _ := workload.TraceHash(spec.Name)
+	loads, stores := spec.TraceCounts()
+
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if info, ok := ts.meta[hash]; ok {
+		ts.deduped.Add(1)
+		return info, true, nil
+	}
+	info := TraceInfo{
+		Hash:         hash,
+		Name:         spec.Name,
+		Bytes:        int64(len(data)),
+		Instructions: spec.TraceInstructions(),
+		Loads:        loads,
+		Stores:       stores,
+		UploadedAt:   time.Now().UTC().Truncate(time.Second),
+	}
+	if err := ts.persistLocked(hash, data, info); err != nil {
+		return TraceInfo{}, false, err
+	}
+	ts.meta[hash] = info
+	ts.cacheSpecLocked(hash, spec)
+	ts.uploaded.Add(1)
+	return info, false, nil
+}
+
+// persistLocked stores the blob and its metadata sidecar. Blob first: a
+// crash between the two writes leaves a blob without an index entry (swept
+// as unreferenced on the next corrupt read), never an index entry whose
+// blob is missing.
+func (ts *traceStore) persistLocked(hash string, data []byte, info TraceInfo) error {
+	if ts.dir == "" {
+		ts.mem[hash] = data
+		return nil
+	}
+	if err := writeFileAtomic(ts.blobPath(hash), data); err != nil {
+		return fmt.Errorf("service: trace store write %s: %w", hash, err)
+	}
+	mb, err := json.Marshal(info)
+	if err != nil {
+		return fmt.Errorf("service: trace store encode %s: %w", hash, err)
+	}
+	if err := writeFileAtomic(ts.metaPath(hash), mb); err != nil {
+		return fmt.Errorf("service: trace store write %s: %w", hash, err)
+	}
+	return nil
+}
+
+// writeFileAtomic writes data to path via a temp file in the destination
+// directory and an atomic rename.
+func writeFileAtomic(path string, data []byte) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// Get returns the raw bytes of a locally-stored trace, re-verifying the
+// content hash so bit rot or an aliased file (copied across shards) is
+// rejected rather than served. It does not consult the fetch path.
+func (ts *traceStore) Get(hash string) ([]byte, error) {
+	ts.mu.Lock()
+	_, known := ts.meta[hash]
+	data, inMem := ts.mem[hash]
+	ts.mu.Unlock()
+
+	if ts.dir == "" {
+		if !inMem {
+			return nil, fmt.Errorf("service: trace %s not in store: %w", hash, ErrTraceUnavailable)
+		}
+	} else {
+		if !known {
+			return nil, fmt.Errorf("service: trace %s not in store: %w", hash, ErrTraceUnavailable)
+		}
+		var err error
+		if data, err = os.ReadFile(ts.blobPath(hash)); err != nil {
+			ts.corrupt.Add(1)
+			return nil, fmt.Errorf("service: trace %s blob unreadable: %w", hash, ErrTraceUnavailable)
+		}
+	}
+	sum := sha256.Sum256(data)
+	if hex.EncodeToString(sum[:]) != hash {
+		ts.corrupt.Add(1)
+		return nil, fmt.Errorf("service: trace %s blob corrupt (content hash mismatch): %w", hash, ErrTraceUnavailable)
+	}
+	ts.fetched.Add(1)
+	return data, nil
+}
+
+// Resolve returns the trace-backed workload Spec for hash, decoding from
+// the local store or, failing that, through the fetch path. Fetched bytes
+// are verified against the requested hash — envelope-style alias defense —
+// and installed locally so repeated jobs against the same trace decode once.
+func (ts *traceStore) Resolve(hash string) (*workload.Spec, error) {
+	ts.mu.Lock()
+	if spec, ok := ts.specs[hash]; ok {
+		ts.mu.Unlock()
+		return spec, nil
+	}
+	ts.mu.Unlock()
+
+	data, err := ts.Get(hash)
+	if err != nil {
+		if ts.fetch == nil {
+			return nil, err
+		}
+		data, err = ts.fetch(hash)
+		if err != nil {
+			return nil, fmt.Errorf("service: trace %s fetch: %v: %w", hash, err, ErrTraceUnavailable)
+		}
+	}
+	spec, err := workload.FromTraceBytes(data)
+	if err != nil {
+		ts.corrupt.Add(1)
+		return nil, fmt.Errorf("service: trace %s: %v: %w", hash, err, ErrTraceUnavailable)
+	}
+	if got, _ := workload.TraceHash(spec.Name); got != hash {
+		// The bytes decode fine but are not the stream the job's content
+		// hash pinned — a lying or confused fetch source. Reject.
+		ts.corrupt.Add(1)
+		return nil, fmt.Errorf("service: trace fetch returned %s, want %s: %w", got, hash, ErrTraceUnavailable)
+	}
+
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if cached, ok := ts.specs[hash]; ok { // raced with another resolver
+		return cached, nil
+	}
+	if _, ok := ts.meta[hash]; !ok {
+		loads, stores := spec.TraceCounts()
+		info := TraceInfo{
+			Hash: hash, Name: spec.Name, Bytes: int64(len(data)),
+			Instructions: spec.TraceInstructions(), Loads: loads, Stores: stores,
+		}
+		if err := ts.persistLocked(hash, data, info); err == nil {
+			ts.meta[hash] = info
+			if ts.dir == "" {
+				ts.fetchOrder = append(ts.fetchOrder, hash)
+				for len(ts.fetchOrder) > 2*traceSpecCacheSize {
+					old := ts.fetchOrder[0]
+					ts.fetchOrder = ts.fetchOrder[1:]
+					delete(ts.mem, old)
+					delete(ts.meta, old)
+				}
+			}
+		}
+	}
+	ts.cacheSpecLocked(hash, spec)
+	return spec, nil
+}
+
+// cacheSpecLocked pins a resolved Spec, evicting the oldest beyond the cap.
+func (ts *traceStore) cacheSpecLocked(hash string, spec *workload.Spec) {
+	if _, ok := ts.specs[hash]; ok {
+		return
+	}
+	ts.specs[hash] = spec
+	ts.order = append(ts.order, hash)
+	for len(ts.order) > traceSpecCacheSize {
+		delete(ts.specs, ts.order[0])
+		ts.order = ts.order[1:]
+	}
+}
+
+// List returns all stored traces, newest upload first (ties by hash).
+func (ts *traceStore) List() []TraceInfo {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	out := make([]TraceInfo, 0, len(ts.meta))
+	for _, info := range ts.meta {
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].UploadedAt.Equal(out[j].UploadedAt) {
+			return out[i].UploadedAt.After(out[j].UploadedAt)
+		}
+		return out[i].Hash < out[j].Hash
+	})
+	return out
+}
+
+// Info returns the metadata for one stored trace.
+func (ts *traceStore) Info(hash string) (TraceInfo, bool) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	info, ok := ts.meta[hash]
+	return info, ok
+}
+
+// Delete removes a stored trace. It reports whether the trace existed.
+func (ts *traceStore) Delete(hash string) (bool, error) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if _, ok := ts.meta[hash]; !ok {
+		if _, inMem := ts.mem[hash]; !inMem {
+			return false, nil
+		}
+	}
+	delete(ts.mem, hash)
+	delete(ts.meta, hash)
+	if _, ok := ts.specs[hash]; ok {
+		delete(ts.specs, hash)
+		for i, h := range ts.order {
+			if h == hash {
+				ts.order = append(ts.order[:i], ts.order[i+1:]...)
+				break
+			}
+		}
+	}
+	if ts.dir != "" {
+		if err := os.Remove(ts.blobPath(hash)); err != nil && !os.IsNotExist(err) {
+			return true, fmt.Errorf("service: trace store delete %s: %w", hash, err)
+		}
+		if err := os.Remove(ts.metaPath(hash)); err != nil && !os.IsNotExist(err) {
+			return true, fmt.Errorf("service: trace store delete %s: %w", hash, err)
+		}
+	}
+	ts.deleted.Add(1)
+	return true, nil
+}
+
+// traceStoreStats is a point-in-time view of the store's counters.
+type traceStoreStats struct {
+	uploaded, deduped, fetched, deleted, corrupt uint64
+	stored                                       int
+	bytes                                        int64
+}
+
+func (ts *traceStore) Stats() traceStoreStats {
+	st := traceStoreStats{
+		uploaded: ts.uploaded.Load(),
+		deduped:  ts.deduped.Load(),
+		fetched:  ts.fetched.Load(),
+		deleted:  ts.deleted.Load(),
+		corrupt:  ts.corrupt.Load(),
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	st.stored = len(ts.meta)
+	for _, info := range ts.meta {
+		st.bytes += info.Bytes
+	}
+	return st
+}

@@ -1,0 +1,492 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"constable/internal/fsim"
+	"constable/internal/trace"
+	"constable/internal/workload"
+)
+
+// testTraceBytes captures n instructions of a small suite workload as a
+// serialized trace.
+func testTraceBytes(t *testing.T, n uint64) []byte {
+	t.Helper()
+	spec := workload.SmallSuite()[0]
+	cpu, err := spec.NewCPU(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := trace.Capture(&buf, fsim.NewStream(cpu, n), n); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestTraceStoreMemoryLifecycle(t *testing.T) {
+	ts, err := newTraceStore("", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := testTraceBytes(t, 500)
+
+	info, existed, err := ts.Put(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if existed {
+		t.Fatal("first Put reported existed")
+	}
+	if info.Instructions != 500 || info.Bytes != int64(len(data)) {
+		t.Fatalf("info = %+v", info)
+	}
+	if info.UploadedAt.IsZero() {
+		t.Error("upload must stamp UploadedAt")
+	}
+
+	// Re-upload dedups: same metadata, existed=true, counter bumped.
+	again, existed, err := ts.Put(append([]byte{}, data...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !existed || again != info {
+		t.Fatalf("re-Put: existed=%v info=%+v, want dedup of %+v", existed, again, info)
+	}
+	if st := ts.Stats(); st.uploaded != 1 || st.deduped != 1 || st.stored != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	got, err := ts.Get(info.Hash)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("Get: %v (equal=%v)", err, bytes.Equal(got, data))
+	}
+	if _, err := ts.Get(strings.Repeat("00", 32)); !errors.Is(err, ErrTraceUnavailable) {
+		t.Fatalf("Get unknown: %v, want ErrTraceUnavailable", err)
+	}
+
+	spec, err := ts.Resolve(info.Hash)
+	if err != nil || spec.Name != info.Name {
+		t.Fatalf("Resolve: %v (name %q)", err, spec.Name)
+	}
+
+	existedDel, err := ts.Delete(info.Hash)
+	if err != nil || !existedDel {
+		t.Fatalf("Delete: existed=%v err=%v", existedDel, err)
+	}
+	if _, err := ts.Get(info.Hash); !errors.Is(err, ErrTraceUnavailable) {
+		t.Fatalf("Get after delete: %v", err)
+	}
+	if existedDel, err := ts.Delete(info.Hash); err != nil || existedDel {
+		t.Fatalf("second Delete: existed=%v err=%v", existedDel, err)
+	}
+}
+
+func TestTraceStoreRejectsInvalidBytes(t *testing.T) {
+	ts, _ := newTraceStore("", nil)
+	for name, bad := range map[string][]byte{
+		"empty":     nil,
+		"garbage":   []byte("not a trace at all"),
+		"truncated": testTraceBytes(t, 100)[:20],
+	} {
+		if _, _, err := ts.Put(bad); err == nil {
+			t.Errorf("%s: Put accepted invalid bytes", name)
+		}
+	}
+}
+
+func TestTraceStorePersistsAcrossOpens(t *testing.T) {
+	dir := t.TempDir()
+	data := testTraceBytes(t, 400)
+
+	ts1, err := newTraceStore(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, _, err := ts1.Put(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop an orphaned temp file; reopening must sweep it.
+	orphan := ts1.blobPath(info.Hash) + ".orphan"
+	os.WriteFile(strings.TrimSuffix(orphan, ".orphan")+".tmp123", []byte("junk"), 0o644)
+	os.Rename(strings.TrimSuffix(orphan, ".orphan")+".tmp123",
+		ts1.blobPath(info.Hash)[:len(ts1.blobPath(info.Hash))-len(info.Hash+".trace")]+"."+info.Hash+".trace.tmp123")
+
+	ts2, err := newTraceStore(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := ts2.Info(info.Hash)
+	if !ok || got != info {
+		t.Fatalf("reopened store lost metadata: ok=%v %+v vs %+v", ok, got, info)
+	}
+	b, err := ts2.Get(info.Hash)
+	if err != nil || !bytes.Equal(b, data) {
+		t.Fatalf("reopened Get: %v", err)
+	}
+	if spec, err := ts2.Resolve(info.Hash); err != nil || spec.TraceInstructions() != 400 {
+		t.Fatalf("reopened Resolve: %v", err)
+	}
+	// Dedup works against the rebuilt index too.
+	if _, existed, err := ts2.Put(data); err != nil || !existed {
+		t.Fatalf("reopened Put: existed=%v err=%v", existed, err)
+	}
+}
+
+func TestTraceStoreCorruptBlobRejected(t *testing.T) {
+	dir := t.TempDir()
+	ts, _ := newTraceStore(dir, nil)
+	info, _, err := ts.Put(testTraceBytes(t, 300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte of the stored blob: the content hash no longer matches.
+	path := ts.blobPath(info.Hash)
+	b, _ := os.ReadFile(path)
+	b[len(b)/2] ^= 0xFF
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ts.Get(info.Hash); !errors.Is(err, ErrTraceUnavailable) {
+		t.Fatalf("Get of corrupt blob: %v, want ErrTraceUnavailable", err)
+	}
+	if st := ts.Stats(); st.corrupt == 0 {
+		t.Error("corruption not counted")
+	}
+}
+
+func TestTraceStoreFetchVerifiesHash(t *testing.T) {
+	right := testTraceBytes(t, 200)
+	wrong := testTraceBytes(t, 201) // valid trace, different content hash
+	rightSpec, err := workload.FromTraceBytes(append([]byte{}, right...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rightHash, _ := workload.TraceHash(rightSpec.Name)
+
+	// A fetch source that returns different (but well-formed) bytes than the
+	// requested hash pinned must be rejected — content addressing is the
+	// integrity envelope.
+	lying, _ := newTraceStore("", func(hash string) ([]byte, error) {
+		return wrong, nil
+	})
+	if _, err := lying.Resolve(rightHash); !errors.Is(err, ErrTraceUnavailable) {
+		t.Fatalf("Resolve via lying fetch: %v, want ErrTraceUnavailable", err)
+	}
+	if st := lying.Stats(); st.corrupt == 0 {
+		t.Error("hash-mismatched fetch not counted as corrupt")
+	}
+
+	// An honest fetch resolves and installs the trace locally.
+	var calls int
+	honest, _ := newTraceStore("", func(hash string) ([]byte, error) {
+		calls++
+		return right, nil
+	})
+	spec, err := honest.Resolve(rightHash)
+	if err != nil || spec.TraceInstructions() != 200 {
+		t.Fatalf("Resolve via honest fetch: %v", err)
+	}
+	if _, err := honest.Resolve(rightHash); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("fetch called %d times, want 1 (install + cache)", calls)
+	}
+
+	// A failing fetch surfaces as ErrTraceUnavailable.
+	broken, _ := newTraceStore("", func(hash string) ([]byte, error) {
+		return nil, errors.New("connection refused")
+	})
+	if _, err := broken.Resolve(rightHash); !errors.Is(err, ErrTraceUnavailable) {
+		t.Fatalf("Resolve via broken fetch: %v, want ErrTraceUnavailable", err)
+	}
+}
+
+func TestJobSpecTraceCanonical(t *testing.T) {
+	name := workload.TraceNamePrefix + strings.Repeat("ab", 32)
+	spec := JobSpec{Workload: name, Mechanism: "constable", Instructions: 1000, APX: true}
+	c, err := spec.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.APX {
+		t.Error("trace replay is APX-agnostic; Canonical must clear APX for dedup")
+	}
+	h1, err := spec.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := JobSpec{Workload: name, Mechanism: "constable", Instructions: 1000}.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Error("APX flag leaked into a trace job's content hash")
+	}
+
+	for _, bad := range []string{
+		workload.TraceNamePrefix + "deadbeef",
+		workload.TraceNamePrefix + strings.Repeat("XY", 32),
+	} {
+		if _, err := (JobSpec{Workload: bad, Instructions: 1000}).Canonical(); err == nil {
+			t.Errorf("Canonical accepted malformed trace reference %q", bad)
+		}
+	}
+}
+
+func TestAPITraceUploadLifecycle(t *testing.T) {
+	srv, _ := newTestServer(t, Config{Workers: 1}, nil)
+	data := testTraceBytes(t, 800)
+
+	upload := func() (int, TraceInfo, bool) {
+		resp, err := http.Post(srv.URL+"/v1/traces", "application/octet-stream", bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var v struct {
+			TraceInfo
+			Dedup bool `json:"dedup"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, v.TraceInfo, v.Dedup
+	}
+
+	code, info, dedup := upload()
+	if code != http.StatusCreated || dedup {
+		t.Fatalf("first upload: status %d dedup %v, want 201 new", code, dedup)
+	}
+	if info.Name != workload.TraceNamePrefix+info.Hash || info.Instructions != 800 {
+		t.Fatalf("upload response %+v", info)
+	}
+
+	// Idempotent re-upload dedups with 200.
+	code, again, dedup := upload()
+	if code != http.StatusOK || !dedup || again.Hash != info.Hash {
+		t.Fatalf("re-upload: status %d dedup %v hash %s", code, dedup, again.Hash)
+	}
+
+	// Listed under /v1/traces.
+	resp, err := http.Get(srv.URL + "/v1/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []TraceInfo
+	json.NewDecoder(resp.Body).Decode(&list)
+	resp.Body.Close()
+	if len(list) != 1 || list[0].Hash != info.Hash {
+		t.Fatalf("trace list = %+v", list)
+	}
+
+	// Raw download round-trips the exact bytes.
+	resp, err = http.Get(srv.URL + "/v1/traces/" + info.Hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(raw, data) {
+		t.Fatalf("download: status %d, %d bytes (want %d)", resp.StatusCode, len(raw), len(data))
+	}
+
+	// /v1/workloads lists the uploaded trace alongside the suite, with the
+	// instruction count and upload time.
+	resp, err = http.Get(srv.URL + "/v1/workloads")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wls []struct {
+		Name         string    `json:"name"`
+		Category     string    `json:"category"`
+		Hash         string    `json:"hash"`
+		Instructions uint64    `json:"instructions"`
+		UploadedAt   time.Time `json:"uploaded_at"`
+	}
+	json.NewDecoder(resp.Body).Decode(&wls)
+	resp.Body.Close()
+	found := false
+	for _, w := range wls {
+		if w.Name == info.Name {
+			found = true
+			if w.Category != string(workload.Trace) || w.Hash != info.Hash ||
+				w.Instructions != 800 || w.UploadedAt.IsZero() {
+				t.Fatalf("workload entry for trace = %+v", w)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("GET /v1/workloads does not list uploaded trace %s (got %d entries)", info.Name, len(wls))
+	}
+
+	// Server-side analysis endpoint reports on the uploaded stream.
+	resp, err = http.Get(srv.URL + "/v1/traces/" + info.Hash + "/analysis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var analysis struct {
+		Hash                 string          `json:"hash"`
+		Name                 string          `json:"name"`
+		GlobalStableFraction float64         `json:"global_stable_fraction"`
+		Report               json.RawMessage `json:"report"`
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("analysis: status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &analysis); err != nil {
+		t.Fatal(err)
+	}
+	if analysis.Hash != info.Hash || len(analysis.Report) == 0 {
+		t.Fatalf("analysis = %+v", analysis)
+	}
+
+	// Delete, then every read of it 404s.
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/traces/"+info.Hash, nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete: status %d", resp.StatusCode)
+	}
+	for _, path := range []string{"/v1/traces/" + info.Hash, "/v1/traces/" + info.Hash + "/analysis"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("GET %s after delete: status %d, want 404", path, resp.StatusCode)
+		}
+	}
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("second delete: status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestAPITraceUploadRejectsGarbage(t *testing.T) {
+	srv, _ := newTestServer(t, Config{Workers: 1}, nil)
+	resp, err := http.Post(srv.URL+"/v1/traces", "application/octet-stream",
+		strings.NewReader("definitely not a trace"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage upload: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestAPIBodyLimits(t *testing.T) {
+	srv, _ := newTestServer(t, Config{Workers: 1, MaxBody: 256, MaxTraceBody: 1024}, nil)
+
+	// An oversized trace upload is cut off with 413, not stored.
+	big := testTraceBytes(t, 2000)
+	if len(big) <= 1024 {
+		t.Fatalf("test trace only %d bytes; raise n", len(big))
+	}
+	resp, err := http.Post(srv.URL+"/v1/traces", "application/octet-stream", bytes.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized trace: status %d (%s), want 413", resp.StatusCode, body)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+		t.Fatalf("413 response is not a JSON error: %q", body)
+	}
+
+	// JSON endpoints enforce the (smaller) JSON limit.
+	huge := fmt.Sprintf(`{"workload":%q,"instructions":1000,"mechanism":"%s"}`,
+		testWorkload(t), strings.Repeat("x", 512))
+	resp, err = http.Post(srv.URL+"/v1/runs", "application/json", strings.NewReader(huge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized run spec: status %d, want 413", resp.StatusCode)
+	}
+
+	// Within limits everything still works.
+	small := testTraceBytes(t, 20)
+	if len(small) > 1024 {
+		t.Skipf("small trace unexpectedly %d bytes", len(small))
+	}
+	resp, err = http.Post(srv.URL+"/v1/traces", "application/octet-stream", bytes.NewReader(small))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("in-limit upload: status %d, want 201", resp.StatusCode)
+	}
+}
+
+func TestAPITraceReferencedRun(t *testing.T) {
+	srv, _ := newTestServer(t, Config{Workers: 2}, nil)
+	data := testTraceBytes(t, 3000)
+
+	resp, err := http.Post(srv.URL+"/v1/traces", "application/octet-stream", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info TraceInfo
+	json.NewDecoder(resp.Body).Decode(&info)
+	resp.Body.Close()
+
+	// A run referencing the uploaded trace executes the real timing model
+	// over the replayed stream.
+	spec := JobSpec{Workload: info.Name, Mechanism: "baseline", Instructions: 3000}
+	resp = postJSON(t, srv.URL+"/v1/runs?wait=1", spec)
+	job := decodeJob(t, resp)
+	if job.Status != StatusDone {
+		t.Fatalf("trace job: status %s (error %q)", job.Status, job.Error)
+	}
+	if job.Result == nil || job.Result.Counters["pipeline.retired"] != 3000 || job.Result.Cycles == 0 {
+		t.Fatalf("trace job result = %+v", job.Result)
+	}
+
+	// The same job against a shorter budget retires min(budget, trace len).
+	short := JobSpec{Workload: info.Name, Mechanism: "baseline", Instructions: 100_000}
+	resp = postJSON(t, srv.URL+"/v1/runs?wait=1", short)
+	job = decodeJob(t, resp)
+	if job.Status != StatusDone || job.Result.Counters["pipeline.retired"] != 3000 {
+		t.Fatalf("over-budget trace job: status %s retired %d, want done/3000",
+			job.Status, job.Result.Counters["pipeline.retired"])
+	}
+
+	// Referencing a trace nobody uploaded fails at submission with 404.
+	missing := JobSpec{Workload: workload.TraceNamePrefix + strings.Repeat("11", 32),
+		Mechanism: "baseline", Instructions: 1000}
+	resp = postJSON(t, srv.URL+"/v1/runs", missing)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown trace submit: status %d, want 404", resp.StatusCode)
+	}
+}

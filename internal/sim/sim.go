@@ -25,7 +25,6 @@ import (
 
 	"constable/internal/cache"
 	"constable/internal/constable"
-	"constable/internal/fsim"
 	"constable/internal/inspector"
 	"constable/internal/pipeline"
 	"constable/internal/power"
@@ -210,20 +209,28 @@ type stableKey struct {
 }
 
 // StableAnalysis runs the Load Inspector pre-pass over the first n
-// instructions of the workload and returns the analysis (memoized).
+// instructions of the workload and returns the analysis (memoized). Trace
+// names are content hashes, so the (name, apx, n) memo key stays sound for
+// trace-backed specs.
 func StableAnalysis(spec *workload.Spec, apx bool, n uint64) (*inspector.Inspector, error) {
 	key := stableKey{spec.Name, apx, n}
 	if v, ok := stableCache.Load(key); ok {
 		return v.(*inspector.Inspector), nil
 	}
-	cpu, err := spec.NewCPU(apx)
+	st, err := spec.NewStream(apx, n)
 	if err != nil {
 		return nil, err
 	}
 	ins := inspector.New()
 	for i := uint64(0); i < n; i++ {
-		d := cpu.Step()
+		d, ok := st.Next()
+		if !ok {
+			break
+		}
 		ins.Observe(&d)
+	}
+	if err := st.Err(); err != nil {
+		return nil, fmt.Errorf("sim %s: stable pre-pass: %w", spec.Name, err)
 	}
 	stableCache.Store(key, ins)
 	return ins, nil
@@ -251,12 +258,14 @@ func Run(opts Options) (*RunResult, error) {
 	}
 
 	streams := make([]pipeline.Stream, opts.Threads)
+	wlStreams := make([]workload.Stream, opts.Threads)
 	for i := range streams {
-		cpu, err := opts.Workload.NewCPU(opts.APX)
+		st, err := opts.Workload.NewStream(opts.APX, opts.Instructions)
 		if err != nil {
 			return nil, err
 		}
-		streams[i] = fsim.NewStream(cpu, opts.Instructions)
+		wlStreams[i] = st
+		streams[i] = st
 	}
 
 	hier := cache.NewHierarchy(cache.DefaultHierarchyConfig())
@@ -270,8 +279,19 @@ func Run(opts Options) (*RunResult, error) {
 	if err := core.Run(maxCycles); err != nil {
 		return nil, fmt.Errorf("sim %s: %w", opts.Workload.Name, err)
 	}
+	for _, ws := range wlStreams {
+		if serr := ws.Err(); serr != nil {
+			return nil, fmt.Errorf("sim %s: %w", opts.Workload.Name, serr)
+		}
+	}
 	st := core.Stats
-	want := opts.Instructions * uint64(opts.Threads)
+	// A trace shorter than the budget ends the stream early; that is the
+	// whole trace replayed, not a deadlock.
+	perThread := opts.Instructions
+	if ti := opts.Workload.TraceInstructions(); ti > 0 && ti < perThread {
+		perThread = ti
+	}
+	want := perThread * uint64(opts.Threads)
 	if st.Retired < want {
 		return nil, fmt.Errorf("sim %s: retired only %d of %d instructions in %d cycles (deadlock?)",
 			opts.Workload.Name, st.Retired, want, st.Cycles)

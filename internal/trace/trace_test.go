@@ -1,4 +1,4 @@
-package trace
+package trace_test
 
 import (
 	"bytes"
@@ -10,6 +10,7 @@ import (
 	"constable/internal/fsim"
 	"constable/internal/isa"
 	"constable/internal/pipeline"
+	"constable/internal/trace"
 	"constable/internal/workload"
 )
 
@@ -26,7 +27,7 @@ func TestRoundTripWorkload(t *testing.T) {
 	}
 
 	var buf bytes.Buffer
-	w, err := NewWriter(&buf)
+	w, err := trace.NewWriter(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +43,7 @@ func TestRoundTripWorkload(t *testing.T) {
 		t.Fatalf("count = %d", w.Count())
 	}
 
-	r, err := NewReader(&buf)
+	r, err := trace.NewReader(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +69,7 @@ func TestCompression(t *testing.T) {
 	}
 	var buf bytes.Buffer
 	const n = 10_000
-	count, err := Capture(&buf, fsim.NewStream(cpu, n), n)
+	count, err := trace.Capture(&buf, fsim.NewStream(cpu, n), n)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,10 +108,10 @@ func TestReaderDrivesPipeline(t *testing.T) {
 
 	cpuCap, _ := spec.NewCPU(false)
 	var buf bytes.Buffer
-	if _, err := Capture(&buf, fsim.NewStream(cpuCap, n), n); err != nil {
+	if _, err := trace.Capture(&buf, fsim.NewStream(cpuCap, n), n); err != nil {
 		t.Fatal(err)
 	}
-	r, err := NewReader(&buf)
+	r, err := trace.NewReader(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,10 +125,10 @@ func TestReaderDrivesPipeline(t *testing.T) {
 }
 
 func TestBadMagicRejected(t *testing.T) {
-	if _, err := NewReader(bytes.NewReader([]byte{1, 2, 3, 4, 5})); err == nil {
+	if _, err := trace.NewReader(bytes.NewReader([]byte{1, 2, 3, 4, 5})); err == nil {
 		t.Fatal("garbage header must be rejected")
 	}
-	if _, err := NewReader(bytes.NewReader(nil)); err == nil {
+	if _, err := trace.NewReader(bytes.NewReader(nil)); err == nil {
 		t.Fatal("empty stream must be rejected")
 	}
 }
@@ -136,11 +137,11 @@ func TestTruncatedStreamReported(t *testing.T) {
 	spec := workload.SmallSuite()[0]
 	cpu, _ := spec.NewCPU(false)
 	var buf bytes.Buffer
-	if _, err := Capture(&buf, fsim.NewStream(cpu, 100), 100); err != nil {
+	if _, err := trace.Capture(&buf, fsim.NewStream(cpu, 100), 100); err != nil {
 		t.Fatal(err)
 	}
 	trunc := buf.Bytes()[:buf.Len()-3]
-	r, err := NewReader(bytes.NewReader(trunc))
+	r, err := trace.NewReader(bytes.NewReader(trunc))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,7 +195,7 @@ func TestRoundTripProperty(t *testing.T) {
 			seq += 1 + s%3
 		}
 		var buf bytes.Buffer
-		w, err := NewWriter(&buf)
+		w, err := trace.NewWriter(&buf)
 		if err != nil {
 			return false
 		}
@@ -206,7 +207,7 @@ func TestRoundTripProperty(t *testing.T) {
 		if w.Flush() != nil {
 			return false
 		}
-		r, err := NewReader(&buf)
+		r, err := trace.NewReader(&buf)
 		if err != nil {
 			return false
 		}

@@ -1,0 +1,173 @@
+package worker
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"constable/internal/fsim"
+	"constable/internal/service"
+	"constable/internal/trace"
+	"constable/internal/workload"
+)
+
+// captureTestTrace serializes n instructions of a small suite workload.
+func captureTestTrace(t testing.TB, n uint64) []byte {
+	t.Helper()
+	spec := workload.SmallSuite()[0]
+	cpu, err := spec.NewCPU(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := trace.Capture(&buf, fsim.NewStream(cpu, n), n); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestTraceSweepDistributedMatchesLocal uploads a trace to a dispatch-only
+// server, sweeps a matrix referencing it across two remote workers (which
+// hold no trace bytes — they must fetch from the server by hash), and
+// requires the artifacts to be byte-identical to a single-process run of the
+// same matrix. This is the end-to-end acceptance path for trace-referenced
+// jobs: upload → sweep → worker fetch-by-hash → verified replay.
+func TestTraceSweepDistributedMatchesLocal(t *testing.T) {
+	s, ts := startServer(t)
+	startWorkerNode(t, ts.URL, "w1", 2)
+	startWorkerNode(t, ts.URL, "w2", 2)
+
+	data := captureTestTrace(t, 4000)
+	resp, err := http.Post(ts.URL+"/v1/traces", "application/octet-stream", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info service.TraceInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload status %d", resp.StatusCode)
+	}
+
+	// Mix trace-referenced and suite cells across mechanisms, as a real
+	// bring-your-own-workload comparison sweep would.
+	matrix := [][]service.JobSpec{
+		{
+			{Workload: info.Name, Mechanism: "baseline", Instructions: 4000},
+			{Workload: info.Name, Mechanism: "constable", Instructions: 4000},
+		},
+		{
+			{Workload: workload.SmallSuite()[0].Name, Mechanism: "baseline", Instructions: 4000},
+			{Workload: workload.SmallSuite()[0].Name, Mechanism: "constable", Instructions: 4000},
+		},
+	}
+	distributed := runSweepCollect(t, s, matrix)
+
+	local, err := service.Open(service.Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { local.Close() })
+	if _, _, err := local.Traces().Put(data); err != nil {
+		t.Fatal(err)
+	}
+	reference := runSweepCollect(t, local, matrix)
+
+	if len(distributed) != len(reference) {
+		t.Fatalf("distributed produced %d cells, local %d", len(distributed), len(reference))
+	}
+	for key, want := range reference {
+		if got := distributed[key]; string(got) != string(want) {
+			t.Errorf("cell %s: trace-referenced artifact differs between distributed and local runs\n got: %.200s\nwant: %.200s",
+				key, got, want)
+		}
+	}
+
+	// The workers held no trace bytes, so the server must have served the
+	// blob at least once (each hash-verified read counts as a fetch).
+	m := s.Metrics()
+	if m.TracesUploaded != 1 {
+		t.Errorf("traces_uploaded = %d, want 1", m.TracesUploaded)
+	}
+	if m.TracesFetched == 0 {
+		t.Error("traces_fetched = 0; workers cannot have fetched the trace from the server")
+	}
+}
+
+// TestWorkerRejectsTraceFetchHashMismatch exercises the fetch-side alias
+// defense: a worker whose server answers a trace download with different
+// (but well-formed) bytes than the requested hash must refuse to run the
+// job — answering 503 so the dispatcher requeues it — rather than simulate
+// a stream the job's content hash never pinned.
+func TestWorkerRejectsTraceFetchHashMismatch(t *testing.T) {
+	right := captureTestTrace(t, 1000)
+	wrong := captureTestTrace(t, 1001)
+	rightSpec, err := workload.FromTraceBytes(append([]byte{}, right...))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A "server" that serves the wrong bytes for every trace download.
+	lying := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, "/v1/traces/") {
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Write(wrong)
+			return
+		}
+		http.NotFound(w, r)
+	}))
+	t.Cleanup(lying.Close)
+
+	w, err := New(Options{Server: lying.URL, Capacity: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { w.Close() })
+	wts := httptest.NewServer(w.Handler())
+	t.Cleanup(wts.Close)
+
+	spec := service.JobSpec{Workload: rightSpec.Name, Mechanism: "baseline", Instructions: 1000}
+	hash, err := spec.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := fmt.Sprintf(`{"hash":%q,"spec":{"workload":%q,"mechanism":"baseline","instructions":1000}}`,
+		hash, rightSpec.Name)
+	resp, err := http.Post(wts.URL+"/execute", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("mismatched trace fetch: HTTP %d, want 503 (requeue, not terminal)", resp.StatusCode)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || !strings.Contains(e.Error, "trace") {
+		t.Errorf("error body = %q, %v", e.Error, err)
+	}
+
+	// The batch path classifies the same condition as requeue-able, never a
+	// terminal per-cell failure.
+	batchBody := fmt.Sprintf(`{"items":[{"hash":%q,"spec":{"workload":%q,"mechanism":"baseline","instructions":1000}}]}`,
+		hash, rightSpec.Name)
+	resp, err = http.Post(wts.URL+"/execute/batch", "application/json", strings.NewReader(batchBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var batch service.BatchExecuteResponse
+	if err := json.NewDecoder(resp.Body).Decode(&batch); err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Items) != 1 || !batch.Items[0].Requeue || batch.Items[0].Error == "" {
+		t.Fatalf("batch items = %+v, want one requeue-able error", batch.Items)
+	}
+}

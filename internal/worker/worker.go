@@ -66,15 +66,24 @@ type Options struct {
 	// custom execution path. Results still flow through the worker's local
 	// scheduler (dedup, LRU) and the envelope protocol.
 	Run func(sim.Options) (*sim.RunResult, error)
+	// MaxBody caps the worker's /execute and /execute/batch request bodies
+	// in bytes (default 64 MiB). Dispatch chunks are JSON-small; the cap
+	// exists so a confused or hostile peer cannot balloon worker memory.
+	MaxBody int64
+	// MaxTraceFetch caps how many bytes a single trace fetch from the
+	// server will read (default 256 MiB, matching the server's default
+	// upload cap).
+	MaxTraceFetch int64
 }
 
 // Worker is one remote execution node. Create with New, expose Handler()
 // on the advertised address, then either call Run (register + heartbeat
 // until the context ends) or drive Register/Deregister manually.
 type Worker struct {
-	opts   Options
-	sched  *service.Scheduler
-	client *http.Client
+	opts        Options
+	sched       *service.Scheduler
+	client      *http.Client
+	traceClient *http.Client
 
 	mu sync.Mutex
 	id string // registered worker ID, "" when unregistered
@@ -92,7 +101,27 @@ func New(opts Options) (*Worker, error) {
 	if opts.Heartbeat <= 0 {
 		opts.Heartbeat = 5 * time.Second
 	}
-	cfg := service.Config{Workers: opts.Capacity, CacheSize: opts.CacheSize}
+	if opts.MaxBody <= 0 {
+		opts.MaxBody = 64 << 20
+	}
+	if opts.MaxTraceFetch <= 0 {
+		opts.MaxTraceFetch = 256 << 20
+	}
+	w := &Worker{
+		opts:   opts,
+		client: &http.Client{Timeout: 10 * time.Second},
+		// Trace downloads move real bytes; give them their own, more
+		// generous transfer budget than the control-plane client.
+		traceClient: &http.Client{Timeout: 2 * time.Minute},
+	}
+	cfg := service.Config{
+		Workers:   opts.Capacity,
+		CacheSize: opts.CacheSize,
+		// The local scheduler resolves "trace:<hash>" workloads by
+		// downloading the bytes from the server; the store verifies the
+		// fetched content hash before any record reaches the pipeline.
+		TraceFetch: w.fetchTrace,
+	}
 	if opts.Run != nil {
 		cfg.Backend = service.NewLocalBackend(opts.Capacity, opts.Run)
 	}
@@ -100,11 +129,31 @@ func New(opts Options) (*Worker, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Worker{
-		opts:   opts,
-		sched:  sched,
-		client: &http.Client{Timeout: 10 * time.Second},
-	}, nil
+	w.sched = sched
+	return w, nil
+}
+
+// fetchTrace downloads one trace's raw bytes from the server by content
+// hash. The caller (the trace store) re-hashes what it gets back, so this
+// only has to move bytes, not trust them.
+func (w *Worker) fetchTrace(hash string) ([]byte, error) {
+	resp, err := w.traceClient.Get(w.opts.Server + "/v1/traces/" + hash)
+	if err != nil {
+		return nil, fmt.Errorf("worker: trace fetch: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("worker: trace fetch %s: HTTP %d: %s", hash, resp.StatusCode, bytes.TrimSpace(b))
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, w.opts.MaxTraceFetch+1))
+	if err != nil {
+		return nil, fmt.Errorf("worker: trace fetch %s: %w", hash, err)
+	}
+	if int64(len(data)) > w.opts.MaxTraceFetch {
+		return nil, fmt.Errorf("worker: trace fetch %s: exceeds %d bytes", hash, w.opts.MaxTraceFetch)
+	}
+	return data, nil
 }
 
 // ID returns the server-assigned worker ID, or "" before registration.
@@ -135,8 +184,7 @@ func (w *Worker) Handler() http.Handler {
 
 func (w *Worker) handleExecute(rw http.ResponseWriter, r *http.Request) {
 	var req service.ExecuteRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(rw, http.StatusBadRequest, map[string]string{"error": "invalid JSON: " + err.Error()})
+	if !w.readJSON(rw, r, &req) {
 		return
 	}
 	hash, err := req.Spec.Hash()
@@ -157,6 +205,13 @@ func (w *Worker) handleExecute(rw http.ResponseWriter, r *http.Request) {
 	j, err := w.sched.Submit(req.Spec)
 	if err != nil {
 		if errors.Is(err, service.ErrShuttingDown) {
+			writeJSON(rw, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
+			return
+		}
+		if errors.Is(err, service.ErrTraceUnavailable) {
+			// This worker couldn't produce the trace bytes (fetch failed,
+			// server hiccup): the worker's condition, not the job's — 503
+			// makes the server requeue the cell on a backend that can.
 			writeJSON(rw, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
 			return
 		}
@@ -206,8 +261,7 @@ func (w *Worker) handleExecute(rw http.ResponseWriter, r *http.Request) {
 // shutting down — fails the request itself.
 func (w *Worker) handleExecuteBatch(rw http.ResponseWriter, r *http.Request) {
 	var req service.BatchExecuteRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(rw, http.StatusBadRequest, map[string]string{"error": "invalid JSON: " + err.Error()})
+	if !w.readJSON(rw, r, &req) {
 		return
 	}
 	if len(req.Items) == 0 {
@@ -250,6 +304,12 @@ func (w *Worker) handleExecuteBatch(rw http.ResponseWriter, r *http.Request) {
 				abandonFrom(0)
 				writeJSON(rw, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
 				return
+			}
+			if errors.Is(err, service.ErrTraceUnavailable) {
+				// This worker couldn't fetch the cell's trace: requeue just
+				// this cell elsewhere, like the single-dispatch 503.
+				items[i] = service.BatchExecuteItem{Error: err.Error(), Requeue: true}
+				continue
 			}
 			items[i] = service.BatchExecuteItem{Error: err.Error()}
 			continue
@@ -436,6 +496,23 @@ func (w *Worker) Run(ctx context.Context) error {
 
 // Close drains the worker's local simulation pool.
 func (w *Worker) Close() error { return w.sched.Close() }
+
+// readJSON decodes a dispatch body under the worker's MaxBody cap, writing
+// 413 (oversized) or 400 (bad JSON) itself and reporting success.
+func (w *Worker) readJSON(rw http.ResponseWriter, r *http.Request, v any) bool {
+	body := http.MaxBytesReader(rw, r.Body, w.opts.MaxBody)
+	if err := json.NewDecoder(body).Decode(v); err != nil {
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			writeJSON(rw, http.StatusRequestEntityTooLarge,
+				map[string]string{"error": fmt.Sprintf("request body exceeds %d bytes", maxErr.Limit)})
+			return false
+		}
+		writeJSON(rw, http.StatusBadRequest, map[string]string{"error": "invalid JSON: " + err.Error()})
+		return false
+	}
+	return true
+}
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")

@@ -33,17 +33,23 @@ const (
 // Categories lists all categories in the paper's plotting order.
 var Categories = []Category{Client, Enterprise, FSPEC17, ISPEC17, Server}
 
-// Spec declares one workload: a named, seeded kernel mix.
+// Spec declares one workload: a named, seeded kernel mix, or a captured
+// instruction trace (see trace.go) when trace is non-nil.
 type Spec struct {
 	Name     string
 	Category Category
 	Seed     int64
 	mixes    []mix
+	trace    *traceBacking
 }
 
 // Build assembles the workload's program. APX selects the 32-register
-// code-generation mode of appendix B.
+// code-generation mode of appendix B. Trace-backed specs have no program to
+// build — replay them through NewStream instead.
 func (s *Spec) Build(apx bool) (*prog.Program, error) {
+	if s.trace != nil {
+		return nil, fmt.Errorf("workload: %s is trace-backed and has no buildable program", s.Name)
+	}
 	rng := rand.New(rand.NewSource(s.Seed))
 	return buildProgram(s.Name, s.mixes, apx, rng)
 }

@@ -1,0 +1,216 @@
+// This file extends the workload vocabulary beyond the built-in synthetic
+// suite: a Spec can be backed by a captured dynamic-instruction trace
+// (internal/trace) instead of a generated kernel mix. Trace-backed specs are
+// content-addressed — their name is "trace:<sha256>" of the raw trace bytes
+// — so the same name always denotes the same instruction stream, and the
+// service layer can fold it into a JobSpec's canonical hash. Uploaded bytes
+// are fully decoded and validated here before a Spec exists, so adversarial
+// uploads can never reach the timing model.
+
+package workload
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+
+	"constable/internal/fsim"
+	"constable/internal/isa"
+	"constable/internal/trace"
+)
+
+// Trace is the category assigned to trace-backed workloads. It is not one of
+// the paper's five suite categories; uploaded traces report it so clients
+// can tell user workloads from the built-in suite.
+const Trace Category = "Trace"
+
+// TraceNamePrefix prefixes the names of trace-backed workloads. The full
+// name is the prefix followed by the lowercase hex sha256 of the raw trace
+// bytes: "trace:<64 hex chars>".
+const TraceNamePrefix = "trace:"
+
+// IsTraceName reports whether name references a trace-backed workload.
+func IsTraceName(name string) bool {
+	return len(name) > len(TraceNamePrefix) && name[:len(TraceNamePrefix)] == TraceNamePrefix
+}
+
+// TraceHash extracts and validates the content hash from a trace workload
+// name. It errors unless the suffix is exactly 64 lowercase hex characters,
+// so a syntactically valid name always denotes one specific byte stream.
+func TraceHash(name string) (string, error) {
+	if !IsTraceName(name) {
+		return "", fmt.Errorf("workload: %q is not a trace reference", name)
+	}
+	h := name[len(TraceNamePrefix):]
+	if len(h) != 64 {
+		return "", fmt.Errorf("workload: trace hash must be 64 hex characters, got %d", len(h))
+	}
+	for _, c := range h {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return "", fmt.Errorf("workload: trace hash contains non-hex character %q", c)
+		}
+	}
+	return h, nil
+}
+
+// traceBacking holds a decoded-and-validated trace behind a Spec. The bytes
+// are owned by the Spec after FromTraceBytes; callers must not mutate them.
+type traceBacking struct {
+	hash   string
+	data   []byte
+	insts  uint64
+	loads  uint64
+	stores uint64
+}
+
+// IsTrace reports whether the spec is trace-backed.
+func (s *Spec) IsTrace() bool { return s.trace != nil }
+
+// TraceInstructions returns the number of records in a trace-backed spec's
+// stream, or 0 for suite workloads (which generate unboundedly).
+func (s *Spec) TraceInstructions() uint64 {
+	if s.trace == nil {
+		return 0
+	}
+	return s.trace.insts
+}
+
+// TraceCounts returns the dynamic load and store counts of a trace-backed
+// spec (0, 0 for suite workloads).
+func (s *Spec) TraceCounts() (loads, stores uint64) {
+	if s.trace == nil {
+		return 0, 0
+	}
+	return s.trace.loads, s.trace.stores
+}
+
+// FromTraceBytes decodes data as an internal/trace stream, validates every
+// record, and returns a trace-backed Spec named "trace:<sha256(data)>". The
+// whole stream is decoded up front: a Spec only exists for traces that are
+// well-formed end to end, so replay can never hit a decode error or an
+// out-of-range operand mid-simulation. The Spec takes ownership of data.
+func FromTraceBytes(data []byte) (*Spec, error) {
+	sum := sha256.Sum256(data)
+	hash := hex.EncodeToString(sum[:])
+
+	r, err := trace.NewReader(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("workload: %w", err)
+	}
+	var insts, loads, stores, prevSeq uint64
+	for {
+		d, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace record %d: %w", insts, err)
+		}
+		if err := validateTraceRecord(&d); err != nil {
+			return nil, fmt.Errorf("workload: trace record %d (pc %#x): %w", insts, d.PC, err)
+		}
+		if insts > 0 && d.Seq <= prevSeq {
+			return nil, fmt.Errorf("workload: trace record %d: sequence number %d not increasing (previous %d)",
+				insts, d.Seq, prevSeq)
+		}
+		prevSeq = d.Seq
+		switch d.Op {
+		case isa.OpLoad:
+			loads++
+		case isa.OpStore:
+			stores++
+		}
+		insts++
+	}
+	if insts == 0 {
+		return nil, errors.New("workload: trace contains no records")
+	}
+	return &Spec{
+		Name:     TraceNamePrefix + hash,
+		Category: Trace,
+		trace:    &traceBacking{hash: hash, data: data, insts: insts, loads: loads, stores: stores},
+	}, nil
+}
+
+// validateTraceRecord bounds-checks one decoded record against the ISA so a
+// hostile trace cannot index the timing model's register-file or predictor
+// arrays out of range, and rejects stream shapes the committed-path replay
+// contract excludes.
+func validateTraceRecord(d *isa.DynInst) error {
+	if d.WrongPath {
+		return errors.New("wrong-path record (traces carry the committed path only)")
+	}
+	if d.Op > isa.OpRet {
+		return fmt.Errorf("unknown opcode %d", d.Op)
+	}
+	if d.Fn > isa.ALUInc {
+		return fmt.Errorf("unknown ALU function %d", d.Fn)
+	}
+	for _, reg := range [...]isa.Reg{d.Dst, d.Src1, d.Src2} {
+		if reg != isa.RegNone && reg >= isa.NumRegsAPX {
+			return fmt.Errorf("register %d out of range", reg)
+		}
+	}
+	if d.Mode > isa.AddrRegRel {
+		return fmt.Errorf("unknown address mode %d", d.Mode)
+	}
+	return nil
+}
+
+// Stream is the instruction source a workload yields for one simulation
+// thread. It is pipeline.Stream plus an error accessor: kernel streams never
+// fail mid-run, but trace streams surface decode errors through Err.
+type Stream interface {
+	Next() (isa.DynInst, bool)
+	Err() error
+}
+
+// kernelStream adapts the functional simulator's stream (which cannot fail)
+// to the Stream interface.
+type kernelStream struct{ *fsim.Stream }
+
+func (kernelStream) Err() error { return nil }
+
+// traceStream replays a decoded trace, bounded by max records (0 = all).
+type traceStream struct {
+	r   *trace.Reader
+	max uint64
+	n   uint64
+}
+
+func (s *traceStream) Next() (isa.DynInst, bool) {
+	if s.max > 0 && s.n >= s.max {
+		return isa.DynInst{}, false
+	}
+	d, ok := s.r.Next()
+	if ok {
+		s.n++
+	}
+	return d, ok
+}
+
+func (s *traceStream) Err() error { return s.r.Err() }
+
+// NewStream returns an instruction stream for one simulation thread: the
+// functional simulator for suite workloads, a trace replay for trace-backed
+// ones. max bounds the stream length in records (0 = unbounded for traces;
+// suite workloads require max > 0, they generate forever).
+func (s *Spec) NewStream(apx bool, max uint64) (Stream, error) {
+	if s.trace != nil {
+		r, err := trace.NewReader(bytes.NewReader(s.trace.data))
+		if err != nil {
+			// The backing bytes were validated at construction; this would
+			// mean the Spec's owner mutated them.
+			return nil, fmt.Errorf("workload: %s: %w", s.Name, err)
+		}
+		return &traceStream{r: r, max: max}, nil
+	}
+	cpu, err := s.NewCPU(apx)
+	if err != nil {
+		return nil, err
+	}
+	return kernelStream{fsim.NewStream(cpu, max)}, nil
+}

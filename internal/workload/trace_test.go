@@ -1,0 +1,184 @@
+package workload
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"strings"
+	"testing"
+
+	"constable/internal/fsim"
+	"constable/internal/isa"
+	"constable/internal/trace"
+)
+
+// captureTrace serializes n instructions of a small suite workload.
+func captureTrace(t *testing.T, n uint64) []byte {
+	t.Helper()
+	spec := SmallSuite()[0]
+	cpu, err := spec.NewCPU(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := trace.Capture(&buf, fsim.NewStream(cpu, n), n); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestFromTraceBytes(t *testing.T) {
+	data := captureTrace(t, 2000)
+	spec, err := FromTraceBytes(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(data)
+	wantName := TraceNamePrefix + hex.EncodeToString(sum[:])
+	if spec.Name != wantName {
+		t.Errorf("name = %q, want %q", spec.Name, wantName)
+	}
+	if spec.Category != Trace {
+		t.Errorf("category = %q, want %q", spec.Category, Trace)
+	}
+	if !spec.IsTrace() {
+		t.Error("IsTrace() = false")
+	}
+	if got := spec.TraceInstructions(); got != 2000 {
+		t.Errorf("TraceInstructions() = %d, want 2000", got)
+	}
+	loads, stores := spec.TraceCounts()
+	if loads == 0 || stores == 0 {
+		t.Errorf("TraceCounts() = %d, %d — kernel mixes always have both", loads, stores)
+	}
+	if _, err := spec.Build(false); err == nil {
+		t.Error("Build() must fail for trace-backed specs")
+	}
+}
+
+func TestFromTraceBytesRejectsCorruption(t *testing.T) {
+	data := captureTrace(t, 200)
+	cases := map[string][]byte{
+		"empty":            nil,
+		"bad magic":        append([]byte{9, 9, 9, 9}, data[4:]...),
+		"truncated":        data[:len(data)-3],
+		"header only":      data[:4],
+		"garbage varints":  append(append([]byte{}, data[:4]...), bytes.Repeat([]byte{0xFF}, 64)...),
+		"out-of-range reg": corruptFirstRecord(data, 3, 0xFE), // Dst byte: not RegNone, ≥ NumRegsAPX
+		"unknown opcode":   corruptFirstRecord(data, 1, 0xEE),
+	}
+	for name, bad := range cases {
+		if _, err := FromTraceBytes(bad); err == nil {
+			t.Errorf("%s: FromTraceBytes accepted invalid bytes", name)
+		}
+	}
+}
+
+// corruptFirstRecord returns a copy of data with one byte of the first
+// record's fixed block (which starts right after the 4-byte header)
+// overwritten.
+func corruptFirstRecord(data []byte, offset int, v byte) []byte {
+	out := append([]byte{}, data...)
+	out[4+offset] = v
+	return out
+}
+
+func TestTraceNameParsing(t *testing.T) {
+	valid := TraceNamePrefix + strings.Repeat("ab", 32)
+	if !IsTraceName(valid) {
+		t.Errorf("IsTraceName(%q) = false", valid)
+	}
+	if h, err := TraceHash(valid); err != nil || h != strings.Repeat("ab", 32) {
+		t.Errorf("TraceHash(%q) = %q, %v", valid, h, err)
+	}
+	for _, bad := range []string{
+		"server-kvstore-00",
+		"trace:",
+		"trace:short",
+		TraceNamePrefix + strings.Repeat("AB", 32), // uppercase
+		TraceNamePrefix + strings.Repeat("zz", 32), // non-hex
+		TraceNamePrefix + strings.Repeat("ab", 33), // too long
+	} {
+		if _, err := TraceHash(bad); err == nil {
+			t.Errorf("TraceHash(%q) accepted an invalid reference", bad)
+		}
+	}
+}
+
+func TestTraceStreamReplay(t *testing.T) {
+	const n = 1500
+	data := captureTrace(t, n)
+	spec, err := FromTraceBytes(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Unbounded stream yields every record, in capture order.
+	st, err := spec.NewStream(false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []isa.DynInst
+	for {
+		d, ok := st.Next()
+		if !ok {
+			break
+		}
+		got = append(got, d)
+	}
+	if st.Err() != nil {
+		t.Fatal(st.Err())
+	}
+	if len(got) != n {
+		t.Fatalf("unbounded stream yielded %d records, want %d", len(got), n)
+	}
+
+	// The replay must match the live functional stream record for record.
+	cpu, _ := SmallSuite()[0].NewCPU(false)
+	live := fsim.NewStream(cpu, n)
+	for i := range got {
+		want, ok := live.Next()
+		if !ok {
+			t.Fatalf("live stream ended at %d", i)
+		}
+		if got[i] != want {
+			t.Fatalf("record %d: replay %+v, live %+v", i, got[i], want)
+		}
+	}
+
+	// A bounded stream stops at max, and two streams from one Spec are
+	// independent (fresh readers over the same bytes).
+	s1, _ := spec.NewStream(false, 10)
+	s2, _ := spec.NewStream(false, 10)
+	for i := 0; i < 10; i++ {
+		d1, ok1 := s1.Next()
+		d2, ok2 := s2.Next()
+		if !ok1 || !ok2 || d1 != d2 {
+			t.Fatalf("record %d: streams diverged", i)
+		}
+	}
+	if _, ok := s1.Next(); ok {
+		t.Error("bounded stream exceeded max")
+	}
+}
+
+func TestKernelStreamViaNewStream(t *testing.T) {
+	spec := SmallSuite()[0]
+	st, err := spec.NewStream(false, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var count int
+	for {
+		if _, ok := st.Next(); !ok {
+			break
+		}
+		count++
+	}
+	if count != 25 {
+		t.Fatalf("kernel stream yielded %d, want 25", count)
+	}
+	if st.Err() != nil {
+		t.Fatalf("kernel stream Err() = %v", st.Err())
+	}
+}
