@@ -26,6 +26,7 @@ func benchExperiment(b *testing.B, id string) {
 		FullSuite:    false,
 		Out:          io.Discard,
 	})
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := r.Run(id); err != nil {
@@ -65,6 +66,7 @@ func BenchmarkAblationContextSwitch(b *testing.B) { benchExperiment(b, "abl2") }
 // the cost model everything above is built on.
 func BenchmarkSimulatorThroughput(b *testing.B) {
 	spec := workload.SmallSuite()[0]
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := sim.Run(sim.Options{Workload: spec, Instructions: 50_000}); err != nil {
@@ -74,10 +76,30 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	b.ReportMetric(50_000*float64(b.N)/b.Elapsed().Seconds(), "inst/s")
 }
 
+// BenchmarkCoreLoop is the tracked metric for the simulator core itself:
+// simulated cycles per wall-clock second on the baseline pipeline, with
+// allocation counts reported so the zero-allocation property of the hot loop
+// is regression-checked in every CI artifact (BENCH_core.json).
+func BenchmarkCoreLoop(b *testing.B) {
+	spec := workload.SmallSuite()[0]
+	b.ReportAllocs()
+	var cycles uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(sim.Options{Workload: spec, Instructions: 50_000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += res.Cycles
+	}
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/s")
+}
+
 // BenchmarkConstableOverhead measures the simulation-speed cost of modelling
 // Constable's structures on top of the baseline.
 func BenchmarkConstableOverhead(b *testing.B) {
 	spec := workload.SmallSuite()[0]
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := sim.Run(sim.Options{Workload: spec, Instructions: 50_000,

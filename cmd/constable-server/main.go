@@ -40,6 +40,7 @@ import (
 	"syscall"
 	"time"
 
+	"constable/internal/profutil"
 	"constable/internal/service"
 )
 
@@ -57,8 +58,13 @@ func main() {
 		drain     = flag.Duration("drain", 30*time.Second, "graceful-shutdown timeout for running simulations")
 		maxBody   = flag.Int64("max-body", 0, "max JSON request-body bytes on the API (0 = default 8 MiB)")
 		maxTrace  = flag.Int64("max-trace-body", 0, "max raw trace-upload bytes on POST /v1/traces (0 = default 256 MiB)")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty disables)")
 	)
 	flag.Parse()
+
+	if err := profutil.ServePprof(*pprofAddr); err != nil {
+		log.Fatal(err)
+	}
 
 	sched, err := service.Open(service.Config{Workers: *workers, CacheSize: *cacheSize, DataDir: *dataDir,
 		WorkerTTL: *workerTTL, MaxBatch: *batch, MaxBody: *maxBody, MaxTraceBody: *maxTrace})

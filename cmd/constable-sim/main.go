@@ -16,6 +16,7 @@ import (
 	"log"
 	"strings"
 
+	"constable/internal/profutil"
 	"constable/internal/service"
 	"constable/internal/sim"
 	"constable/internal/workload"
@@ -34,8 +35,21 @@ func main() {
 		dataDir = flag.String("data-dir", "", "persistent result-store directory (re-runs are served from it without simulating)")
 		list    = flag.Bool("list", false, "list all workloads and exit")
 		verbose = flag.Bool("v", false, "print the full counter dump")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file before exiting")
 	)
 	flag.Parse()
+
+	stopCPU, err := profutil.StartCPUProfile(*cpuProf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopCPU()
+	defer func() {
+		if err := profutil.WriteMemProfile(*memProf); err != nil {
+			log.Print(err)
+		}
+	}()
 
 	if *dataDir != "" {
 		if err := service.SetDefaultConfig(service.Config{DataDir: *dataDir}); err != nil {

@@ -31,6 +31,7 @@ import (
 	"syscall"
 	"time"
 
+	"constable/internal/profutil"
 	"constable/internal/worker"
 )
 
@@ -46,10 +47,14 @@ func main() {
 		capacity  = flag.Int("capacity", runtime.GOMAXPROCS(0), "concurrent simulations to run and advertise")
 		heartbeat = flag.Duration("heartbeat", 5*time.Second, "lease-renewal interval (keep well under the server's -worker-ttl)")
 		drain     = flag.Duration("drain", 30*time.Second, "graceful-shutdown timeout for running simulations")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6061; empty disables)")
 	)
 	flag.Parse()
 	if *server == "" {
 		log.Fatal("-server is required (e.g. -server http://127.0.0.1:8080)")
+	}
+	if err := profutil.ServePprof(*pprofAddr); err != nil {
+		log.Fatal(err)
 	}
 
 	ln, err := net.Listen("tcp", *addr)

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"constable/internal/experiments"
+	"constable/internal/profutil"
 	"constable/internal/service"
 )
 
@@ -30,8 +31,21 @@ func main() {
 		full    = flag.Bool("full", false, "use all 90 workloads instead of the 15-workload small suite")
 		dataDir = flag.String("data-dir", "", "persistent result-store directory: cells simulated by any earlier run against it are reused")
 		list    = flag.Bool("list", false, "list experiment ids and exit")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file before exiting")
 	)
 	flag.Parse()
+
+	stopCPU, err := profutil.StartCPUProfile(*cpuProf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopCPU()
+	defer func() {
+		if err := profutil.WriteMemProfile(*memProf); err != nil {
+			log.Print(err)
+		}
+	}()
 
 	if *dataDir != "" {
 		if err := service.SetDefaultConfig(service.Config{DataDir: *dataDir}); err != nil {

@@ -35,6 +35,12 @@ type Predictor struct {
 	ghist   [maxHistory]bool
 	gpos    int // circular position
 
+	// foldIdx/foldTag are the folded histories foldedHist(histLens[t], bits)
+	// for bits = tableBits and tagBits, maintained incrementally on every
+	// history shift so a lookup never walks the history buffer.
+	foldIdx [numTables]uint32
+	foldTag [numTables]uint32
+
 	btb []btbEntry
 	ras []uint64
 
@@ -67,6 +73,9 @@ func (p *Predictor) histBit(i int) bool {
 }
 
 // foldedHist compresses the most recent n history bits into bits output bits.
+// It is the reference definition of the fold; lookups use the incrementally-
+// maintained foldIdx/foldTag registers, which a regression test holds equal
+// to this.
 func (p *Predictor) foldedHist(n, bits int) uint32 {
 	var h uint32
 	for i := 0; i < n; i++ {
@@ -77,14 +86,42 @@ func (p *Predictor) foldedHist(n, bits int) uint32 {
 	return h
 }
 
+// shiftFold advances one folded-history register for a new bit entering the
+// window and the bit at position n-1 leaving it. Pushing a bit moves every
+// history position i to i+1, which moves fold position (i mod b) to
+// ((i+1) mod b) — a rotate-left within b bits; the new bit lands at position
+// 0 and the leaving bit, rotated onto position (n mod b), is XORed away.
+func shiftFold(f uint32, bits, n int, newBit, oldBit bool) uint32 {
+	mask := uint32(1)<<bits - 1
+	f = ((f << 1) | (f >> (bits - 1))) & mask
+	if newBit {
+		f ^= 1
+	}
+	if oldBit {
+		f ^= 1 << (uint(n) % uint(bits))
+	}
+	return f
+}
+
+// shiftHistory appends the branch outcome to the global history and updates
+// every folded register.
+func (p *Predictor) shiftHistory(taken bool) {
+	for t := 0; t < numTables; t++ {
+		n := histLens[t]
+		old := p.histBit(n - 1)
+		p.foldIdx[t] = shiftFold(p.foldIdx[t], tableBits, n, taken, old)
+		p.foldTag[t] = shiftFold(p.foldTag[t], tagBits, n, taken, old)
+	}
+	p.ghist[p.gpos] = taken
+	p.gpos = (p.gpos + 1) % maxHistory
+}
+
 func (p *Predictor) index(pc uint64, t int) uint32 {
-	h := p.foldedHist(histLens[t], tableBits)
-	return (uint32(pc>>2) ^ h ^ uint32(t)*0x9E37) & ((1 << tableBits) - 1)
+	return (uint32(pc>>2) ^ p.foldIdx[t] ^ uint32(t)*0x9E37) & ((1 << tableBits) - 1)
 }
 
 func (p *Predictor) tag(pc uint64, t int) uint32 {
-	h := p.foldedHist(histLens[t], tagBits)
-	return (uint32(pc>>2)*2654435761 ^ h) & ((1 << tagBits) - 1)
+	return (uint32(pc>>2)*2654435761 ^ p.foldTag[t]) & ((1 << tagBits) - 1)
 }
 
 // PredictDirection predicts the direction of the conditional branch at pc.
@@ -158,8 +195,7 @@ func (p *Predictor) UpdateDirection(pc uint64, taken bool) {
 	}
 
 	// Shift history.
-	p.ghist[p.gpos] = taken
-	p.gpos = (p.gpos + 1) % maxHistory
+	p.shiftHistory(taken)
 }
 
 func satUpdate(c int8, taken bool, bits uint) int8 {

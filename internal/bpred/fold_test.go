@@ -1,0 +1,31 @@
+package bpred
+
+import "testing"
+
+// TestIncrementalFoldsMatchReference drives the predictor through a long
+// pseudo-random update sequence and checks, after every shift, that the
+// incrementally-maintained folded histories equal the O(history-length)
+// reference definition. This pins the rotate-and-patch recurrence in
+// shiftFold to foldedHist.
+func TestIncrementalFoldsMatchReference(t *testing.T) {
+	p := New()
+	rng := uint64(0x9E3779B97F4A7C15)
+	for i := 0; i < 4*maxHistory; i++ {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		pc := 0x401000 + (rng>>8%512)*4
+		taken := rng&1 == 1
+		p.UpdateDirection(pc, taken)
+
+		for tab := 0; tab < numTables; tab++ {
+			n := histLens[tab]
+			if got, want := p.foldIdx[tab], p.foldedHist(n, tableBits); got != want {
+				t.Fatalf("update %d table %d: foldIdx = %#x, reference = %#x", i, tab, got, want)
+			}
+			if got, want := p.foldTag[tab], p.foldedHist(n, tagBits); got != want {
+				t.Fatalf("update %d table %d: foldTag = %#x, reference = %#x", i, tab, got, want)
+			}
+		}
+	}
+}

@@ -1,15 +1,23 @@
 package pipeline
 
-import "constable/internal/isa"
-
 // complete handles the writeback stage: uops whose execution finishes this
 // cycle become completed; loads train the value predictors and Constable's
 // SLD, verify value speculation (EVES, MRN), and mispredicted branches
 // resolve and redirect the front end.
+//
+// The stage drains the thread's completion-event heap instead of scanning
+// renamed-but-not-completed uops: every pending event has due >= the current
+// cycle (due events are popped the cycle they mature), so same-cycle pops
+// come out in seq order — the age order a ROB scan would visit. Events whose
+// uop was squashed (or recycled into a new instruction, detected by the seq
+// snapshot) are dropped on pop; completeOne may flush mid-drain, which only
+// ever squashes uops younger than the one completing.
 func (c *Core) complete() {
 	for _, t := range c.threads {
-		for _, u := range t.rob {
-			if u.squashed || u.completed {
+		for t.events.len() > 0 && t.events.peek().due <= c.cycle {
+			ev := t.events.pop()
+			u := ev.u
+			if u.seq != ev.seq || u.squashed || u.completed {
 				continue
 			}
 			if u.renameComplete() {
@@ -17,10 +25,10 @@ func (c *Core) complete() {
 				u.completeAt = u.renamedAt + 1
 				continue
 			}
-			if !u.issued || u.completeAt > c.cycle {
-				continue
-			}
 			u.completed = true
+			if u.availAt == farFuture && !(u.mrnPred && u.mrnStore != nil) {
+				u.availAt = u.completeAt
+			}
 			c.completeOne(t, u)
 			if c.err != nil {
 				return
@@ -47,7 +55,7 @@ func (c *Core) completeLoad(t *threadState, u *uop) {
 	d := &u.dyn
 
 	// EVES verification and training.
-	if c.att.EVES != nil {
+	if c.hasEVES {
 		if c.att.EVES.Train(d.PC, d.Value, u.valuePred, u.predVal) {
 			// Value mispredict: dependents consumed a wrong value; flush
 			// everything younger than the load and refetch.
@@ -57,7 +65,7 @@ func (c *Core) completeLoad(t *threadState, u *uop) {
 	}
 
 	// RFP verification and training.
-	if c.att.RFP != nil {
+	if c.hasRFP {
 		c.att.RFP.Train(d.PC, d.Addr, u.rfpPred, u.rfpAddr)
 	}
 
@@ -82,9 +90,8 @@ func (c *Core) completeLoad(t *threadState, u *uop) {
 
 	// Constable SLD training and arming ( 4 / 5 / 6 in Fig. 8): only
 	// non-eliminated loads execute and reach this point.
-	if c.att.Constable != nil {
-		var srcs []isa.Reg
-		srcs = d.SrcRegs(srcs)
+	if c.hasConstable {
+		srcs := d.SrcRegs(c.srcsBuf[:0])
 		c.att.Constable.OnLoadWriteback(d.PC, d.Addr, d.Value, srcs, u.likelyStable, u.thread)
 		// CV-bit pinning: when a likely-stable load's memory request
 		// returns, pin the own core's CV bit in the directory (§6.6).
@@ -100,13 +107,13 @@ func (c *Core) sbDistance(t *threadState, u *uop) int {
 	if u.dyn.ProducerStore == 0 {
 		return 0
 	}
-	for i := len(t.sb) - 1; i >= 0; i-- {
-		s := t.sb[i]
+	for i := t.sb.len() - 1; i >= 0; i-- {
+		s := t.sb.at(i)
 		if s.squashed || s.seq >= u.seq {
 			continue
 		}
 		if s.dyn.Seq == u.dyn.ProducerStore {
-			return len(t.sb) - i
+			return t.sb.len() - i
 		}
 	}
 	return 0

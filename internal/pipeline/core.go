@@ -11,13 +11,15 @@ import (
 
 // threadState is the per-hardware-thread front-end and in-order state.
 type threadState struct {
+	index      int // position in Core.threads, stamped into uop.thread
 	stream     Stream
 	streamDone bool
 
 	// window holds fetched-but-not-retired committed-path instructions;
-	// window[0].Seq == windowBase. replayPos is the dynamic sequence number
-	// of the next committed-path instruction to fetch (rewound on flushes).
-	window     []isa.DynInst
+	// window.front().Seq == windowBase. replayPos is the dynamic sequence
+	// number of the next committed-path instruction to fetch (rewound on
+	// flushes).
+	window     ring[isa.DynInst]
 	windowBase uint64
 	replayPos  uint64
 
@@ -33,14 +35,80 @@ type threadState struct {
 	trainedUpTo uint64
 	lastWriter  [isa.NumRegsAPX]*uop
 
-	idq []*uop
-	rob []*uop
-	lb  []*uop
-	sb  []*uop
+	idq ring[*uop]
+	rob ring[*uop]
+	lb  ring[*uop]
+	sb  ring[*uop]
+
+	// Wakeup-driven issue scheduling. An RS entry is in exactly one place:
+	// blocked (unknownSrcs > 0, reachable only through its producers'
+	// waiters lists — zero per-cycle cost), maturing in readyHeap (readyAt
+	// known but future, keyed (readyAt, seq)), or issue-eligible in readyQ
+	// (age-sorted by seq; retried every cycle until a port and the issue
+	// budget admit it). Squashed/recycled entries are invalidated lazily on
+	// pop/walk, like the completion events.
+	readyQ    []*uop
+	readyHeap eventHeap
+
+	// events schedules completed-transitions: rename-complete uops enqueue
+	// at rename (due the next cycle), executing uops at issue (due their
+	// completeAt). complete() pops only the events due this cycle, so the
+	// writeback stage costs O(due events · log inflight) instead of a scan
+	// over everything renamed-but-not-completed. Events for squashed uops
+	// are left in place and invalidated lazily on pop via the seq snapshot.
+	events eventHeap
+
+	// uop pool. free holds immediately-reusable uops. limbo holds uops
+	// that left the pipeline (retired or squashed) but may still be
+	// referenced by younger in-flight uops: producers[] and mrnStore only
+	// ever point young→old, so a parked uop is reclaimable once every uop
+	// fetched before it was parked has itself left the pipeline.
+	free  []*uop
+	limbo ring[*uop]
 
 	elar *vpred.ELAR
 
 	retired uint64
+}
+
+// allocUop returns a zeroed uop, recycling from the pool when possible.
+func (t *threadState) allocUop() *uop {
+	if len(t.free) == 0 {
+		t.reclaimLimbo()
+	}
+	if n := len(t.free); n > 0 {
+		u := t.free[n-1]
+		t.free = t.free[:n-1]
+		u.reset()
+		return u
+	}
+	return new(uop)
+}
+
+// releaseUop parks a uop that left the pipeline. Its fields must stay
+// readable (a younger load's valueAvailAt consults its mrnStore's completion
+// time even after the store retires), so it only becomes free once no
+// in-flight uop can reference it; the seq stamp encodes that horizon.
+func (t *threadState) releaseUop(u *uop) {
+	u.releasedAtSeq = t.seqCounter
+	t.limbo.pushBack(u)
+}
+
+// reclaimLimbo moves limbo entries past the reference horizon to the free
+// list. Any uop referencing a parked one was fetched before it was parked
+// (seq ≤ releasedAtSeq), so once the oldest in-flight seq passes the stamp
+// no live reference remains. Stamps are nondecreasing in limbo order, so
+// draining stops at the first entry still in the horizon.
+func (t *threadState) reclaimLimbo() {
+	oldest := t.seqCounter + 1
+	if t.rob.len() > 0 {
+		oldest = t.rob.front().seq
+	} else if t.idq.len() > 0 {
+		oldest = t.idq.front().seq
+	}
+	for t.limbo.len() > 0 && t.limbo.front().releasedAtSeq < oldest {
+		t.free = append(t.free, t.limbo.popFront())
+	}
 }
 
 // memDepEntry is a store-set-style conflict predictor entry.
@@ -74,6 +142,24 @@ type Core struct {
 	rsCount  int
 	prfInUse int
 
+	// Attachment dispatch flags and per-thread structure capacities,
+	// resolved once in NewCore so the per-uop hot paths branch on plain
+	// booleans/ints instead of re-deriving them (nil checks, Config()
+	// struct copies, divisions) every cycle.
+	hasConstable  bool
+	sldReadPorts  int
+	sldWritePorts int
+	hasEVES       bool
+	hasRFP        bool
+	hasIdealElim  bool
+	hasIdealLVP   bool
+	hasStablePCs  bool
+	idqCap        int
+	robCap        int
+	lbCap         int
+	sbCap         int
+	prfCap        int
+
 	aluPorts  []uint64 // busy-until cycle per port
 	loadPorts []uint64
 	staPorts  []uint64
@@ -83,6 +169,18 @@ type Core struct {
 	mrn    []mrnEntry
 
 	lastSLDWrites uint64
+
+	// Per-mode retirement counters, indexed by isa.AddrMode. The map-typed
+	// Stats views are materialized from these by finalizeStats at the end
+	// of Run so the retire stage never hashes a mode string.
+	elimByMode          [256]uint64
+	retiredStableByMode [256]uint64
+	elimStableByMode    [256]uint64
+
+	// flushBuf and srcsBuf are reusable scratch buffers for flushYounger
+	// and completeLoad.
+	flushBuf []*uop
+	srcsBuf  [2]isa.Reg
 
 	// loadPortStableUse marks, for the current cycle, whether any issued
 	// load on a port was global-stable (Fig. 6 accounting).
@@ -120,8 +218,35 @@ func NewCore(cfg Config, att Attachments, hier *cache.Hierarchy, streams ...Stre
 	c.Stats.EliminatedByMode = make(map[string]uint64)
 	c.Stats.RetiredStableByMode = make(map[string]uint64)
 	c.Stats.EliminatedStableByMode = make(map[string]uint64)
+
+	c.hasConstable = att.Constable != nil
+	if c.hasConstable {
+		ccfg := att.Constable.Config()
+		c.sldReadPorts = ccfg.SLDReadPorts
+		c.sldWritePorts = ccfg.SLDWritePorts
+	}
+	c.hasEVES = att.EVES != nil
+	c.hasRFP = att.RFP != nil
+	c.hasIdealElim = att.IdealElimPCs != nil
+	c.hasIdealLVP = att.IdealLVPPCs != nil
+	c.hasStablePCs = att.StablePCs != nil
+	c.idqCap = cfg.IDQSize / len(streams)
+	c.robCap = cfg.ROBSize / len(streams)
+	c.lbCap = cfg.LBSize / len(streams)
+	c.sbCap = cfg.SBSize / len(streams)
+	c.prfCap = cfg.IntPRF - isa.NumRegsAPX
+
 	for i, s := range streams {
-		t := &threadState{stream: s}
+		t := &threadState{index: i, stream: s}
+		t.window = newRing[isa.DynInst](256)
+		t.idq = newRing[*uop](c.idqCap)
+		t.rob = newRing[*uop](c.robCap)
+		t.lb = newRing[*uop](c.lbCap)
+		t.sb = newRing[*uop](c.sbCap)
+		t.readyQ = make([]*uop, 0, cfg.RSSize)
+		t.readyHeap.a = make([]completionEvent, 0, cfg.RSSize)
+		t.events.a = make([]completionEvent, 0, c.robCap)
+		t.limbo = newRing[*uop](c.robCap)
 		if att.ELAR != nil {
 			// ELAR state is per hardware context: thread 0 uses the caller's
 			// instance (so its counters are observable), extra threads get
@@ -153,40 +278,68 @@ func (c *Core) Hierarchy() *cache.Hierarchy { return c.hier }
 // Branch returns the branch predictor (for inspection).
 func (c *Core) Branch() *bpred.Predictor { return c.bp }
 
-// perThreadCap returns the statically-partitioned size of a resource.
-func (c *Core) perThreadCap(total int) int { return total / len(c.threads) }
-
 // Run simulates until every thread's stream is exhausted and drained, or
-// maxCycles elapses. It returns an error if the golden check ever fails —
-// which would mean Constable returned an architecturally-wrong load value.
+// until maxCycles total cycles have elapsed. Repeated calls resume where the
+// previous one stopped (maxCycles is a cumulative cycle number), so a driver
+// can interleave cores cycle-region by cycle-region. It returns an error if
+// the golden check ever fails — which would mean Constable returned an
+// architecturally-wrong load value.
 func (c *Core) Run(maxCycles uint64) error {
-	for c.cycle = 1; c.cycle <= maxCycles; c.cycle++ {
-		c.retire()
-		if c.err != nil {
-			return c.err
-		}
-		c.complete()
-		c.issue()
-		c.rename()
-		c.fetch()
-		c.Stats.Cycles = c.cycle
-		c.accountSLDUpdates()
-
-		if c.done() {
+	for c.cycle < maxCycles {
+		if !c.Step() {
 			break
 		}
 	}
+	c.finalizeStats()
 	return c.err
+}
+
+// Step advances the core by one cycle. It returns false once every stream is
+// exhausted and drained, or on a golden-check failure (see Run). Callers
+// driving the core by Step should call finalizeStats (via Run, or a final
+// zero-budget Run call) before reading the map-typed Stats views.
+func (c *Core) Step() bool {
+	c.cycle++
+	c.retire()
+	if c.err != nil {
+		return false
+	}
+	c.complete()
+	c.issue()
+	c.rename()
+	c.fetch()
+	c.Stats.Cycles = c.cycle
+	c.accountSLDUpdates()
+	return !c.done()
+}
+
+// finalizeStats materializes the map-typed per-mode Stats views from the
+// array counters the retire stage increments. Only modes with nonzero counts
+// get keys — counter snapshots depend on the exact key set.
+func (c *Core) finalizeStats() {
+	c.Stats.EliminatedByMode = modeCounts(&c.elimByMode)
+	c.Stats.RetiredStableByMode = modeCounts(&c.retiredStableByMode)
+	c.Stats.EliminatedStableByMode = modeCounts(&c.elimStableByMode)
+}
+
+func modeCounts(a *[256]uint64) map[string]uint64 {
+	m := make(map[string]uint64, 4)
+	for i, v := range a {
+		if v != 0 {
+			m[isa.AddrMode(i).String()] = v
+		}
+	}
+	return m
 }
 
 func (c *Core) done() bool {
 	for _, t := range c.threads {
-		if !t.streamDone || len(t.rob) > 0 || len(t.idq) > 0 {
+		if !t.streamDone || t.rob.len() > 0 || t.idq.len() > 0 {
 			return false
 		}
 		// A flush may have rewound the replay cursor into the window; those
 		// instructions still need to be refetched and retired.
-		if t.replayPos < t.windowBase+uint64(len(t.window)) {
+		if t.replayPos < t.windowBase+uint64(t.window.len()) {
 			return false
 		}
 	}
@@ -195,7 +348,7 @@ func (c *Core) done() bool {
 
 // accountSLDUpdates tracks SLD write-port pressure per cycle (Fig. 9a).
 func (c *Core) accountSLDUpdates() {
-	if c.att.Constable == nil {
+	if !c.hasConstable {
 		return
 	}
 	w := c.att.Constable.Stats.SLDWriteOps
@@ -215,12 +368,13 @@ func (c *Core) accountSLDUpdates() {
 // existing memory-disambiguation logic — any in-flight load whose address
 // falls in the line is flushed and re-executed (§6.6).
 func (c *Core) InjectSnoop(lineAddr uint64) {
-	if c.att.Constable != nil {
+	if c.hasConstable {
 		c.att.Constable.OnSnoop(lineAddr)
 	}
 	c.hier.InvalidateLine(lineAddr)
 	for _, t := range c.threads {
-		for _, u := range t.lb {
+		for i := 0; i < t.lb.len(); i++ {
+			u := t.lb.at(i)
 			if u.squashed || !(u.completed || u.eliminatedLoad()) {
 				continue
 			}

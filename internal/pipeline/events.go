@@ -1,0 +1,67 @@
+package pipeline
+
+// completionEvent schedules one uop's completed-transition. seq snapshots
+// the uop's identity at scheduling time: pooled uops can be recycled while a
+// stale event for their squashed previous life is still queued, and the
+// (monotonic, never reused) per-thread seq exposes that on pop.
+type completionEvent struct {
+	due uint64
+	seq uint64
+	u   *uop
+}
+
+// eventHeap is a min-heap ordered by (due, seq). All pending events satisfy
+// due >= current cycle (complete drains every due event each cycle), so
+// same-cycle pops come out in seq order — the same age order the writeback
+// stage would see scanning the ROB.
+type eventHeap struct {
+	a []completionEvent
+}
+
+func (h *eventHeap) len() int               { return len(h.a) }
+func (h *eventHeap) peek() *completionEvent { return &h.a[0] }
+
+func (h *eventHeap) less(i, j int) bool {
+	if h.a[i].due != h.a[j].due {
+		return h.a[i].due < h.a[j].due
+	}
+	return h.a[i].seq < h.a[j].seq
+}
+
+func (h *eventHeap) push(due uint64, u *uop) {
+	h.a = append(h.a, completionEvent{due: due, seq: u.seq, u: u})
+	i := len(h.a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			break
+		}
+		h.a[i], h.a[p] = h.a[p], h.a[i]
+		i = p
+	}
+}
+
+func (h *eventHeap) pop() completionEvent {
+	top := h.a[0]
+	n := len(h.a) - 1
+	h.a[0] = h.a[n]
+	h.a[n] = completionEvent{} // drop the uop pointer
+	h.a = h.a[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < n && h.less(l, s) {
+			s = l
+		}
+		if r < n && h.less(r, s) {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		h.a[i], h.a[s] = h.a[s], h.a[i]
+		i = s
+	}
+	return top
+}

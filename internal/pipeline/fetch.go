@@ -11,56 +11,58 @@ import (
 // resolves in the execute stage.
 func (c *Core) fetch() {
 	budget := c.cfg.FetchWidth
+	nThreads := len(c.threads)
 	for slot := 0; slot < budget; slot++ {
-		t := c.threads[slot%len(c.threads)]
-		c.fetchOne(t)
+		t := c.threads[slot%nThreads]
+		if !c.fetchOne(t) && nThreads == 1 {
+			// Every fetch-failure cause (stall, full IDQ, drained stream)
+			// persists for the rest of the cycle, so with one thread the
+			// remaining slots can't fetch either.
+			break
+		}
 	}
 }
 
-func (c *Core) fetchOne(t *threadState) {
+// fetchOne fetches one uop into t's IDQ, reporting whether it did.
+func (c *Core) fetchOne(t *threadState) bool {
 	if c.cycle < t.fetchStall {
-		return
+		return false
 	}
-	if len(t.idq) >= c.perThreadCap(c.cfg.IDQSize) {
-		return
+	if t.idq.len() >= c.idqCap {
+		return false
 	}
 
 	if t.wrongPath {
 		u := c.makeWrongPathUop(t)
-		t.idq = append(t.idq, u)
+		t.idq.pushBack(u)
 		c.Stats.FetchedUops++
-		return
+		return true
 	}
 
 	d, ok := c.nextDyn(t)
 	if !ok {
-		return
+		return false
 	}
 	t.seqCounter++
-	u := &uop{seq: t.seqCounter, thread: c.threadIndex(t), dyn: d}
-	t.idq = append(t.idq, u)
+	u := t.allocUop()
+	u.seq = t.seqCounter
+	u.thread = t.index
+	u.dyn = d
+	t.idq.pushBack(u)
 	c.Stats.FetchedUops++
 
 	if d.Op.IsBranch() {
 		c.predictBranch(t, u)
 	}
-}
-
-func (c *Core) threadIndex(t *threadState) int {
-	for i, x := range c.threads {
-		if x == t {
-			return i
-		}
-	}
-	panic("pipeline: unknown thread")
+	return true
 }
 
 // nextDyn returns the next committed-path instruction for t, serving
 // replayed instructions from the window before pulling new ones.
 func (c *Core) nextDyn(t *threadState) (isa.DynInst, bool) {
 	idx := t.replayPos - t.windowBase
-	if int(idx) < len(t.window) {
-		d := t.window[idx]
+	if int(idx) < t.window.len() {
+		d := t.window.at(int(idx))
 		t.replayPos++
 		return d, true
 	}
@@ -72,7 +74,7 @@ func (c *Core) nextDyn(t *threadState) (isa.DynInst, bool) {
 		t.streamDone = true
 		return isa.DynInst{}, false
 	}
-	t.window = append(t.window, d)
+	t.window.pushBack(d)
 	t.replayPos++
 	return d, true
 }
@@ -167,7 +169,12 @@ func (c *Core) makeWrongPathUop(t *threadState) *uop {
 		d.Src1 = isa.Reg(h >> 16 % 16)
 		d.Src2 = isa.Reg(h >> 24 % 16)
 	}
-	return &uop{seq: t.seqCounter, thread: c.threadIndex(t), dyn: d, wrongPath: true}
+	u := t.allocUop()
+	u.seq = t.seqCounter
+	u.thread = t.index
+	u.dyn = d
+	u.wrongPath = true
+	return u
 }
 
 func mix64(x uint64) uint64 {

@@ -29,57 +29,69 @@ func (c *Core) flushFrom(u *uop, inclusive bool) {
 
 // flushYounger removes all uops of t with seq beyond the boundary from every
 // pipeline structure and rebuilds the rename table from the survivors.
+//
+// Every queue is age-ordered by seq, so the squashed uops form a contiguous
+// suffix and the flush is a truncation from the back — survivors keep their
+// positions, which lets the issue/complete scans flush mid-walk without
+// invalidating already-visited entries.
 func (c *Core) flushYounger(t *threadState, seq uint64, inclusive bool) {
-	squash := func(u *uop) bool {
-		if inclusive {
-			return u.seq >= seq
-		}
-		return u.seq > seq
+	bound := seq
+	if !inclusive {
+		bound = seq + 1
 	}
 
-	for _, u := range t.rob {
-		if !squash(u) {
-			continue
+	buf := c.flushBuf[:0]
+	for t.rob.len() > 0 {
+		u := t.rob.back()
+		if u.seq < bound {
+			break
 		}
 		u.squashed = true
 		if u.inRS {
 			u.inRS = false
 			c.rsCount--
 		}
-		if u.usesXPRF && c.att.Constable != nil {
+		if u.usesXPRF && c.hasConstable {
 			c.att.Constable.ReleaseXPRF()
 			u.usesXPRF = false
 		}
 		if u.dyn.Dst != isa.RegNone && u.elim != elimMove && u.elim != elimConstable && u.elim != elimIdeal {
 			c.prfInUse--
 		}
+		t.rob.popBack()
+		buf = append(buf, u)
 	}
-	t.rob = filterSquashed(t.rob)
-	t.lb = filterSquashed(t.lb)
-	t.sb = filterSquashed(t.sb)
+	for t.lb.len() > 0 && t.lb.back().squashed {
+		t.lb.popBack()
+	}
+	for t.sb.len() > 0 && t.sb.back().squashed {
+		t.sb.popBack()
+	}
+	// Completion events, ready-queue/heap entries and waiter registrations
+	// of squashed uops stay where they are; every consumer of those
+	// structures validates squashed/seq lazily before acting.
 
 	// The IDQ holds not-yet-renamed uops; all squashed ones leave too.
-	kept := t.idq[:0]
-	for _, u := range t.idq {
-		if squash(u) {
-			u.squashed = true
-			continue
+	for t.idq.len() > 0 {
+		u := t.idq.back()
+		if u.seq < bound {
+			break
 		}
-		kept = append(kept, u)
+		u.squashed = true
+		t.idq.popBack()
+		buf = append(buf, u)
 	}
-	t.idq = kept
 
 	c.rebuildLastWriter(t)
-}
 
-func filterSquashed(s []*uop) []*uop {
-	kept := s[:0]
-	for _, u := range s {
-		if !u.squashed {
-			kept = append(kept, u)
-		}
+	// Park the squashed uops in limbo: surviving older uops may still hold
+	// producers/mrnStore pointers whose squashed flag gets checked, so a
+	// squashed uop's fields must stay intact until every uop fetched before
+	// its release has left the pipeline.
+	for _, u := range buf {
+		t.releaseUop(u)
 	}
-	return kept
+	c.flushBuf = buf[:0]
 }
 
 // rebuildLastWriter restores the rename table to the youngest surviving
@@ -89,7 +101,8 @@ func (c *Core) rebuildLastWriter(t *threadState) {
 	for r := range t.lastWriter {
 		t.lastWriter[r] = nil
 	}
-	for _, u := range t.rob {
+	for i := 0; i < t.rob.len(); i++ {
+		u := t.rob.at(i)
 		if u.dyn.Dst != isa.RegNone {
 			t.lastWriter[u.dyn.Dst] = u
 		}

@@ -1,44 +1,68 @@
 package pipeline
 
 import (
+	"sort"
+
 	"constable/internal/isa"
 )
 
-// issue scans the reservation stations in age order and dispatches up to
-// IssueWidth ready uops to free execution ports (5 ALU, 3 AGU+load, 2 STA,
-// 2 STD per Table 2). Loads hold their AGU+load port for two cycles (address
-// generation + L1-D read slot); AGU-only execution holds it for one.
+// issue dispatches up to IssueWidth ready uops in age order to free execution
+// ports (5 ALU, 3 AGU+load, 2 STA, 2 STD per Table 2). Loads hold their
+// AGU+load port for two cycles (address generation + L1-D read slot);
+// AGU-only execution holds it for one.
+//
+// Scheduling is wakeup-driven instead of a scan: RS entries whose readiness
+// cycle is known sit in readyHeap until it arrives, then move into readyQ
+// (age-sorted) where they compete for the issue budget and ports; entries
+// with unresolved producers cost nothing until a wake delivers them. The
+// walk drops issued/squashed entries by compacting readyQ in place; a flush
+// fired mid-walk (store-address disambiguation) only squashes uops younger
+// than the one issuing, which the compaction drops as it reaches them.
 func (c *Core) issue() {
 	issued := 0
 	var stableOnPort, nonStableOnPort, nonStableWaiting bool
 
-	// Collect ready candidates across threads in age order (shared RS).
 	for _, t := range c.threads {
-		for _, u := range t.rob {
-			if issued >= c.cfg.IssueWidth {
-				break
+		// Mature ready entries into the age-ordered queue.
+		for t.readyHeap.len() > 0 && t.readyHeap.peek().due <= c.cycle {
+			ev := t.readyHeap.pop()
+			u := ev.u
+			if u.seq != ev.seq || u.squashed || !u.inRS || u.issued {
+				continue
 			}
+			t.insertReady(u)
+		}
+
+		w := 0
+		for i := 0; i < len(t.readyQ); i++ {
+			u := t.readyQ[i]
 			if !u.inRS || u.issued || u.squashed {
 				continue
 			}
-			if !c.sourcesReady(u) {
+			if issued >= c.cfg.IssueWidth {
+				t.readyQ[w] = u
+				w++
 				continue
 			}
 			if u.isLoad() && !c.loadMayIssue(t, u) {
+				t.readyQ[w] = u
+				w++
 				continue
 			}
 			if !c.portAvailable(u) {
 				if u.isLoad() {
 					// A ready load that found no port: resource dependence.
-					if c.att.StablePCs != nil && !c.att.StablePCs[u.dyn.PC] {
+					if c.hasStablePCs && !c.att.StablePCs[u.dyn.PC] {
 						nonStableWaiting = true
 					}
 				}
+				t.readyQ[w] = u
+				w++
 				continue
 			}
 			c.issueOne(t, u)
 			issued++
-			if u.isLoad() && c.att.StablePCs != nil {
+			if u.isLoad() && c.hasStablePCs {
 				if c.att.StablePCs[u.dyn.PC] {
 					stableOnPort = true
 				} else {
@@ -46,6 +70,8 @@ func (c *Core) issue() {
 				}
 			}
 		}
+		clearTail(t.readyQ, w)
+		t.readyQ = t.readyQ[:w]
 	}
 
 	// Fig. 6 accounting: load-utilized cycles and their categorization.
@@ -69,18 +95,78 @@ func (c *Core) issue() {
 	}
 }
 
-// sourcesReady reports whether every producer's value is consumable this
-// cycle.
-func (c *Core) sourcesReady(u *uop) bool {
-	for _, p := range u.producers {
-		if p == nil || p.squashed {
+func clearTail(q []*uop, from int) {
+	for i := from; i < len(q); i++ {
+		q[i] = nil
+	}
+}
+
+// insertReady places u into the age-sorted ready queue.
+func (t *threadState) insertReady(u *uop) {
+	q := t.readyQ
+	if n := len(q); n == 0 || q[n-1].seq < u.seq {
+		t.readyQ = append(q, u)
+		return
+	}
+	i := sort.Search(len(q), func(i int) bool { return q[i].seq > u.seq })
+	q = append(q, nil)
+	copy(q[i+1:], q[i:])
+	q[i] = u
+	t.readyQ = q
+}
+
+// scheduleReady routes a uop whose readyAt just became known: future
+// readiness matures in the heap, already-reached readiness goes straight to
+// the ready queue (it competes for issue from the next cycle on, exactly as
+// a scan would have found it).
+func (c *Core) scheduleReady(t *threadState, u *uop) {
+	if u.readyAt > c.cycle {
+		t.readyHeap.push(u.readyAt, u)
+		return
+	}
+	t.insertReady(u)
+}
+
+// wake resolves u's availability for its registered consumers. Normal
+// consumers decrement their unknown-producer count and are scheduled once
+// every producer is resolved; a memory-renamed load waiting on store u gets
+// its availability directly from the store's completion time and cascades to
+// its own consumers. All readiness times produced here are strictly in the
+// future (completeAt > cycle at issue), so scheduling never lands in the
+// current cycle's already-run issue stage.
+func (c *Core) wake(t *threadState, u *uop) {
+	if u.availAt == farFuture {
+		return // memory-renamed load still waiting on its store's issue
+	}
+	for _, wr := range u.waiters {
+		v := wr.u
+		if v.seq != wr.seq || v.squashed {
 			continue
 		}
-		if p.valueAvailAt() > c.cycle {
-			return false
+		if v.mrnPred && v.mrnStore == u {
+			v.availAt = u.completeAt
+			c.wake(t, v)
+			continue
+		}
+		v.unknownSrcs--
+		if v.unknownSrcs != 0 {
+			continue
+		}
+		ready := uint64(0)
+		for _, p := range v.producers {
+			if p == nil || p.squashed || p.availAt == farFuture {
+				continue
+			}
+			if p.availAt > ready {
+				ready = p.availAt
+			}
+		}
+		v.readyAt = ready
+		if v.inRS && !v.issued {
+			c.scheduleReady(t, v)
 		}
 	}
-	return true
+	u.waiters = u.waiters[:0]
 }
 
 // loadMayIssue enforces memory-dependence prediction: a conflict-predicted
@@ -90,7 +176,8 @@ func (c *Core) loadMayIssue(t *threadState, u *uop) bool {
 	if !u.depPredicted {
 		return true
 	}
-	for _, s := range t.sb {
+	for i := 0; i < t.sb.len(); i++ {
+		s := t.sb.at(i)
 		if s.squashed || s.seq >= u.seq {
 			continue
 		}
@@ -148,7 +235,10 @@ func reservePort(ports []uint64, now, occupancy uint64) bool {
 	return true
 }
 
-// issueOne dispatches the uop and computes its completion time.
+// issueOne dispatches the uop, computes its completion time, and wakes
+// consumers now that the result's arrival cycle is determined. Memory-renamed
+// loads stay unresolved until their predicted store issues (the forwarded
+// value arrives with the store's data, not the load's own execution).
 func (c *Core) issueOne(t *threadState, u *uop) {
 	u.issued = true
 	u.issuedAt = c.cycle
@@ -164,6 +254,11 @@ func (c *Core) issueOne(t *threadState, u *uop) {
 		c.Stats.ALUOps++
 		u.completeAt = c.cycle + uint64(u.dyn.ExecLatency())
 	}
+	t.events.push(u.completeAt, u)
+	if u.availAt == farFuture && !(u.mrnPred && u.mrnStore != nil) {
+		u.availAt = u.completeAt
+	}
+	c.wake(t, u)
 }
 
 // executeLoad models address generation (1 cycle) plus the memory access.
@@ -210,8 +305,8 @@ func (c *Core) executeLoad(t *threadState, u *uop) {
 // forwardingStore returns the youngest older in-flight store to the same
 // word address whose address is already generated, or nil.
 func (c *Core) forwardingStore(t *threadState, u *uop, addr uint64) *uop {
-	for i := len(t.sb) - 1; i >= 0; i-- {
-		s := t.sb[i]
+	for i := t.sb.len() - 1; i >= 0; i-- {
+		s := t.sb.at(i)
 		if s.squashed || s.seq >= u.seq {
 			continue
 		}
@@ -231,7 +326,7 @@ func (c *Core) executeStore(t *threadState, u *uop) {
 	u.completeAt = c.cycle + 1
 	addr := u.dyn.Addr
 
-	if c.att.Constable != nil && (!u.wrongPath || c.cfg.WrongPathUpdates) {
+	if c.hasConstable && (!u.wrongPath || c.cfg.WrongPathUpdates) {
 		c.att.Constable.OnStoreAddr(addr)
 	}
 
@@ -242,7 +337,8 @@ func (c *Core) executeStore(t *threadState, u *uop) {
 	// value was not actually made stale by this store (the silent-store
 	// case): the forwarded data is correct, so no flush is needed.
 	var victim *uop
-	for _, l := range t.lb {
+	for i := 0; i < t.lb.len(); i++ {
+		l := t.lb.at(i)
 		if l.squashed || l.seq <= u.seq || l.wrongPath {
 			continue
 		}
@@ -264,7 +360,7 @@ func (c *Core) executeStore(t *threadState, u *uop) {
 		c.Stats.OrderingViolations++
 		if victim.eliminatedLoad() {
 			c.Stats.EliminatedThatViolated++
-			if c.att.Constable != nil {
+			if c.hasConstable {
 				c.att.Constable.OnViolation(victim.dyn.PC, victim.thread)
 			}
 		}

@@ -1,0 +1,7 @@
+//go:build race
+
+package pipeline
+
+// raceEnabled reports whether the race detector is compiled in; allocation-
+// count assertions are skipped under it.
+const raceEnabled = true

@@ -13,29 +13,39 @@ import (
 func (c *Core) rename() {
 	sldReads := 0
 	sldWrites := 0
+	nThreads := len(c.threads)
 	for slot := 0; slot < c.cfg.RenameWidth; slot++ {
-		t := c.threads[slot%len(c.threads)]
-		if len(t.idq) == 0 {
+		t := c.threads[slot%nThreads]
+		if t.idq.len() == 0 {
+			// An empty IDQ or a structural stall persists for the rest of the
+			// cycle (rename only consumes resources), so with one thread the
+			// remaining slots of the group can't rename either.
+			if nThreads == 1 {
+				break
+			}
 			continue
 		}
-		u := t.idq[0]
+		u := t.idq.front()
 		if !c.canAllocate(t, u) {
+			if nThreads == 1 {
+				break
+			}
 			continue
 		}
 		// SLD read-port constraint: a rename group with too many loads
 		// stalls (§6.7.1).
-		if c.att.Constable != nil && u.isLoad() && sldReads >= c.att.Constable.Config().SLDReadPorts {
+		if c.hasConstable && u.isLoad() && sldReads >= c.sldReadPorts {
 			c.Stats.RenameStallsSLD++
 			break
 		}
-		if c.att.Constable != nil && sldWrites >= c.att.Constable.Config().SLDWritePorts {
+		if c.hasConstable && sldWrites >= c.sldWritePorts {
 			c.Stats.RenameStallsSLD++
 			break
 		}
-		t.idq = t.idq[1:]
+		t.idq.popFront()
 		w := c.renameOne(t, u)
 		sldWrites += w
-		if u.isLoad() && c.att.Constable != nil {
+		if u.isLoad() && c.hasConstable {
 			sldReads++
 		}
 		c.Stats.RenamedUops++
@@ -44,13 +54,13 @@ func (c *Core) rename() {
 
 // canAllocate checks every structural resource the uop will need.
 func (c *Core) canAllocate(t *threadState, u *uop) bool {
-	if len(t.rob) >= c.perThreadCap(c.cfg.ROBSize) {
+	if t.rob.len() >= c.robCap {
 		return false
 	}
-	if u.isLoad() && len(t.lb) >= c.perThreadCap(c.cfg.LBSize) {
+	if u.isLoad() && t.lb.len() >= c.lbCap {
 		return false
 	}
-	if u.isStore() && len(t.sb) >= c.perThreadCap(c.cfg.SBSize) {
+	if u.isStore() && t.sb.len() >= c.sbCap {
 		return false
 	}
 	// Conservatively assume an RS entry is needed; elimination decisions
@@ -58,7 +68,7 @@ func (c *Core) canAllocate(t *threadState, u *uop) bool {
 	if !c.mightEliminate(u) && c.rsCount >= c.cfg.RSSize {
 		return false
 	}
-	if u.dyn.Dst != isa.RegNone && c.prfInUse >= c.cfg.IntPRF-isa.NumRegsAPX {
+	if u.dyn.Dst != isa.RegNone && c.prfInUse >= c.prfCap {
 		return false
 	}
 	return true
@@ -85,7 +95,7 @@ func (c *Core) renameOne(t *threadState, u *uop) int {
 	// every renamed instruction that writes a register resets the
 	// can_eliminate flag of loads sourcing that register. Wrong-path
 	// instructions participate per the paper's default (§6.7.2).
-	if c.att.Constable != nil && d.Dst != isa.RegNone {
+	if c.hasConstable && d.Dst != isa.RegNone {
 		if !u.wrongPath || c.cfg.WrongPathUpdates {
 			sldWrites += c.att.Constable.OnRegWrite(d.Dst, u.thread)
 		}
@@ -127,26 +137,67 @@ func (c *Core) renameOne(t *threadState, u *uop) int {
 		sldWrites += c.renameLoad(t, u)
 	}
 
+	// Availability resolution: eliminated/folded results are consumable at
+	// rename, value-predicted ones the cycle after. A memory-renamed load's
+	// value arrives with its predicted store's data, so its availability
+	// resolves at the store's issue (now, if it already happened; via the
+	// store's waiters list otherwise). Everything else resolves at issue.
+	u.availAt = farFuture
+	u.readyAt = farFuture
+	u.unknownSrcs = 0
+	if u.renameComplete() {
+		u.availAt = u.renamedAt
+		// The rename-complete → completed transition fires next cycle.
+		t.events.push(c.cycle+1, u)
+	} else if u.valuePred || u.idealLVP {
+		u.availAt = u.renamedAt + 1
+	} else if u.mrnPred {
+		if u.mrnStore.issued {
+			u.availAt = u.mrnStore.completeAt
+		} else {
+			u.mrnStore.waiters = append(u.mrnStore.waiters, waiterRef{u, u.seq})
+		}
+	}
+
 	// Producer linking for dependency wake-up.
 	if u.elim == elimNone || u.elim == elimMove {
 		c.linkProducers(t, u)
 	}
 
 	// Allocate structures.
-	t.rob = append(t.rob, u)
+	t.rob.pushBack(u)
 	c.Stats.ROBAllocs++
 	if u.isLoad() {
-		t.lb = append(t.lb, u)
+		t.lb.pushBack(u)
 		c.Stats.LBAllocs++
 	}
 	if u.isStore() {
-		t.sb = append(t.sb, u)
+		t.sb.pushBack(u)
 		c.Stats.SBAllocs++
 	}
 	if u.elim == elimNone {
 		u.inRS = true
 		c.rsCount++
 		c.Stats.RSAllocs++
+		// Register on producers whose availability is not yet determined;
+		// with none, readiness is final now and the entry is scheduled
+		// directly (wake handles the rest otherwise).
+		ready := uint64(0)
+		for _, p := range u.producers {
+			if p == nil || p.squashed {
+				continue
+			}
+			if p.availAt == farFuture {
+				u.unknownSrcs++
+				p.waiters = append(p.waiters, waiterRef{u, u.seq})
+			} else if p.availAt > ready {
+				ready = p.availAt
+			}
+		}
+		if u.unknownSrcs == 0 {
+			u.readyAt = ready
+			c.scheduleReady(t, u)
+		}
 	}
 	if d.Dst != isa.RegNone && u.elim != elimMove && u.elim != elimConstable && u.elim != elimIdeal {
 		c.prfInUse++
@@ -166,7 +217,7 @@ func (c *Core) renameLoad(t *threadState, u *uop) int {
 
 	// Ideal Constable oracle: every instance of a global-stable load is
 	// eliminated outright (§4.4).
-	if !u.wrongPath && c.att.IdealElimPCs != nil && c.att.IdealElimPCs[d.PC] {
+	if !u.wrongPath && c.hasIdealElim && c.att.IdealElimPCs[d.PC] {
 		u.elim = elimIdeal
 		u.elimValue = d.Value
 		u.elimAddr = d.Addr
@@ -183,7 +234,7 @@ func (c *Core) renameLoad(t *threadState, u *uop) int {
 			conflicting = true
 		}
 	}
-	if c.att.Constable != nil && !u.wrongPath && !conflicting {
+	if c.hasConstable && !u.wrongPath && !conflicting {
 		dec := c.att.Constable.LookupRename(d.PC, d.Mode, u.thread)
 		if dec.Eliminate {
 			u.elim = elimConstable
@@ -197,7 +248,7 @@ func (c *Core) renameLoad(t *threadState, u *uop) int {
 
 	// Ideal Stable LVP: perfect value prediction of global-stable loads;
 	// the load still executes (optionally only through address generation).
-	if !u.wrongPath && c.att.IdealLVPPCs != nil && c.att.IdealLVPPCs[d.PC] {
+	if !u.wrongPath && c.hasIdealLVP && c.att.IdealLVPPCs[d.PC] {
 		u.idealLVP = true
 		if c.att.IdealDataFetchElim {
 			u.aguOnly = true
@@ -205,7 +256,7 @@ func (c *Core) renameLoad(t *threadState, u *uop) int {
 	}
 
 	// EVES value prediction.
-	if c.att.EVES != nil && !u.wrongPath && !u.idealLVP {
+	if c.hasEVES && !u.wrongPath && !u.idealLVP {
 		if v, ok := c.att.EVES.Predict(d.PC); ok {
 			u.valuePred = true
 			u.predVal = v
@@ -215,7 +266,7 @@ func (c *Core) renameLoad(t *threadState, u *uop) int {
 	// RFP address prediction: begin the memory access now. The prefetch
 	// must not train the stride prefetcher (its own address stream would
 	// poison the per-PC stride state).
-	if c.att.RFP != nil && !u.wrongPath {
+	if c.hasRFP && !u.wrongPath {
 		if addr, ok := c.att.RFP.PredictAddr(d.PC); ok {
 			u.rfpPred = true
 			u.rfpAddr = addr
@@ -232,9 +283,9 @@ func (c *Core) renameLoad(t *threadState, u *uop) int {
 	// Memory renaming: predict the forwarding store by store-buffer
 	// distance and break the data dependence onto the store.
 	if c.cfg.MemoryRenaming && !u.wrongPath {
-		if e := c.mrnLookup(d.PC); e != nil && !e.poisoned && e.conf >= 3 && e.dist <= len(t.sb) {
+		if e := c.mrnLookup(d.PC); e != nil && !e.poisoned && e.conf >= 3 && e.dist <= t.sb.len() {
 			u.mrnPred = true
-			u.mrnStore = t.sb[len(t.sb)-e.dist]
+			u.mrnStore = t.sb.at(t.sb.len() - e.dist)
 			c.Stats.MRNForwarded++
 		}
 	}
@@ -266,8 +317,10 @@ func (c *Core) linkProducers(t *threadState, u *uop) {
 	}
 }
 
+// The predictor tables are power-of-2 sized, so the modulo in the index
+// computations reduces to a mask.
 func (c *Core) mrnLookup(pc uint64) *mrnEntry {
-	e := &c.mrn[(pc>>2)%uint64(len(c.mrn))]
+	e := &c.mrn[(pc>>2)&uint64(len(c.mrn)-1)]
 	if e.valid && e.pc == pc {
 		return e
 	}
@@ -275,7 +328,7 @@ func (c *Core) mrnLookup(pc uint64) *mrnEntry {
 }
 
 func (c *Core) mrnTrain(pc uint64, dist int, correctPred, hadPred bool) {
-	e := &c.mrn[(pc>>2)%uint64(len(c.mrn))]
+	e := &c.mrn[(pc>>2)&uint64(len(c.mrn)-1)]
 	if !e.valid || e.pc != pc {
 		if dist > 0 {
 			*e = mrnEntry{pc: pc, dist: dist, conf: 1, valid: true}
@@ -307,7 +360,7 @@ func (c *Core) mrnTrain(pc uint64, dist int, correctPred, hadPred bool) {
 }
 
 func (c *Core) memDepLookup(pc uint64) *memDepEntry {
-	e := &c.memDep[(pc>>2)%uint64(len(c.memDep))]
+	e := &c.memDep[(pc>>2)&uint64(len(c.memDep)-1)]
 	if e.valid && e.pc == pc {
 		return e
 	}
@@ -315,7 +368,7 @@ func (c *Core) memDepLookup(pc uint64) *memDepEntry {
 }
 
 func (c *Core) memDepMark(pc uint64) {
-	e := &c.memDep[(pc>>2)%uint64(len(c.memDep))]
+	e := &c.memDep[(pc>>2)&uint64(len(c.memDep)-1)]
 	if e.valid && e.pc == pc {
 		if e.conf < 3 {
 			e.conf++

@@ -12,14 +12,22 @@ import (
 // match the functional simulation; a mismatch aborts the run. Stores commit
 // their data to the memory hierarchy here.
 func (c *Core) retire() {
-	retired := 0
+	nThreads := len(c.threads)
 	for slot := 0; slot < c.cfg.RetireWidth; slot++ {
-		t := c.threads[slot%len(c.threads)]
-		if len(t.rob) == 0 {
+		t := c.threads[slot%nThreads]
+		if t.rob.len() == 0 {
+			// A skipped slot changes no state, so with one thread the later
+			// slots of the group can't succeed either.
+			if nThreads == 1 {
+				break
+			}
 			continue
 		}
-		u := t.rob[0]
+		u := t.rob.front()
 		if !u.completed || u.completeAt > c.cycle || u.wrongPath {
+			if nThreads == 1 {
+				break
+			}
 			continue
 		}
 		if err := c.goldenCheck(u); err != nil {
@@ -27,9 +35,7 @@ func (c *Core) retire() {
 			return
 		}
 		c.retireOne(t, u)
-		retired++
 	}
-	_ = retired
 }
 
 // goldenCheck verifies every retiring load against the functional model.
@@ -49,7 +55,7 @@ func (c *Core) goldenCheck(u *uop) error {
 }
 
 func (c *Core) retireOne(t *threadState, u *uop) {
-	t.rob = t.rob[1:]
+	t.rob.popFront()
 	c.Stats.Retired++
 	c.Stats.RetiredPerThread[u.thread]++
 	t.retired++
@@ -58,7 +64,7 @@ func (c *Core) retireOne(t *threadState, u *uop) {
 	// must drop every armed elimination and its monitor tables (§6.7.3).
 	if iv := c.cfg.ContextSwitchInterval; iv != 0 && c.Stats.Retired%iv == 0 {
 		c.Stats.ContextSwitches++
-		if c.att.Constable != nil {
+		if c.hasConstable {
 			c.att.Constable.OnContextSwitch()
 		}
 	}
@@ -66,28 +72,30 @@ func (c *Core) retireOne(t *threadState, u *uop) {
 	if u.dyn.Dst != isa.RegNone && u.elim != elimMove && u.elim != elimConstable && u.elim != elimIdeal {
 		c.prfInUse--
 	}
-	if u.usesXPRF && c.att.Constable != nil {
+	if u.usesXPRF && c.hasConstable {
 		c.att.Constable.ReleaseXPRF()
 	}
 
 	switch {
 	case u.isLoad():
 		c.Stats.RetiredLoads++
-		if len(t.lb) > 0 && t.lb[0] == u {
-			t.lb = t.lb[1:]
+		if t.lb.len() > 0 && t.lb.front() == u {
+			t.lb.popFront()
 		} else {
-			t.lb = removeUop(t.lb, u)
+			// Older wrong-path loads can sit ahead of u in the LB (they
+			// never retire and only leave via a flush), so remove from the
+			// middle when needed.
+			removeFromRing(&t.lb, u)
 		}
 		if u.eliminatedLoad() {
 			c.Stats.EliminatedLoads++
-			c.Stats.EliminatedByMode[u.dyn.Mode.String()]++
+			c.elimByMode[u.dyn.Mode]++
 		}
-		if c.att.StablePCs != nil {
-			mode := u.dyn.Mode.String()
+		if c.hasStablePCs {
 			if c.att.StablePCs[u.dyn.PC] {
-				c.Stats.RetiredStableByMode[mode]++
+				c.retiredStableByMode[u.dyn.Mode]++
 				if u.eliminatedLoad() {
-					c.Stats.EliminatedStableByMode[mode]++
+					c.elimStableByMode[u.dyn.Mode]++
 				}
 			} else if u.eliminatedLoad() {
 				c.Stats.EliminatedNonStable++
@@ -98,10 +106,10 @@ func (c *Core) retireOne(t *threadState, u *uop) {
 		}
 	case u.isStore():
 		c.Stats.RetiredStores++
-		if len(t.sb) > 0 && t.sb[0] == u {
-			t.sb = t.sb[1:]
+		if t.sb.len() > 0 && t.sb.front() == u {
+			t.sb.popFront()
 		} else {
-			t.sb = removeUop(t.sb, u)
+			removeFromRing(&t.sb, u)
 		}
 		// The store's data becomes globally visible: write the hierarchy
 		// (and, through it, the coherence directory).
@@ -109,24 +117,30 @@ func (c *Core) retireOne(t *threadState, u *uop) {
 	}
 
 	// Clear the last-writer entry if this uop is still the newest writer
-	// (its value now lives in the architectural state, always ready).
+	// (its value now lives in the architectural state, always ready). With
+	// pooled uops this is load-bearing: a recycled uop must never be
+	// reachable from the rename table.
 	if u.dyn.Dst != isa.RegNone && t.lastWriter[u.dyn.Dst] == u {
 		t.lastWriter[u.dyn.Dst] = nil
 	}
 
 	// Trim the replay window: everything at or before this committed-path
 	// instruction can never be refetched.
-	if u.dyn.Seq == t.windowBase && len(t.window) > 0 {
-		t.window = t.window[1:]
+	if u.dyn.Seq == t.windowBase && t.window.len() > 0 {
+		t.window.popFront()
 		t.windowBase++
 	}
+
+	// The uop has left every pipeline structure (its rs entry dropped at
+	// issue, its completion event fired); park it for recycling.
+	t.releaseUop(u)
 }
 
-func removeUop(s []*uop, u *uop) []*uop {
-	for i, x := range s {
-		if x == u {
-			return append(s[:i], s[i+1:]...)
+func removeFromRing(r *ring[*uop], u *uop) {
+	for i := 0; i < r.len(); i++ {
+		if r.at(i) == u {
+			r.removeAt(i)
+			return
 		}
 	}
-	return s
 }

@@ -1,0 +1,131 @@
+package pipeline
+
+import "testing"
+
+func ringContents(r *ring[int]) []int {
+	out := make([]int, 0, r.len())
+	for i := 0; i < r.len(); i++ {
+		out = append(out, r.at(i))
+	}
+	return out
+}
+
+func wantContents(t *testing.T, r *ring[int], want ...int) {
+	t.Helper()
+	got := ringContents(r)
+	if len(got) != len(want) {
+		t.Fatalf("len = %d (%v), want %d (%v)", len(got), got, len(want), want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("contents = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRingWrapAround(t *testing.T) {
+	r := newRing[int](4)
+	// Fill, drain half, refill: the head wraps past the buffer end.
+	for i := 1; i <= 4; i++ {
+		r.pushBack(i)
+	}
+	if r.popFront() != 1 || r.popFront() != 2 {
+		t.Fatal("popFront order wrong")
+	}
+	r.pushBack(5)
+	r.pushBack(6)
+	wantContents(t, &r, 3, 4, 5, 6)
+	if r.front() != 3 || r.back() != 6 {
+		t.Fatalf("front/back = %d/%d, want 3/6", r.front(), r.back())
+	}
+}
+
+func TestRingGrowth(t *testing.T) {
+	r := newRing[int](2)
+	// Force growth from a wrapped state so re-linearization is exercised.
+	r.pushBack(1)
+	r.pushBack(2)
+	r.popFront()
+	r.pushBack(3) // wrapped: physical order [3, 2]
+	for i := 4; i <= 40; i++ {
+		r.pushBack(i)
+	}
+	want := make([]int, 0, 39)
+	for i := 2; i <= 40; i++ {
+		want = append(want, i)
+	}
+	wantContents(t, &r, want...)
+}
+
+func TestRingCapacityRoundsUpToPowerOfTwo(t *testing.T) {
+	for _, cap := range []int{0, 1, 3, 5, 97} {
+		r := newRing[int](cap)
+		for i := 0; i < 2*cap+3; i++ {
+			r.pushBack(i)
+		}
+		if got := r.len(); got != 2*cap+3 {
+			t.Fatalf("cap %d: len = %d, want %d", cap, got, 2*cap+3)
+		}
+	}
+}
+
+func TestRingPopBackAndTruncate(t *testing.T) {
+	r := newRing[int](4)
+	for i := 1; i <= 6; i++ {
+		r.pushBack(i)
+	}
+	if r.popBack() != 6 {
+		t.Fatal("popBack != 6")
+	}
+	r.truncate(3)
+	wantContents(t, &r, 1, 2, 3)
+	r.truncate(0)
+	if r.len() != 0 {
+		t.Fatalf("len after truncate(0) = %d", r.len())
+	}
+	// The ring must be fully reusable after emptying.
+	r.pushBack(9)
+	wantContents(t, &r, 9)
+}
+
+func TestRingRemoveAt(t *testing.T) {
+	r := newRing[int](4)
+	for i := 1; i <= 5; i++ { // wrapped after growth path
+		r.pushBack(i)
+	}
+	r.popFront()
+	r.removeAt(1) // remove 3 from [2 3 4 5]
+	wantContents(t, &r, 2, 4, 5)
+	r.removeAt(2) // remove the back element
+	wantContents(t, &r, 2, 4)
+	r.removeAt(0) // remove the front element
+	wantContents(t, &r, 4)
+}
+
+func TestRingZeroesVacatedSlots(t *testing.T) {
+	// Pointer rings must not retain references in vacated slots (the pool
+	// depends on released uops becoming collectible once reclaimed).
+	r := newRing[*int](2)
+	x := new(int)
+	r.pushBack(x)
+	r.popFront()
+	for _, p := range r.buf {
+		if p != nil {
+			t.Fatal("popFront left a live pointer in the buffer")
+		}
+	}
+	r.pushBack(x)
+	r.popBack()
+	for _, p := range r.buf {
+		if p != nil {
+			t.Fatal("popBack left a live pointer in the buffer")
+		}
+	}
+	r.pushBack(x)
+	r.truncate(0)
+	for _, p := range r.buf {
+		if p != nil {
+			t.Fatal("truncate left a live pointer in the buffer")
+		}
+	}
+}

@@ -56,11 +56,59 @@ type uop struct {
 	completed  bool
 	completeAt uint64
 
+	// availAt is the cycle from which dependents may consume the uop's
+	// result, set the moment it becomes determined: at rename for
+	// eliminated/folded uops (renamedAt) and value-predicted loads
+	// (renamedAt+1), at issue for executing uops (completeAt — never revised
+	// afterwards, and the completion event guarantees the transition fires),
+	// and for memory-renamed loads when their predicted store issues (the
+	// store's completeAt: the forwarded value arrives with the store's data,
+	// not the load's own execution). farFuture means "not yet determined";
+	// consumers finding that register themselves on the waiters list.
+	availAt uint64
+
+	// readyAt is the cycle from which every source operand is consumable,
+	// computed once all producers' availAt are determined (farFuture until
+	// then). availAt never changes once finite, so readyAt is final.
+	readyAt uint64
+
+	// unknownSrcs counts producers whose availAt is not yet determined; the
+	// uop is registered on each such producer's waiters list and becomes
+	// schedulable when the count reaches zero.
+	unknownSrcs int8
+
+	// waiters holds consumers blocked on this uop's availAt being unknown
+	// (plus memory-renamed loads waiting on this store's issue). Each entry
+	// snapshots the consumer's seq: pooled uops can be recycled while a
+	// stale registration remains, and a seq mismatch exposes that on wake.
+	waiters []waiterRef
+
 	// Memory-dependence prediction: the load waits for all older stores'
 	// addresses before issuing.
 	depPredicted bool
 
 	squashed bool
+
+	// releasedAtSeq is the thread's seqCounter at the moment the uop was
+	// parked in the limbo list (see threadState.releaseUop); it bounds when
+	// the pool may recycle it.
+	releasedAtSeq uint64
+}
+
+// waiterRef is one waiters-list registration (see uop.waiters).
+type waiterRef struct {
+	u   *uop
+	seq uint64
+}
+
+// reset clears the uop for reuse from the pool, keeping the waiters slice's
+// backing array so steady-state recycling does not allocate. Registrations
+// left from a squashed previous life are dropped here; they were never
+// walked, because a squashed uop never issues and so never wakes anyone.
+func (u *uop) reset() {
+	w := u.waiters[:0]
+	*u = uop{}
+	u.waiters = w
 }
 
 // isLoad/isStore/isBranch are on the dynamic record.
@@ -77,28 +125,6 @@ func (u *uop) eliminatedLoad() bool {
 // renameComplete reports whether the uop finished in the rename stage and
 // never enters the RS.
 func (u *uop) renameComplete() bool { return u.elim != elimNone }
-
-// valueAvailAt returns the cycle from which dependents may consume the
-// uop's result. Value speculation (EVES, ideal LVP), elimination and memory
-// renaming make the value available before execution completes.
-func (u *uop) valueAvailAt() uint64 {
-	if u.renameComplete() {
-		return u.renamedAt
-	}
-	if u.valuePred || u.idealLVP {
-		return u.renamedAt + 1
-	}
-	if u.mrnPred && u.mrnStore != nil {
-		if u.mrnStore.completed {
-			return u.mrnStore.completeAt
-		}
-		return farFuture
-	}
-	if u.completed {
-		return u.completeAt
-	}
-	return farFuture
-}
 
 // effAddr returns the address the timing model uses for this memory uop:
 // the SLD-provided address for eliminated loads (which goes into the LB for

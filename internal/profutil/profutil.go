@@ -1,0 +1,78 @@
+// Package profutil wires Go's profiling facilities into the command-line
+// tools: file-based CPU/heap profiles for the batch commands (constable-sim,
+// experiments) and the net/http/pprof debug listener for the long-running
+// daemons (constable-server, constable-worker).
+package profutil
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on http.DefaultServeMux
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartCPUProfile begins writing a CPU profile to path. An empty path is a
+// no-op. The returned stop function flushes and closes the profile; call it
+// before the process exits (profiles truncated by os.Exit are unreadable).
+func StartCPUProfile(path string) (stop func(), err error) {
+	if path == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("cpu profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("cpu profile: %w", err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// WriteMemProfile writes an allocation profile to path after forcing a GC
+// (so the numbers reflect live heap, not garbage awaiting collection). An
+// empty path is a no-op.
+func WriteMemProfile(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("mem profile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("mem profile: %w", err)
+	}
+	return nil
+}
+
+// ServePprof starts the net/http/pprof listener on addr in a background
+// goroutine. An empty addr is a no-op. The listen socket is opened
+// synchronously so misconfiguration (a taken port, a malformed address)
+// surfaces at startup rather than as a silently missing endpoint.
+func ServePprof(addr string) error {
+	if addr == "" {
+		return nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("pprof listener: %w", err)
+	}
+	go func() {
+		// DefaultServeMux carries the /debug/pprof handlers; nothing else is
+		// registered on it by the daemons (their APIs use dedicated muxes).
+		if err := http.Serve(ln, nil); err != nil {
+			log.Printf("pprof listener: %v", err)
+		}
+	}()
+	return nil
+}
