@@ -61,6 +61,10 @@ func BenchmarkFig24(b *testing.B)  { benchExperiment(b, "fig24") }
 func BenchmarkAblationAMTIndex(b *testing.B)      { benchExperiment(b, "abl1") }
 func BenchmarkAblationContextSwitch(b *testing.B) { benchExperiment(b, "abl2") }
 
+// BenchmarkInterplay runs the mechanism-zoo interplay sweep (Constable ×
+// bpred/prefetch axis variants); CI tracks it as BENCH_interplay.json.
+func BenchmarkInterplay(b *testing.B) { benchExperiment(b, "interplay") }
+
 // BenchmarkSimulatorThroughput measures raw simulation speed (simulated
 // instructions per wall-clock second) of the baseline core on one workload —
 // the cost model everything above is built on.

@@ -134,6 +134,39 @@ if ! diff -u "$workdir/local.norm" "$workdir/percell.norm"; then
   exit 1
 fi
 
+INTERPLAY_SWEEP_BODY='{
+  "workloads":  ["server-kvstore-00", "ispec17-intbranchy-00"],
+  "mechanisms": ["constable",
+                 "constable,bpred=bimodal",
+                 "constable,prefetch=none",
+                 "constable,bpred=bimodal,prefetch=none"],
+  "instructions": 20000
+}'
+
+say "running the mechanism-zoo interplay sweep (Constable x 2 bpred variants x prefetch on/off) across the 2-worker cluster"
+run_sweep "http://127.0.0.1:$SERVER_PORT" "$workdir/interplay-dist.ndjson" "$INTERPLAY_SWEEP_BODY"
+
+say "running the same interplay sweep on the single-process server"
+run_sweep "http://127.0.0.1:$LOCAL_PORT" "$workdir/interplay-local.ndjson" "$INTERPLAY_SWEEP_BODY"
+
+say "diffing interplay artifacts between distributed and single-process runs"
+normalize "$workdir/interplay-dist.ndjson"  > "$workdir/interplay-dist.norm"
+normalize "$workdir/interplay-local.ndjson" > "$workdir/interplay-local.norm"
+if ! diff -u "$workdir/interplay-local.norm" "$workdir/interplay-dist.norm"; then
+  echo "interplay sweep artifacts differ between distributed and single-process runs" >&2
+  exit 1
+fi
+# Qualified names must round-trip into each cell's result identity.
+jq -s -e 'map(select(.cell != null) | .cell.result.identity.mechanism)
+    | sort | unique == ["constable",
+                        "constable,bpred=bimodal",
+                        "constable,bpred=bimodal,prefetch=none",
+                        "constable,prefetch=none"]' \
+  "$workdir/interplay-dist.ndjson" >/dev/null || {
+  echo "interplay cells did not carry qualified mechanism identities:" >&2
+  jq -c 'select(.cell != null) | .cell.result.identity' "$workdir/interplay-dist.ndjson" >&2
+  exit 1; }
+
 say "capturing a trace and uploading it to the batched server"
 "$bindir/tracetool" -capture -workload server-kvstore-00 -n 20000 -o "$workdir/smoke.trace"
 upload=$(curl -sf --data-binary "@$workdir/smoke.trace" "http://127.0.0.1:$SERVER_PORT/v1/traces")
@@ -180,4 +213,4 @@ curl -sf "http://127.0.0.1:$SERVER_PORT/metrics" | awk '
   curl -s "http://127.0.0.1:$SERVER_PORT/metrics" | grep constable_trace >&2
   exit 1; }
 
-say "distributed smoke OK: 9/9 cells in both modes, all workers used, chunks dispatched, trace sweep byte-identical with fetch-by-hash, artifacts byte-identical"
+say "distributed smoke OK: 9/9 cells in both modes, all workers used, chunks dispatched, interplay sweep (qualified mechanisms) byte-identical, trace sweep byte-identical with fetch-by-hash, artifacts byte-identical"

@@ -28,7 +28,10 @@ func main() {
 
 	var (
 		name    = flag.String("workload", "server-kvstore-00", "workload name (see -list)")
-		mech    = flag.String("mech", "constable", "mechanism preset: "+strings.Join(sim.MechanismNames(), ", "))
+		mech    = flag.String("mech", "constable", "mechanism preset: "+strings.Join(sim.MechanismNames(), ", ")+"; axis terms may be appended, e.g. constable,bpred=bimodal")
+		bpredV  = flag.String("bpred", "", "branch-predictor axis variant (tage, bimodal)")
+		prefV   = flag.String("prefetch", "", "L1-D prefetcher axis variant (stride, delta, none)")
+		l1dpV   = flag.String("l1dpred", "", "L1-D hit/miss predictor axis variant (off, counter, global)")
 		n       = flag.Uint64("n", 200_000, "committed-path instructions to simulate")
 		smt     = flag.Bool("smt", false, "run two SMT contexts of the workload")
 		apx     = flag.Bool("apx", false, "use the 32-register (APX) build of the workload")
@@ -68,7 +71,19 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if _, err := service.ParseMechanism(*mech); err != nil {
+	// The axis flags qualify the chosen mechanism; the registry's qualified-
+	// name syntax carries them through the scheduler unchanged.
+	mechName := *mech
+	for _, t := range []struct{ axis, v string }{
+		{sim.AxisBPred, *bpredV},
+		{sim.AxisPrefetch, *prefV},
+		{sim.AxisL1DPred, *l1dpV},
+	} {
+		if t.v != "" {
+			mechName += "," + t.axis + "=" + t.v
+		}
+	}
+	if _, err := service.ParseMechanism(mechName); err != nil {
 		log.Fatal(err)
 	}
 	threads := 1
@@ -87,7 +102,7 @@ func main() {
 		log.Fatal(err)
 	}
 	mechJob, err := sched.Submit(service.JobSpec{
-		Workload: *name, Mechanism: *mech, Instructions: *n, Threads: threads, APX: *apx})
+		Workload: *name, Mechanism: mechName, Instructions: *n, Threads: threads, APX: *apx})
 	if err != nil {
 		log.Fatal(err)
 	}

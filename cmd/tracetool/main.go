@@ -156,7 +156,10 @@ func doReplay(path, mech string) error {
 	if m.NeedsStableAnalysis() {
 		return fmt.Errorf("mechanism %q needs the live stable-load pre-pass; trace replay supports the table-based mechanisms", mech)
 	}
-	att, _, _ := m.NewAttachments()
+	att, _, _, err := m.NewAttachments()
+	if err != nil {
+		return err
+	}
 	core := pipeline.NewCore(pipeline.DefaultConfig(), att,
 		cache.NewHierarchy(cache.DefaultHierarchyConfig()), r)
 	if err := core.Run(1 << 40); err != nil {

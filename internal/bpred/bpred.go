@@ -4,10 +4,20 @@
 // paper) uses TAGE/ITTAGE with a 20-cycle misprediction penalty; this is a
 // compact TAGE with the same structure (bimodal base + tagged components
 // with geometrically-growing history lengths).
+//
+// The predictor is fully parameterized through Config: the mechanism
+// registry (internal/sim) exposes the TAGE geometry and a plain-bimodal
+// fallback variant as a sweepable axis, so predictor interplay studies run
+// through the same New(Config) constructor the default core uses.
 package bpred
 
-import "constable/internal/isa"
+import (
+	"fmt"
 
+	"constable/internal/isa"
+)
+
+// Default geometry (Table 2-like compact TAGE). DefaultConfig returns these.
 const (
 	numTables   = 4  // tagged components
 	tableBits   = 10 // entries per tagged component = 1<<tableBits
@@ -18,8 +28,98 @@ const (
 	btbBits     = 11
 )
 
-// history lengths for the tagged components (geometric series).
+// MaxTables caps the tagged-component count so Config stays a comparable
+// fixed-size value (the service layer relies on == for canonicalization).
+const MaxTables = 8
+
+// MaxHistory is the longest global-history length a tagged component may use.
+const MaxHistory = maxHistory
+
+// history lengths for the default tagged components (geometric series).
 var histLens = [numTables]int{4, 12, 34, 96}
+
+// Config parameterizes a Predictor. The zero value is not valid; start from
+// DefaultConfig (or BimodalConfig) and override fields. Config is a plain
+// comparable value: two equal configs describe identical predictors.
+type Config struct {
+	// Tables is the number of tagged TAGE components. 0 selects the plain
+	// bimodal variant: the base table predicts alone and no global history
+	// is consulted (the history still shifts, keeping the update contract
+	// identical across variants).
+	Tables int `json:"tables"`
+	// TableBits sizes each tagged component at 1<<TableBits entries.
+	TableBits int `json:"table_bits"`
+	// BimodalBits sizes the bimodal base table at 1<<BimodalBits entries.
+	BimodalBits int `json:"bimodal_bits"`
+	// TagBits is the partial-tag width stored in the tagged components.
+	TagBits int `json:"tag_bits"`
+	// HistLens[0:Tables] are the global-history lengths of the tagged
+	// components, strictly increasing, each at most MaxHistory. Entries
+	// past Tables are ignored and should be zero.
+	HistLens [MaxTables]int `json:"hist_lens"`
+	// RASDepth is the return-address-stack depth.
+	RASDepth int `json:"ras_depth"`
+	// BTBBits sizes the branch target buffer at 1<<BTBBits entries.
+	BTBBits int `json:"btb_bits"`
+}
+
+// DefaultConfig returns the Table 2 baseline TAGE geometry.
+func DefaultConfig() Config {
+	cfg := Config{
+		Tables:      numTables,
+		TableBits:   tableBits,
+		BimodalBits: bimodalBits,
+		TagBits:     tagBits,
+		RASDepth:    rasDepth,
+		BTBBits:     btbBits,
+	}
+	copy(cfg.HistLens[:], histLens[:])
+	return cfg
+}
+
+// BimodalConfig returns the plain-bimodal fallback variant: the default
+// geometry with every tagged component removed.
+func BimodalConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Tables = 0
+	cfg.HistLens = [MaxTables]int{}
+	return cfg
+}
+
+// Validate reports whether the configuration describes a buildable
+// predictor.
+func (c Config) Validate() error {
+	if c.Tables < 0 || c.Tables > MaxTables {
+		return fmt.Errorf("bpred: tables must be in [0,%d], got %d", MaxTables, c.Tables)
+	}
+	if c.TableBits < 1 || c.TableBits > 20 {
+		return fmt.Errorf("bpred: table_bits must be in [1,20], got %d", c.TableBits)
+	}
+	if c.BimodalBits < 1 || c.BimodalBits > 22 {
+		return fmt.Errorf("bpred: bimodal_bits must be in [1,22], got %d", c.BimodalBits)
+	}
+	if c.TagBits < 2 || c.TagBits > 16 {
+		return fmt.Errorf("bpred: tag_bits must be in [2,16], got %d", c.TagBits)
+	}
+	prev := 0
+	for t := 0; t < c.Tables; t++ {
+		n := c.HistLens[t]
+		if n <= prev {
+			return fmt.Errorf("bpred: hist_lens must be strictly increasing, got %v", c.HistLens[:c.Tables])
+		}
+		if n > MaxHistory {
+			return fmt.Errorf("bpred: history length %d exceeds the %d-bit window", n, MaxHistory)
+		}
+		prev = n
+	}
+	if c.RASDepth < 1 || c.RASDepth > 1024 {
+		return fmt.Errorf("bpred: ras_depth must be in [1,1024], got %d", c.RASDepth)
+	}
+	if c.BTBBits < 1 || c.BTBBits > 22 {
+		return fmt.Errorf("bpred: btb_bits must be in [1,22], got %d", c.BTBBits)
+	}
+	return nil
+}
 
 type tageEntry struct {
 	tag    uint32
@@ -30,16 +130,18 @@ type tageEntry struct {
 // Predictor is the combined direction predictor + BTB + RAS. The zero value
 // is not usable; call New.
 type Predictor struct {
+	cfg Config
+
 	bimodal []int8
-	tables  [numTables][]tageEntry
+	tables  [][]tageEntry
 	ghist   [maxHistory]bool
 	gpos    int // circular position
 
-	// foldIdx/foldTag are the folded histories foldedHist(histLens[t], bits)
-	// for bits = tableBits and tagBits, maintained incrementally on every
+	// foldIdx/foldTag are the folded histories foldedHist(HistLens[t], bits)
+	// for bits = TableBits and TagBits, maintained incrementally on every
 	// history shift so a lookup never walks the history buffer.
-	foldIdx [numTables]uint32
-	foldTag [numTables]uint32
+	foldIdx []uint32
+	foldTag []uint32
 
 	btb []btbEntry
 	ras []uint64
@@ -55,18 +157,30 @@ type btbEntry struct {
 	valid  bool
 }
 
-// New returns an initialized predictor.
-func New() *Predictor {
+// New returns a predictor built from cfg. It panics on an invalid
+// configuration — callers that accept configs from outside validate with
+// Config.Validate first (the service layer does this at canonicalization).
+func New(cfg Config) *Predictor {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
 	p := &Predictor{
-		bimodal: make([]int8, 1<<bimodalBits),
-		btb:     make([]btbEntry, 1<<btbBits),
-		ras:     make([]uint64, 0, rasDepth),
+		cfg:     cfg,
+		bimodal: make([]int8, 1<<cfg.BimodalBits),
+		tables:  make([][]tageEntry, cfg.Tables),
+		foldIdx: make([]uint32, cfg.Tables),
+		foldTag: make([]uint32, cfg.Tables),
+		btb:     make([]btbEntry, 1<<cfg.BTBBits),
+		ras:     make([]uint64, 0, cfg.RASDepth),
 	}
 	for i := range p.tables {
-		p.tables[i] = make([]tageEntry, 1<<tableBits)
+		p.tables[i] = make([]tageEntry, 1<<cfg.TableBits)
 	}
 	return p
 }
+
+// Config returns the configuration the predictor was built from.
+func (p *Predictor) Config() Config { return p.cfg }
 
 func (p *Predictor) histBit(i int) bool {
 	return p.ghist[(p.gpos-1-i+2*maxHistory)%maxHistory]
@@ -106,22 +220,22 @@ func shiftFold(f uint32, bits, n int, newBit, oldBit bool) uint32 {
 // shiftHistory appends the branch outcome to the global history and updates
 // every folded register.
 func (p *Predictor) shiftHistory(taken bool) {
-	for t := 0; t < numTables; t++ {
-		n := histLens[t]
+	for t := 0; t < p.cfg.Tables; t++ {
+		n := p.cfg.HistLens[t]
 		old := p.histBit(n - 1)
-		p.foldIdx[t] = shiftFold(p.foldIdx[t], tableBits, n, taken, old)
-		p.foldTag[t] = shiftFold(p.foldTag[t], tagBits, n, taken, old)
+		p.foldIdx[t] = shiftFold(p.foldIdx[t], p.cfg.TableBits, n, taken, old)
+		p.foldTag[t] = shiftFold(p.foldTag[t], p.cfg.TagBits, n, taken, old)
 	}
 	p.ghist[p.gpos] = taken
 	p.gpos = (p.gpos + 1) % maxHistory
 }
 
 func (p *Predictor) index(pc uint64, t int) uint32 {
-	return (uint32(pc>>2) ^ p.foldIdx[t] ^ uint32(t)*0x9E37) & ((1 << tableBits) - 1)
+	return (uint32(pc>>2) ^ p.foldIdx[t] ^ uint32(t)*0x9E37) & ((1 << p.cfg.TableBits) - 1)
 }
 
 func (p *Predictor) tag(pc uint64, t int) uint32 {
-	return (uint32(pc>>2)*2654435761 ^ p.foldTag[t]) & ((1 << tagBits) - 1)
+	return (uint32(pc>>2)*2654435761 ^ p.foldTag[t]) & ((1 << p.cfg.TagBits) - 1)
 }
 
 // PredictDirection predicts the direction of the conditional branch at pc.
@@ -134,14 +248,14 @@ func (p *Predictor) PredictDirection(pc uint64) bool {
 // predict returns (prediction, provider table index or -1 for bimodal,
 // provider entry index).
 func (p *Predictor) predict(pc uint64) (bool, int, uint32) {
-	for t := numTables - 1; t >= 0; t-- {
+	for t := p.cfg.Tables - 1; t >= 0; t-- {
 		idx := p.index(pc, t)
 		e := &p.tables[t][idx]
 		if e.tag == p.tag(pc, t) {
 			return e.ctr >= 0, t, idx
 		}
 	}
-	bi := (pc >> 2) & ((1 << bimodalBits) - 1)
+	bi := (pc >> 2) & ((1 << p.cfg.BimodalBits) - 1)
 	return p.bimodal[bi] >= 0, -1, uint32(bi)
 }
 
@@ -167,10 +281,10 @@ func (p *Predictor) UpdateDirection(pc uint64, taken bool) {
 	}
 
 	// On a misprediction, allocate in a longer-history table.
-	if pred != taken && provider < numTables-1 {
+	if pred != taken && provider < p.cfg.Tables-1 {
 		start := provider + 1
 		allocated := false
-		for t := start; t < numTables; t++ {
+		for t := start; t < p.cfg.Tables; t++ {
 			i := p.index(pc, t)
 			e := &p.tables[t][i]
 			if e.useful == 0 {
@@ -185,7 +299,7 @@ func (p *Predictor) UpdateDirection(pc uint64, taken bool) {
 			}
 		}
 		if !allocated {
-			for t := start; t < numTables; t++ {
+			for t := start; t < p.cfg.Tables; t++ {
 				e := &p.tables[t][p.index(pc, t)]
 				if e.useful > 0 {
 					e.useful--
@@ -221,7 +335,7 @@ func (p *Predictor) PredictTarget(pc uint64, op isa.Op) (uint64, bool) {
 		}
 		return p.ras[len(p.ras)-1], true
 	}
-	e := &p.btb[(pc>>2)&((1<<btbBits)-1)]
+	e := &p.btb[(pc>>2)&((1<<p.cfg.BTBBits)-1)]
 	if e.valid && e.pc == pc {
 		return e.target, true
 	}
@@ -233,9 +347,9 @@ func (p *Predictor) PredictTarget(pc uint64, op isa.Op) (uint64, bool) {
 func (p *Predictor) UpdateTarget(pc uint64, op isa.Op, target uint64) {
 	switch op {
 	case isa.OpCall:
-		if len(p.ras) == rasDepth {
+		if len(p.ras) == p.cfg.RASDepth {
 			copy(p.ras, p.ras[1:])
-			p.ras = p.ras[:rasDepth-1]
+			p.ras = p.ras[:p.cfg.RASDepth-1]
 		}
 		p.ras = append(p.ras, pc+isa.InstBytes)
 	case isa.OpRet:
@@ -244,7 +358,7 @@ func (p *Predictor) UpdateTarget(pc uint64, op isa.Op, target uint64) {
 		}
 		return // returns are predicted by the RAS, not the BTB
 	}
-	e := &p.btb[(pc>>2)&((1<<btbBits)-1)]
+	e := &p.btb[(pc>>2)&((1<<p.cfg.BTBBits)-1)]
 	e.pc, e.target, e.valid = pc, target, true
 }
 

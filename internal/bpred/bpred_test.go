@@ -8,7 +8,7 @@ import (
 )
 
 func TestAlwaysTakenBranchLearns(t *testing.T) {
-	p := New()
+	p := New(DefaultConfig())
 	pc := uint64(0x400100)
 	wrong := 0
 	for i := 0; i < 200; i++ {
@@ -24,7 +24,7 @@ func TestAlwaysTakenBranchLearns(t *testing.T) {
 
 func TestAlternatingBranchLearnsWithHistory(t *testing.T) {
 	// TAGE's tagged history components must learn a strict T/NT alternation.
-	p := New()
+	p := New(DefaultConfig())
 	pc := uint64(0x400200)
 	wrongLate := 0
 	for i := 0; i < 600; i++ {
@@ -42,7 +42,7 @@ func TestAlternatingBranchLearnsWithHistory(t *testing.T) {
 
 func TestLoopExitPattern(t *testing.T) {
 	// A loop taken 7 times then not-taken must be mostly predictable.
-	p := New()
+	p := New(DefaultConfig())
 	pc := uint64(0x400300)
 	wrongLate := 0
 	total := 0
@@ -65,7 +65,7 @@ func TestLoopExitPattern(t *testing.T) {
 }
 
 func TestRandomBranchIsHard(t *testing.T) {
-	p := New()
+	p := New(DefaultConfig())
 	rng := rand.New(rand.NewSource(1))
 	pc := uint64(0x400400)
 	wrong := 0
@@ -84,7 +84,7 @@ func TestRandomBranchIsHard(t *testing.T) {
 }
 
 func TestBTB(t *testing.T) {
-	p := New()
+	p := New(DefaultConfig())
 	pc, target := uint64(0x400500), uint64(0x400800)
 	if _, ok := p.PredictTarget(pc, isa.OpJump); ok {
 		t.Error("cold BTB must miss")
@@ -97,7 +97,7 @@ func TestBTB(t *testing.T) {
 }
 
 func TestRAS(t *testing.T) {
-	p := New()
+	p := New(DefaultConfig())
 	callPC := uint64(0x400600)
 	p.UpdateTarget(callPC, isa.OpCall, 0x500000)
 	got, ok := p.PredictTarget(0x500010, isa.OpRet)
@@ -111,7 +111,7 @@ func TestRAS(t *testing.T) {
 }
 
 func TestRASOverflowKeepsNewest(t *testing.T) {
-	p := New()
+	p := New(DefaultConfig())
 	for i := 0; i < rasDepth+5; i++ {
 		p.UpdateTarget(uint64(0x400000+i*8), isa.OpCall, 0x500000)
 	}
@@ -123,7 +123,7 @@ func TestRASOverflowKeepsNewest(t *testing.T) {
 }
 
 func TestMispredictRate(t *testing.T) {
-	p := New()
+	p := New(DefaultConfig())
 	if p.MispredictRate() != 0 {
 		t.Error("empty predictor must report rate 0")
 	}
@@ -135,7 +135,7 @@ func TestMispredictRate(t *testing.T) {
 }
 
 func TestDistinctBranchesDoNotInterfereMuch(t *testing.T) {
-	p := New()
+	p := New(DefaultConfig())
 	wrong := 0
 	const n = 400
 	for i := 0; i < n; i++ {
@@ -152,5 +152,92 @@ func TestDistinctBranchesDoNotInterfereMuch(t *testing.T) {
 	}
 	if wrong > 100 {
 		t.Errorf("fixed-direction branches mispredicted %d times", wrong)
+	}
+}
+
+func TestBimodalVariantPredicts(t *testing.T) {
+	p := New(BimodalConfig())
+	pc := uint64(0x400900)
+	wrong := 0
+	for i := 0; i < 200; i++ {
+		if i > 10 && !p.PredictDirection(pc) {
+			wrong++
+		} else if i <= 10 {
+			p.PredictDirection(pc)
+		}
+		p.UpdateDirection(pc, true)
+	}
+	if wrong > 0 {
+		t.Errorf("bimodal mispredicted a fixed-direction branch %d times in steady state", wrong)
+	}
+}
+
+func TestBimodalCannotLearnAlternation(t *testing.T) {
+	// Without tagged history components a strict T/NT alternation is
+	// unlearnable — that is exactly what makes the variant a useful
+	// sweepable contrast to TAGE.
+	p := New(BimodalConfig())
+	pc := uint64(0x400A00)
+	wrongLate := 0
+	for i := 0; i < 600; i++ {
+		taken := i%2 == 0
+		pred := p.PredictDirection(pc)
+		if i >= 300 && pred != taken {
+			wrongLate++
+		}
+		p.UpdateDirection(pc, taken)
+	}
+	if wrongLate < 100 {
+		t.Errorf("bimodal alternation mispredicts = %d/300, suspiciously low", wrongLate)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	if err := BimodalConfig().Validate(); err != nil {
+		t.Fatalf("bimodal config invalid: %v", err)
+	}
+	bad := DefaultConfig()
+	bad.Tables = MaxTables + 1
+	if bad.Validate() == nil {
+		t.Error("excess tables must be rejected")
+	}
+	bad = DefaultConfig()
+	bad.HistLens[1] = bad.HistLens[0] // not strictly increasing
+	if bad.Validate() == nil {
+		t.Error("non-increasing history lengths must be rejected")
+	}
+	bad = DefaultConfig()
+	bad.HistLens[3] = MaxHistory + 1
+	if bad.Validate() == nil {
+		t.Error("over-long history must be rejected")
+	}
+	bad = DefaultConfig()
+	bad.TagBits = 0
+	if bad.Validate() == nil {
+		t.Error("zero tag bits must be rejected")
+	}
+}
+
+func TestShortHistoryTageLearnsShortPatterns(t *testing.T) {
+	// A 2-table TAGE with short histories still learns a period-2 pattern.
+	cfg := DefaultConfig()
+	cfg.Tables = 2
+	cfg.HistLens = [MaxTables]int{2, 6}
+	p := New(cfg)
+	pc := uint64(0x400B00)
+	wrongLate := 0
+	for i := 0; i < 600; i++ {
+		taken := i%2 == 0
+		pred := p.PredictDirection(pc)
+		if i >= 300 && pred != taken {
+			wrongLate++
+		}
+		p.UpdateDirection(pc, taken)
+	}
+	if wrongLate > 30 {
+		t.Errorf("2-table TAGE alternation mispredicts = %d/300", wrongLate)
 	}
 }

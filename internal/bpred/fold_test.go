@@ -8,7 +8,7 @@ import "testing"
 // reference definition. This pins the rotate-and-patch recurrence in
 // shiftFold to foldedHist.
 func TestIncrementalFoldsMatchReference(t *testing.T) {
-	p := New()
+	p := New(DefaultConfig())
 	rng := uint64(0x9E3779B97F4A7C15)
 	for i := 0; i < 4*maxHistory; i++ {
 		rng ^= rng << 13

@@ -1,6 +1,9 @@
 package cache
 
-import "constable/internal/isa"
+import (
+	"constable/internal/isa"
+	"constable/internal/stats"
+)
 
 // HierarchyConfig parameterizes a core's view of the memory hierarchy.
 // Defaults follow Table 2 of the paper (Golden Cove-like).
@@ -41,8 +44,15 @@ type Hierarchy struct {
 	LLC  *Cache
 	DRAM *DRAM
 
-	strideL1 *StridePrefetcher
+	// l1pf is the pluggable L1-D prefetcher (stride by default; the
+	// mechanism registry swaps in delta-pattern or none). streamL2 is the
+	// fixed L2 next-line streamer.
+	l1pf     L1Prefetcher
 	streamL2 *Streamer
+
+	// l1dPred, when attached, observes every demand load's hit/miss
+	// outcome (measurement hardware; see L1DPredictor).
+	l1dPred *L1DPredictor
 
 	// Directory, when non-nil, is consulted on fills and evictions for
 	// multi-core coherence; CoreID identifies this core to it.
@@ -66,10 +76,24 @@ func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
 		L2:       NewCache(cfg.L2),
 		LLC:      NewCache(cfg.LLC),
 		DRAM:     NewDRAM(cfg.DRAM),
-		strideL1: NewStridePrefetcher(cfg.StrideEntries, cfg.StrideDegree),
+		l1pf:     NewStridePrefetcher(cfg.StrideEntries, cfg.StrideDegree),
 		streamL2: NewStreamer(cfg.StreamTrackers, cfg.StreamDegree),
 	}
 }
+
+// SetL1Prefetcher replaces the L1-D prefetcher (nil disables prefetching
+// outright; prefer NonePrefetcher so IssuedCount stays reportable).
+func (h *Hierarchy) SetL1Prefetcher(p L1Prefetcher) { h.l1pf = p }
+
+// L1Prefetcher returns the attached L1-D prefetcher.
+func (h *Hierarchy) L1Prefetcher() L1Prefetcher { return h.l1pf }
+
+// SetL1DPredictor attaches an L1-D hit/miss predictor to the demand-load
+// stream (nil detaches).
+func (h *Hierarchy) SetL1DPredictor(p *L1DPredictor) { h.l1dPred = p }
+
+// L1DPredictor returns the attached hit/miss predictor (nil when absent).
+func (h *Hierarchy) L1DPredictor() *L1DPredictor { return h.l1dPred }
 
 // SetSharedLLC replaces this hierarchy's LLC and DRAM with shared instances
 // (multi-core configuration).
@@ -84,33 +108,39 @@ func (h *Hierarchy) Load(pc, addr uint64) int {
 	h.L1DLoadAccesses++
 	h.DTLBAccesses++
 	la := LineAddr(addr)
-	lat := h.access(la, false)
-
-	// Train the L1 stride prefetcher and fill prefetches into L1.
-	for _, pl := range h.strideL1.Observe(pc, addr) {
-		if !h.L1D.Lookup(pl) {
-			h.L1D.Fill(pl)
-			h.PrefetchFills++
-		}
+	lat, l1hit := h.access(la, false)
+	if h.l1dPred != nil {
+		h.l1dPred.Observe(pc, l1hit)
 	}
+
+	// Train the L1 prefetcher and fill prefetches into L1.
+	h.trainL1Prefetcher(pc, addr)
 	return lat
 }
 
 // LoadPrefetch performs a register-file-prefetch access (RFP): it walks the
-// hierarchy and fills like a load but does not train the stride prefetcher —
+// hierarchy and fills like a load but does not train the L1 prefetcher —
 // the predicted address stream would otherwise double-train and poison it.
 func (h *Hierarchy) LoadPrefetch(addr uint64) int {
 	h.L1DLoadAccesses++
 	h.DTLBAccesses++
-	return h.access(LineAddr(addr), false)
+	lat, _ := h.access(LineAddr(addr), false)
+	return lat
 }
 
-// TrainStride feeds a demand access into the L1 stride prefetcher without
+// TrainStride feeds a demand access into the attached L1 prefetcher without
 // performing a cache access; used when the data itself was already fetched
 // by a register-file prefetch but the prefetcher must keep seeing the true
 // demand stream.
 func (h *Hierarchy) TrainStride(pc, addr uint64) {
-	for _, pl := range h.strideL1.Observe(pc, addr) {
+	h.trainL1Prefetcher(pc, addr)
+}
+
+func (h *Hierarchy) trainL1Prefetcher(pc, addr uint64) {
+	if h.l1pf == nil {
+		return
+	}
+	for _, pl := range h.l1pf.Observe(pc, addr) {
 		if !h.L1D.Lookup(pl) {
 			h.L1D.Fill(pl)
 			h.PrefetchFills++
@@ -123,17 +153,19 @@ func (h *Hierarchy) TrainStride(pc, addr uint64) {
 func (h *Hierarchy) Store(addr uint64) int {
 	h.L1DStoreAccesses++
 	h.DTLBAccesses++
-	return h.access(LineAddr(addr), true)
+	lat, _ := h.access(LineAddr(addr), true)
+	return lat
 }
 
-// access walks the hierarchy for lineAddr and returns the total latency.
-func (h *Hierarchy) access(lineAddr uint64, write bool) int {
+// access walks the hierarchy for lineAddr and returns the total latency and
+// whether the L1-D hit.
+func (h *Hierarchy) access(lineAddr uint64, write bool) (int, bool) {
 	lat := h.L1D.Config().Latency
 	if h.L1D.Access(lineAddr, write) {
 		if write && h.Directory != nil {
 			h.Directory.OnStore(h.CoreID, lineAddr)
 		}
-		return lat
+		return lat, true
 	}
 	lat += h.L2.Config().Latency
 	h.L2Accesses++
@@ -157,11 +189,40 @@ func (h *Hierarchy) access(lineAddr uint64, write bool) int {
 			h.Directory.OnStore(h.CoreID, lineAddr)
 		}
 	}
-	return lat
+	return lat, false
 }
 
 // InvalidateLine drops the line from the private levels (snoop handling).
 func (h *Hierarchy) InvalidateLine(lineAddr uint64) {
 	h.L1D.Invalidate(lineAddr)
 	h.L2.Invalidate(lineAddr)
+}
+
+// Interned counter IDs for the hierarchy's prefetch and L1-D-predictor
+// statistics.
+var (
+	cPrefetchL1Issued = stats.Intern("prefetch.l1_issued")
+	cPrefetchL2Issued = stats.Intern("prefetch.l2_stream_issued")
+	cPrefetchFills    = stats.Intern("prefetch.fills")
+	cL1DPredLookups   = stats.Intern("l1dpred.lookups")
+	cL1DPredHit       = stats.Intern("l1dpred.predicted_hit")
+	cL1DPredMisp      = stats.Intern("l1dpred.mispredicts")
+	cL1DPredHitsObs   = stats.Intern("l1dpred.hits_observed")
+)
+
+// EmitCounters adds the hierarchy's prefetcher and L1-D-predictor statistics
+// into cs through the interned counter registry, so they reach the run's
+// counter snapshot alongside the access counters sim.Run records.
+func (h *Hierarchy) EmitCounters(cs *stats.CounterSet) {
+	if h.l1pf != nil {
+		cs.Add(cPrefetchL1Issued, h.l1pf.IssuedCount())
+	}
+	cs.Add(cPrefetchL2Issued, h.streamL2.Issued)
+	cs.Add(cPrefetchFills, h.PrefetchFills)
+	if p := h.l1dPred; p != nil {
+		cs.Add(cL1DPredLookups, p.Lookups)
+		cs.Add(cL1DPredHit, p.PredictedHit)
+		cs.Add(cL1DPredMisp, p.Mispredicts)
+		cs.Add(cL1DPredHitsObs, p.HitsObserved)
+	}
 }

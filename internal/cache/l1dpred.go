@@ -1,0 +1,106 @@
+package cache
+
+import "fmt"
+
+// L1DPredConfig parameterizes the L1-D hit/miss predictor. A plain
+// comparable value (the mechanism registry relies on ==).
+type L1DPredConfig struct {
+	// Entries sizes the PC-indexed counter table; rounded up to a power of
+	// two. Ignored by the global variant.
+	Entries int `json:"entries"`
+	// Bits is the saturating-counter width (2 = classic bimodal hysteresis).
+	Bits int `json:"bits"`
+	// Global collapses the table to one shared counter — the registry's
+	// "global" variant, a deliberate weak contrast to the PC-indexed one.
+	Global bool `json:"global,omitempty"`
+}
+
+// DefaultL1DPredConfig returns a 4096-entry 2-bit PC-indexed predictor.
+func DefaultL1DPredConfig() L1DPredConfig {
+	return L1DPredConfig{Entries: 4096, Bits: 2}
+}
+
+// Validate reports whether the configuration describes a buildable
+// predictor.
+func (c L1DPredConfig) Validate() error {
+	if c.Entries < 1 || c.Entries > 1<<20 {
+		return fmt.Errorf("cache: l1dpred entries must be in [1,%d], got %d", 1<<20, c.Entries)
+	}
+	if c.Bits < 1 || c.Bits > 7 {
+		return fmt.Errorf("cache: l1dpred bits must be in [1,7], got %d", c.Bits)
+	}
+	return nil
+}
+
+// L1DPredictor predicts, per static load, whether the access will hit in
+// the L1-D — the hint a real scheduler uses to speculatively wake dependents
+// at load-use latency. Here it runs as measurement hardware on the demand
+// stream: the hierarchy consults it before each load and trains it with the
+// observed outcome, and its accuracy counters flow into the run snapshot so
+// sweeps can quantify predictability alongside Constable's coverage.
+type L1DPredictor struct {
+	table []int8
+	mask  uint64
+	max   int8
+	min   int8
+
+	// Counters (exported into the run snapshot via the hierarchy).
+	Lookups      uint64
+	PredictedHit uint64
+	Mispredicts  uint64
+	HitsObserved uint64
+}
+
+// NewL1DPredictor builds a predictor from cfg. Counters start weakly
+// predicting hit, matching the prior that L1-D hit rates are high.
+func NewL1DPredictor(cfg L1DPredConfig) *L1DPredictor {
+	entries := cfg.Entries
+	if cfg.Global {
+		entries = 1
+	}
+	n := nextPow2(entries)
+	return &L1DPredictor{
+		table: make([]int8, n),
+		mask:  uint64(n - 1),
+		max:   int8(1<<(cfg.Bits-1)) - 1,
+		min:   -int8(1 << (cfg.Bits - 1)),
+	}
+}
+
+// Predict returns the current hit prediction for the load at pc without
+// training.
+func (p *L1DPredictor) Predict(pc uint64) bool {
+	return p.table[(pc>>2)&p.mask] >= 0
+}
+
+// Observe predicts the access at pc, trains on the actual outcome, and
+// accounts accuracy. The hierarchy calls it once per demand load.
+func (p *L1DPredictor) Observe(pc uint64, hit bool) {
+	p.Lookups++
+	if hit {
+		p.HitsObserved++
+	}
+	c := &p.table[(pc>>2)&p.mask]
+	pred := *c >= 0
+	if pred {
+		p.PredictedHit++
+	}
+	if pred != hit {
+		p.Mispredicts++
+	}
+	if hit {
+		if *c < p.max {
+			*c++
+		}
+	} else if *c > p.min {
+		*c--
+	}
+}
+
+// Accuracy returns the fraction of observed loads predicted correctly.
+func (p *L1DPredictor) Accuracy() float64 {
+	if p.Lookups == 0 {
+		return 0
+	}
+	return 1 - float64(p.Mispredicts)/float64(p.Lookups)
+}

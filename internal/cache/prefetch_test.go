@@ -1,0 +1,249 @@
+package cache
+
+import (
+	"testing"
+
+	"constable/internal/stats"
+)
+
+// TestStrideTableMasksNonPowerOfTwo pins the indexing bugfix: an arbitrary
+// (non-power-of-2) table size must round up and mask, never modulo — the
+// prefetcher keeps learning per-PC streams regardless of the requested size.
+func TestStrideTableMasksNonPowerOfTwo(t *testing.T) {
+	p := NewStridePrefetcher(100, 2) // rounds up to 128
+	if len(p.table) != 128 || p.mask != 127 {
+		t.Fatalf("table = %d entries, mask = %d; want 128/127", len(p.table), p.mask)
+	}
+	pc := uint64(0x400000)
+	var issued int
+	for i := 0; i < 10; i++ {
+		issued += len(p.Observe(pc, uint64(0x10000+i*64)))
+	}
+	if issued == 0 || p.IssuedCount() == 0 {
+		t.Errorf("strided stream issued %d prefetches (counter %d)", issued, p.IssuedCount())
+	}
+}
+
+func TestStridePrefetcherConfigThresholds(t *testing.T) {
+	cfg := DefaultPrefetchConfig()
+	cfg.Threshold = 3
+	cfg.MaxConf = 3
+	p := NewStridePrefetcherWith(cfg)
+	pc := uint64(0x400100)
+	// With threshold 3, the 3rd matching stride (4th access) is the first
+	// that may issue; the default threshold-2 prefetcher issues one earlier.
+	var firstIssue int
+	for i := 0; i < 8; i++ {
+		if len(p.Observe(pc, uint64(0x20000+i*64))) > 0 {
+			firstIssue = i
+			break
+		}
+	}
+	if firstIssue != 4 {
+		t.Errorf("threshold-3 first issue at access %d, want 4", firstIssue)
+	}
+}
+
+func TestDeltaPrefetcherLearnsRepeatingPattern(t *testing.T) {
+	p := NewDeltaPrefetcher(DefaultPrefetchConfig())
+	pc := uint64(0x400200)
+	// Repeating delta pattern +64,+64,+192 (a strided walk over padded
+	// records) that a single-stride predictor cannot hold a stable stride
+	// for.
+	addr := uint64(0x30000)
+	deltas := []int64{64, 64, 192}
+	var issued uint64
+	for i := 0; i < 30; i++ {
+		issued += uint64(len(p.Observe(pc, addr)))
+		addr += uint64(deltas[i%len(deltas)])
+	}
+	if issued == 0 {
+		t.Fatal("delta prefetcher never issued on a repeating pattern")
+	}
+	if p.IssuedCount() != issued {
+		t.Errorf("IssuedCount = %d, issued = %d", p.IssuedCount(), issued)
+	}
+	// The stride prefetcher keeps resetting confidence on this pattern.
+	s := NewStridePrefetcher(256, 2)
+	addr = 0x30000
+	var strideIssued int
+	for i := 0; i < 30; i++ {
+		strideIssued += len(s.Observe(pc, addr))
+		addr += uint64(deltas[i%len(deltas)])
+	}
+	if strideIssued >= int(issued) {
+		t.Errorf("stride issued %d >= delta %d on a multi-delta pattern", strideIssued, issued)
+	}
+}
+
+func TestDeltaPrefetcherPredictsPatternAddresses(t *testing.T) {
+	cfg := DefaultPrefetchConfig()
+	cfg.Degree = 2
+	p := NewDeltaPrefetcher(cfg)
+	pc := uint64(0x400300)
+	addr := uint64(0x40000)
+	var last []uint64
+	var lastAddr uint64
+	for i := 0; i < 24; i++ {
+		if out := p.Observe(pc, addr); len(out) > 0 {
+			last, lastAddr = out, addr
+		}
+		addr += 64
+	}
+	if last == nil {
+		t.Fatal("pure stride never confident")
+	}
+	want := []uint64{LineAddr(lastAddr + 64), LineAddr(lastAddr + 128)}
+	if len(last) != 2 || last[0] != want[0] || last[1] != want[1] {
+		t.Errorf("prefetched %v, want %v", last, want)
+	}
+}
+
+func TestDeltaPrefetcherIgnoresZeroDelta(t *testing.T) {
+	p := NewDeltaPrefetcher(DefaultPrefetchConfig())
+	pc := uint64(0x400400)
+	for i := 0; i < 50; i++ {
+		if out := p.Observe(pc, 0x50000); len(out) != 0 {
+			t.Fatalf("same-address stream must never prefetch, got %v", out)
+		}
+	}
+}
+
+func TestNonePrefetcher(t *testing.T) {
+	var p L1Prefetcher = NonePrefetcher{}
+	for i := 0; i < 10; i++ {
+		if out := p.Observe(0x400500, uint64(0x60000+i*64)); out != nil {
+			t.Fatalf("NonePrefetcher issued %v", out)
+		}
+	}
+	if p.IssuedCount() != 0 {
+		t.Error("NonePrefetcher must count zero")
+	}
+}
+
+func TestPrefetchConfigValidate(t *testing.T) {
+	if err := DefaultPrefetchConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	for _, mut := range []func(*PrefetchConfig){
+		func(c *PrefetchConfig) { c.Entries = 0 },
+		func(c *PrefetchConfig) { c.Degree = 0 },
+		func(c *PrefetchConfig) { c.Degree = 17 },
+		func(c *PrefetchConfig) { c.Threshold = 0 },
+		func(c *PrefetchConfig) { c.Threshold = c.MaxConf + 1 },
+		func(c *PrefetchConfig) { c.Deltas = 1 },
+		func(c *PrefetchConfig) { c.Deltas = MaxDeltaHist + 1 },
+	} {
+		cfg := DefaultPrefetchConfig()
+		mut(&cfg)
+		if cfg.Validate() == nil {
+			t.Errorf("config %+v must be rejected", cfg)
+		}
+	}
+}
+
+func TestL1DPredictorLearnsPerPC(t *testing.T) {
+	p := NewL1DPredictor(DefaultL1DPredConfig())
+	hitPC, missPC := uint64(0x400600), uint64(0x400700)
+	for i := 0; i < 100; i++ {
+		p.Observe(hitPC, true)
+		p.Observe(missPC, false)
+	}
+	if !p.Predict(hitPC) {
+		t.Error("always-hit PC must predict hit")
+	}
+	if p.Predict(missPC) {
+		t.Error("always-miss PC must predict miss")
+	}
+	if p.Lookups != 200 || p.HitsObserved != 100 {
+		t.Errorf("lookups = %d, hits = %d", p.Lookups, p.HitsObserved)
+	}
+	// Initial bias predicts hit, so the miss PC pays a few training
+	// mispredicts and nothing else.
+	if p.Accuracy() < 0.95 {
+		t.Errorf("accuracy = %.3f on a fully-biased stream", p.Accuracy())
+	}
+}
+
+func TestL1DPredictorGlobalVariant(t *testing.T) {
+	cfg := DefaultL1DPredConfig()
+	cfg.Global = true
+	p := NewL1DPredictor(cfg)
+	if len(p.table) != 1 {
+		t.Fatalf("global variant table = %d entries", len(p.table))
+	}
+	// A global counter conflates the two PCs; the PC-indexed one does not.
+	for i := 0; i < 100; i++ {
+		p.Observe(0x400800, true)
+		p.Observe(0x400900, false)
+	}
+	if p.Predict(0x400800) != p.Predict(0x400900) {
+		t.Error("global variant must give one shared prediction")
+	}
+}
+
+func TestL1DPredConfigValidate(t *testing.T) {
+	if err := DefaultL1DPredConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := DefaultL1DPredConfig()
+	bad.Entries = 0
+	if bad.Validate() == nil {
+		t.Error("zero entries must be rejected")
+	}
+	bad = DefaultL1DPredConfig()
+	bad.Bits = 0
+	if bad.Validate() == nil {
+		t.Error("zero bits must be rejected")
+	}
+}
+
+// TestHierarchyEmitsPrefetchCounters pins the counter-registration bugfix:
+// the prefetchers' Issued counts must reach a run's counter snapshot through
+// the stats registry.
+func TestHierarchyEmitsPrefetchCounters(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchyConfig())
+	h.SetL1DPredictor(NewL1DPredictor(DefaultL1DPredConfig()))
+	pc := uint64(0x400A00)
+	for i := 0; i < 64; i++ {
+		h.Load(pc, uint64(0x100000+i*64))
+	}
+	var cs stats.CounterSet
+	h.EmitCounters(&cs)
+	snap := cs.Snapshot()
+	if snap.Get("prefetch.l1_issued") == 0 {
+		t.Errorf("prefetch.l1_issued missing from snapshot: %v", snap.Names())
+	}
+	if snap.Get("prefetch.fills") != h.PrefetchFills || h.PrefetchFills == 0 {
+		t.Errorf("prefetch.fills = %d, hierarchy = %d", snap.Get("prefetch.fills"), h.PrefetchFills)
+	}
+	if snap.Get("l1dpred.lookups") != 64 {
+		t.Errorf("l1dpred.lookups = %d, want 64", snap.Get("l1dpred.lookups"))
+	}
+}
+
+func TestHierarchySwapsPrefetcherVariant(t *testing.T) {
+	// The line one past the demand stream lands in L1 only via the L1
+	// prefetcher (the L2 streamer fills L2), so its presence distinguishes
+	// the stride and none variants behaviorally.
+	ahead := LineAddr(0x200000 + 64*64)
+	run := func(h *Hierarchy) {
+		for i := 0; i < 64; i++ {
+			h.Load(0x400B00, uint64(0x200000+i*64))
+		}
+	}
+	none := NewHierarchy(DefaultHierarchyConfig())
+	none.SetL1Prefetcher(NonePrefetcher{})
+	run(none)
+	if none.L1D.Lookup(ahead) {
+		t.Error("none variant prefetched the next line into L1")
+	}
+	if none.L1Prefetcher().IssuedCount() != 0 {
+		t.Errorf("none variant issued %d", none.L1Prefetcher().IssuedCount())
+	}
+	stride := NewHierarchy(DefaultHierarchyConfig())
+	run(stride)
+	if !stride.L1D.Lookup(ahead) {
+		t.Error("default stride variant must prefetch the next line into L1")
+	}
+}

@@ -79,6 +79,7 @@ func (r *Runner) drivers() []driver {
 		{"fig24", "APX: addressing-mode distribution", (*Runner).Fig24},
 		{"abl1", "Ablation: cacheline- vs full-address-indexed AMT (§6.6)", (*Runner).Abl1},
 		{"abl2", "Ablation: context-switch flush frequency (§6.7.3)", (*Runner).Abl2},
+		{"interplay", "Mechanism interplay: Constable × bpred/prefetch variants", (*Runner).Interplay},
 	}
 }
 

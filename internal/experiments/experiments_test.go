@@ -18,7 +18,7 @@ func TestIDsCoverAllPaperArtifacts(t *testing.T) {
 	ids := testRunner(&buf, 1000).IDs()
 	want := []string{"fig3", "fig6", "fig7", "fig9", "tab1", "tab3", "fig11", "fig12",
 		"fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20",
-		"fig21", "fig22", "fig23", "fig24", "abl1", "abl2"}
+		"fig21", "fig22", "fig23", "fig24", "abl1", "abl2", "interplay"}
 	if len(ids) != len(want) {
 		t.Fatalf("got %d experiments, want %d", len(ids), len(want))
 	}

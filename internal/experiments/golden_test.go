@@ -25,7 +25,7 @@ const goldenInstructions = 12_000
 func TestGoldenArtifacts(t *testing.T) {
 	ids := []string{"tab1", "tab3", "fig3"}
 	if !testing.Short() {
-		ids = append(ids, "fig6", "fig11")
+		ids = append(ids, "fig6", "fig11", "interplay")
 	}
 	for _, id := range ids {
 		t.Run(id, func(t *testing.T) {

@@ -9,6 +9,8 @@
 package pipeline
 
 import (
+	"constable/internal/bpred"
+	"constable/internal/cache"
 	"constable/internal/constable"
 	"constable/internal/isa"
 	"constable/internal/vpred"
@@ -102,6 +104,17 @@ type Attachments struct {
 	EVES      *vpred.EVES
 	RFP       *vpred.RFP
 	ELAR      *vpred.ELAR
+
+	// BPred, when non-nil, is the constructed branch predictor the front end
+	// uses; nil keeps the default TAGE configuration. The mechanism
+	// registry's bpred axis builds one from its variant config.
+	BPred *bpred.Predictor
+	// L1Prefetch, when non-nil, replaces the hierarchy's L1-D prefetcher on
+	// the memory path (stride, delta-pattern or none).
+	L1Prefetch cache.L1Prefetcher
+	// L1DPred, when non-nil, attaches an L1-D hit/miss predictor to the
+	// demand-load stream (instrumentation; counters reach the run snapshot).
+	L1DPred *cache.L1DPredictor
 
 	// IdealElimPCs eliminates every instance of the listed (global-stable)
 	// load PCs at rename — the Ideal Constable oracle of §4.4.

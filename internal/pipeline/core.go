@@ -203,11 +203,15 @@ func NewCore(cfg Config, att Attachments, hier *cache.Hierarchy, streams ...Stre
 	if cfg.Threads != len(streams) {
 		panic(fmt.Sprintf("pipeline: config has %d threads but %d streams supplied", cfg.Threads, len(streams)))
 	}
+	bp := att.BPred
+	if bp == nil {
+		bp = bpred.New(bpred.DefaultConfig())
+	}
 	c := &Core{
 		cfg:       cfg,
 		att:       att,
 		hier:      hier,
-		bp:        bpred.New(),
+		bp:        bp,
 		aluPorts:  make([]uint64, cfg.NumALUPorts),
 		loadPorts: make([]uint64, cfg.NumLoadPorts),
 		staPorts:  make([]uint64, cfg.NumStaPorts),
@@ -224,6 +228,12 @@ func NewCore(cfg Config, att Attachments, hier *cache.Hierarchy, streams ...Stre
 		ccfg := att.Constable.Config()
 		c.sldReadPorts = ccfg.SLDReadPorts
 		c.sldWritePorts = ccfg.SLDWritePorts
+	}
+	if att.L1Prefetch != nil {
+		hier.SetL1Prefetcher(att.L1Prefetch)
+	}
+	if att.L1DPred != nil {
+		hier.SetL1DPredictor(att.L1DPred)
 	}
 	c.hasEVES = att.EVES != nil
 	c.hasRFP = att.RFP != nil

@@ -3,6 +3,7 @@ package pipeline
 import (
 	"testing"
 
+	"constable/internal/bpred"
 	"constable/internal/cache"
 	"constable/internal/constable"
 	"constable/internal/fsim"
@@ -399,5 +400,47 @@ func TestSMTContextsDoNotAliasInSLD(t *testing.T) {
 	}
 	if core.Stats.EliminatedLoads == 0 {
 		t.Error("context tagging must not disable elimination")
+	}
+}
+
+func TestAttachmentsWireComponentVariants(t *testing.T) {
+	bp := bpred.New(bpred.BimodalConfig())
+	l1pf := cache.NewDeltaPrefetcher(cache.DefaultPrefetchConfig())
+	l1dp := cache.NewL1DPredictor(cache.DefaultL1DPredConfig())
+	hier := cache.NewHierarchy(cache.DefaultHierarchyConfig())
+	core := NewCore(DefaultConfig(), Attachments{BPred: bp, L1Prefetch: l1pf, L1DPred: l1dp},
+		hier, fsim.NewStream(fsim.New(stableLoadLoop()), 100))
+	if core.Branch() != bp {
+		t.Error("front end did not take the constructed predictor")
+	}
+	if hier.L1Prefetcher() != cache.L1Prefetcher(l1pf) {
+		t.Errorf("hierarchy prefetcher = %T", hier.L1Prefetcher())
+	}
+	if hier.L1DPredictor() != l1dp {
+		t.Error("hierarchy did not attach the L1-D predictor")
+	}
+	if err := core.Run(10_000); err != nil {
+		t.Fatal(err)
+	}
+	if l1dp.Lookups == 0 {
+		t.Error("attached L1-D predictor observed no loads")
+	}
+	if _, ok := hier.L1Prefetcher().(*cache.DeltaPrefetcher); !ok {
+		t.Errorf("prefetcher swapped away mid-run: %T", hier.L1Prefetcher())
+	}
+}
+
+func TestNilAttachmentsKeepDefaults(t *testing.T) {
+	hier := cache.NewHierarchy(cache.DefaultHierarchyConfig())
+	core := NewCore(DefaultConfig(), Attachments{}, hier,
+		fsim.NewStream(fsim.New(stableLoadLoop()), 100))
+	if core.Branch() == nil || core.Branch().Config() != bpred.DefaultConfig() {
+		t.Error("nil BPred attachment must fall back to the default TAGE config")
+	}
+	if _, ok := hier.L1Prefetcher().(*cache.StridePrefetcher); !ok {
+		t.Errorf("default prefetcher = %T, want stride", hier.L1Prefetcher())
+	}
+	if hier.L1DPredictor() != nil {
+		t.Error("L1-D predictor must stay detached by default")
 	}
 }

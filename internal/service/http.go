@@ -473,9 +473,12 @@ func routesFor(s *Scheduler) []apiRoute {
 				Description string `json:"description"`
 			}
 			presets := sim.Mechanisms()
-			out := make([]mech, len(presets))
+			out := struct {
+				Presets []mech              `json:"presets"`
+				Axes    []sim.MechanismAxis `json:"axes"`
+			}{Presets: make([]mech, len(presets)), Axes: sim.MechanismAxes()}
 			for i, p := range presets {
-				out[i] = mech{Name: p.Name, Description: p.Description}
+				out.Presets[i] = mech{Name: p.Name, Description: p.Description}
 			}
 			writeJSON(w, http.StatusOK, out)
 		}},

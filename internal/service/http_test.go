@@ -312,15 +312,29 @@ func TestAPIWorkloadsAndMechanisms(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer r2.Body.Close()
-	var mechs []struct {
-		Name        string `json:"name"`
-		Description string `json:"description"`
+	var mechs struct {
+		Presets []struct {
+			Name        string `json:"name"`
+			Description string `json:"description"`
+		} `json:"presets"`
+		Axes []struct {
+			Name     string `json:"name"`
+			Default  string `json:"default"`
+			Variants []struct {
+				Name        string `json:"name"`
+				Description string `json:"description"`
+			} `json:"variants"`
+			Params []struct {
+				Name        string `json:"name"`
+				Description string `json:"description"`
+			} `json:"params"`
+		} `json:"axes"`
 	}
 	if err := json.NewDecoder(r2.Body).Decode(&mechs); err != nil {
 		t.Fatal(err)
 	}
-	names := make([]string, len(mechs))
-	for i, m := range mechs {
+	names := make([]string, len(mechs.Presets))
+	for i, m := range mechs.Presets {
 		names[i] = m.Name
 		if m.Description == "" {
 			t.Errorf("mechanism %q has no description", m.Name)
@@ -328,6 +342,19 @@ func TestAPIWorkloadsAndMechanisms(t *testing.T) {
 	}
 	if fmt.Sprint(names) != fmt.Sprint(MechanismNames()) {
 		t.Errorf("mechanisms = %v, want %v", names, MechanismNames())
+	}
+	if len(mechs.Axes) != 3 {
+		t.Fatalf("axes = %d, want 3", len(mechs.Axes))
+	}
+	for _, a := range mechs.Axes {
+		if a.Default == "" || len(a.Variants) < 2 || len(a.Params) == 0 {
+			t.Errorf("axis %q incomplete: %+v", a.Name, a)
+		}
+		for _, p := range a.Params {
+			if p.Description == "" {
+				t.Errorf("axis %q param %q has no description", a.Name, p.Name)
+			}
+		}
 	}
 }
 

@@ -28,14 +28,19 @@ import (
 	"fmt"
 	"sort"
 
+	"constable/internal/bpred"
+	"constable/internal/cache"
 	"constable/internal/constable"
 	"constable/internal/pipeline"
 	"constable/internal/sim"
 	"constable/internal/workload"
 )
 
-// MechSpec is the serializable form of sim.Mechanism: the mechanism flags
-// plus an optional Constable configuration override.
+// MechSpec is the serializable form of sim.Mechanism: the mechanism flags,
+// the component-axis variant selections, and the optional configuration
+// overrides. Every axis field is default-elided (omitempty), so specs that
+// predate the axes keep their JSON encoding — and their content hash —
+// byte for byte.
 type MechSpec struct {
 	EVES      bool `json:"eves,omitempty"`
 	Constable bool `json:"constable,omitempty"`
@@ -48,6 +53,18 @@ type MechSpec struct {
 
 	// Config overrides the default Constable configuration.
 	Config *constable.Config `json:"config,omitempty"`
+
+	// Component-axis variant names (sim.MechanismAxes lists the vocabulary;
+	// empty selects the axis default) with optional config overrides.
+	// Canonical normalizes default variant names and default-equal overrides
+	// away, so equivalent specs hash equal.
+	BPred    string `json:"bpred,omitempty"`
+	Prefetch string `json:"prefetch,omitempty"`
+	L1DPred  string `json:"l1dpred,omitempty"`
+
+	BPredConfig    *bpred.Config         `json:"bpred_config,omitempty"`
+	PrefetchConfig *cache.PrefetchConfig `json:"prefetch_config,omitempty"`
+	L1DPredConfig  *cache.L1DPredConfig  `json:"l1dpred_config,omitempty"`
 }
 
 // ToMechanism converts the spec into the sim package's mechanism set.
@@ -61,6 +78,12 @@ func (m MechSpec) ToMechanism() sim.Mechanism {
 		IdealStableLVP:     m.IdealStableLVP,
 		IdealDataFetchElim: m.IdealDataFetchElim,
 		ConstableConfig:    m.Config,
+		BPred:              m.BPred,
+		Prefetch:           m.Prefetch,
+		L1DPred:            m.L1DPred,
+		BPredConfig:        m.BPredConfig,
+		PrefetchConfig:     m.PrefetchConfig,
+		L1DPredConfig:      m.L1DPredConfig,
 	}
 }
 
@@ -75,6 +98,12 @@ func mechSpecFromMechanism(m sim.Mechanism) MechSpec {
 		IdealStableLVP:     m.IdealStableLVP,
 		IdealDataFetchElim: m.IdealDataFetchElim,
 		Config:             m.ConstableConfig,
+		BPred:              m.BPred,
+		Prefetch:           m.Prefetch,
+		L1DPred:            m.L1DPred,
+		BPredConfig:        m.BPredConfig,
+		PrefetchConfig:     m.PrefetchConfig,
+		L1DPredConfig:      m.L1DPredConfig,
 	}
 }
 
@@ -92,6 +121,78 @@ func ParseMechanism(s string) (MechSpec, error) {
 		return MechSpec{}, err
 	}
 	return mechSpecFromMechanism(m), nil
+}
+
+// canonical validates the mechanism spec and normalizes it so equivalent
+// specs compare and hash equal: axis variant names canonicalize through
+// sim's axis registry (default names become ""), config overrides are
+// deep-copied, and an override that equals the variant's default
+// configuration is elided to nil — a spec spelling out
+// constable.DefaultConfig() runs the exact simulation the bare preset runs,
+// so it must land on the same content address.
+func (m MechSpec) canonical() (MechSpec, error) {
+	cm, err := m.ToMechanism().CanonicalAxes()
+	if err != nil {
+		return m, err
+	}
+	c := mechSpecFromMechanism(cm)
+	if c.Config != nil {
+		if *c.Config == constable.DefaultConfig() {
+			c.Config = nil
+		} else {
+			cfg := *c.Config
+			c.Config = &cfg
+		}
+	}
+	if c.BPredConfig != nil {
+		if err := c.BPredConfig.Validate(); err != nil {
+			return m, fmt.Errorf("service: bpred config: %w", err)
+		}
+		base := bpred.DefaultConfig()
+		if c.BPred == "bimodal" {
+			base = bpred.BimodalConfig()
+		}
+		if *c.BPredConfig == base {
+			c.BPredConfig = nil
+		} else {
+			cfg := *c.BPredConfig
+			c.BPredConfig = &cfg
+		}
+	}
+	if c.PrefetchConfig != nil {
+		if c.Prefetch == "none" {
+			return m, fmt.Errorf("service: prefetch=none takes no config override")
+		}
+		if err := c.PrefetchConfig.Validate(); err != nil {
+			return m, fmt.Errorf("service: prefetch config: %w", err)
+		}
+		if *c.PrefetchConfig == cache.DefaultPrefetchConfig() {
+			c.PrefetchConfig = nil
+		} else {
+			cfg := *c.PrefetchConfig
+			c.PrefetchConfig = &cfg
+		}
+	}
+	if c.L1DPredConfig != nil {
+		if c.L1DPred == "" {
+			return m, fmt.Errorf("service: l1dpred config override requires a variant (counter or global)")
+		}
+		if err := c.L1DPredConfig.Validate(); err != nil {
+			return m, fmt.Errorf("service: l1dpred config: %w", err)
+		}
+		// The variant decides the Global flag, so it never differentiates
+		// specs; canonicalize it to the variant's value before comparing.
+		cfg := *c.L1DPredConfig
+		cfg.Global = c.L1DPred == "global"
+		def := cache.DefaultL1DPredConfig()
+		def.Global = cfg.Global
+		if cfg == def {
+			c.L1DPredConfig = nil
+		} else {
+			c.L1DPredConfig = &cfg
+		}
+	}
+	return c, nil
 }
 
 // JobSpec canonically describes one simulation run. Two specs that resolve
@@ -161,10 +262,11 @@ func (s JobSpec) Canonical() (JobSpec, error) {
 	if c.Threads != 1 && c.Threads != 2 {
 		return c, fmt.Errorf("service: threads must be 1 or 2, got %d", c.Threads)
 	}
-	if c.Mech.Config != nil {
-		cfg := *c.Mech.Config
-		c.Mech.Config = &cfg
+	mech, err := c.Mech.canonical()
+	if err != nil {
+		return c, err
 	}
+	c.Mech = mech
 	if c.Core != nil {
 		core := *c.Core
 		c.Core = &core

@@ -2,8 +2,10 @@ package sim
 
 import (
 	"encoding/json"
+	"strings"
 	"testing"
 
+	"constable/internal/cache"
 	"constable/internal/constable"
 	"constable/internal/workload"
 )
@@ -158,5 +160,182 @@ func TestConfigDigestDistinguishesRuns(t *testing.T) {
 	}
 	if pinned.ConfigDigest != pinned2.ConfigDigest {
 		t.Error("digest must be insensitive to StablePCs map order")
+	}
+}
+
+func TestQualifiedMechanismNames(t *testing.T) {
+	cases := []struct {
+		name string
+		want Mechanism
+	}{
+		{"constable,bpred=bimodal", Mechanism{Constable: true, BPred: "bimodal"}},
+		{"baseline,prefetch=delta", Mechanism{Prefetch: "delta"}},
+		{"prefetch=none", Mechanism{Prefetch: "none"}},
+		{"eves+constable,l1dpred=counter", Mechanism{EVES: true, Constable: true, L1DPred: "counter"}},
+		{"constable,bpred=bimodal,prefetch=none,l1dpred=global",
+			Mechanism{Constable: true, BPred: "bimodal", Prefetch: "none", L1DPred: "global"}},
+		// Default variant names canonicalize away entirely.
+		{"constable,bpred=tage,prefetch=stride,l1dpred=off", Mechanism{Constable: true}},
+	}
+	for _, c := range cases {
+		m, err := MechanismByName(c.name)
+		if err != nil {
+			t.Fatalf("MechanismByName(%q): %v", c.name, err)
+		}
+		if m != c.want {
+			t.Errorf("MechanismByName(%q) = %+v, want %+v", c.name, m, c.want)
+		}
+		// MechanismName must invert MechanismByName for every accepted name.
+		back, err := MechanismByName(MechanismName(m))
+		if err != nil {
+			t.Fatalf("re-resolve %q: %v", MechanismName(m), err)
+		}
+		if back != m {
+			t.Errorf("round-trip %q -> %q -> %+v, want %+v", c.name, MechanismName(m), back, m)
+		}
+	}
+	// Axis terms on the baseline format without a leading preset comma only
+	// when a preset is present; the baseline prints its own name first.
+	if got := MechanismName(Mechanism{Prefetch: "delta"}); got != "baseline,prefetch=delta" {
+		t.Errorf("baseline axis name = %q", got)
+	}
+}
+
+func TestQualifiedMechanismNameErrors(t *testing.T) {
+	for _, name := range []string{
+		"constable,bpred=gshare",      // unknown variant
+		"constable,warp=9",            // unknown axis
+		"constable,bpred",             // malformed term
+		"warp-drive,bpred=bimodal",    // unknown preset
+		"constable,prefetch=bimodal",  // variant of the wrong axis
+		"constable,l1dpred=stride",    // variant of the wrong axis
+	} {
+		if _, err := MechanismByName(name); err == nil {
+			t.Errorf("MechanismByName(%q) must error", name)
+		}
+	}
+}
+
+func TestMechanismAxesRegistry(t *testing.T) {
+	axes := MechanismAxes()
+	if len(axes) != 3 {
+		t.Fatalf("axes = %d, want 3", len(axes))
+	}
+	for _, a := range axes {
+		if a.Description == "" {
+			t.Errorf("axis %q has no description", a.Name)
+		}
+		foundDefault := false
+		for _, v := range a.Variants {
+			if v.Description == "" {
+				t.Errorf("axis %q variant %q has no description", a.Name, v.Name)
+			}
+			if v.Name == a.Default {
+				foundDefault = true
+			}
+		}
+		if !foundDefault {
+			t.Errorf("axis %q default %q not among its variants", a.Name, a.Default)
+		}
+		if len(a.Params) == 0 {
+			t.Errorf("axis %q documents no parameters", a.Name)
+		}
+		for _, p := range a.Params {
+			if p.Description == "" || p.Default == nil {
+				t.Errorf("axis %q param %q lacks description or default", a.Name, p.Name)
+			}
+		}
+	}
+}
+
+func TestAxisAttachmentsConstruct(t *testing.T) {
+	m, err := MechanismByName("constable,bpred=bimodal,prefetch=delta,l1dpred=counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	att, cons, _, err := m.NewAttachments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cons == nil || att.Constable == nil {
+		t.Error("preset part of the qualified name must still construct")
+	}
+	if att.BPred == nil || att.BPred.Config().Tables != 0 {
+		t.Errorf("bpred=bimodal must construct a zero-table predictor, got %+v", att.BPred)
+	}
+	if att.L1Prefetch == nil {
+		t.Fatal("prefetch=delta constructed nothing")
+	}
+	if att.L1DPred == nil {
+		t.Error("l1dpred=counter constructed nothing")
+	}
+
+	// Defaults construct nothing: the core and hierarchy keep their own
+	// default components, so preset behavior is untouched byte for byte.
+	dm, err := MechanismByName("constable")
+	if err != nil {
+		t.Fatal(err)
+	}
+	datt, _, _, err := dm.NewAttachments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if datt.BPred != nil || datt.L1Prefetch != nil || datt.L1DPred != nil {
+		t.Errorf("default axes must not construct components: %+v", datt)
+	}
+
+	// Invalid config overrides are reported, not built.
+	bad := Mechanism{Prefetch: "delta", PrefetchConfig: &cache.PrefetchConfig{}}
+	if _, _, _, err := bad.NewAttachments(); err == nil {
+		t.Error("invalid prefetch config must error")
+	}
+	orphan := Mechanism{L1DPredConfig: &cache.L1DPredConfig{Entries: 16, Bits: 2}}
+	if _, _, _, err := orphan.NewAttachments(); err == nil {
+		t.Error("l1dpred config without a variant must error")
+	}
+}
+
+func TestAxisRunsExecuteAndDiverge(t *testing.T) {
+	spec := workload.SmallSuite()[0]
+	base, err := Run(Options{Workload: spec, Instructions: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := MechanismByName("baseline,bpred=bimodal,prefetch=none,l1dpred=counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Options{Workload: spec, Instructions: 3000, Mech: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Identity.Mechanism != "baseline,bpred=bimodal,prefetch=none,l1dpred=counter" {
+		t.Errorf("identity mechanism = %q", res.Identity.Mechanism)
+	}
+	if res.ConfigDigest == base.ConfigDigest {
+		t.Error("axis selection must change the config digest")
+	}
+	if res.Counters.Get("l1dpred.lookups") == 0 {
+		t.Error("l1dpred counters missing from the run snapshot")
+	}
+	if res.Counters.Get("prefetch.l1_issued") != 0 {
+		t.Error("prefetch=none must issue no L1 prefetches")
+	}
+	if base.Counters.Get("prefetch.l1_issued") == 0 {
+		t.Error("default stride prefetcher issued nothing on the baseline run")
+	}
+	names := map[string]bool{}
+	for _, ms := range res.Mechanisms {
+		names[ms.Name] = true
+	}
+	for _, want := range []string{"bpred=bimodal", "prefetch=none", "l1dpred=counter"} {
+		if !names[want] {
+			t.Errorf("mechanism breakdown missing %q: %v", want, res.Mechanisms)
+		}
+	}
+	for _, ms := range base.Mechanisms {
+		if strings.Contains(ms.Name, "=") {
+			t.Errorf("default run breakdown gained axis entry %q", ms.Name)
+		}
 	}
 }

@@ -23,6 +23,7 @@ import (
 	"sort"
 	"sync"
 
+	"constable/internal/bpred"
 	"constable/internal/cache"
 	"constable/internal/constable"
 	"constable/internal/inspector"
@@ -52,6 +53,20 @@ type Mechanism struct {
 	// ConstableConfig overrides the default Constable configuration
 	// (AMT-I variant, mode filters, full-address AMT...).
 	ConstableConfig *constable.Config
+
+	// Component axes (the mechanism zoo): each selects a named variant of
+	// one microarchitectural component, orthogonal to the mechanism set
+	// above. The empty string selects the axis default (TAGE, stride
+	// prefetcher, no L1-D hit/miss predictor); MechanismAxes lists the
+	// variants. The optional config pointers override the chosen variant's
+	// parameterization.
+	BPred    string
+	Prefetch string
+	L1DPred  string
+
+	BPredConfig    *bpred.Config
+	PrefetchConfig *cache.PrefetchConfig
+	L1DPredConfig  *cache.L1DPredConfig
 }
 
 // Options describes one simulation run.
@@ -166,18 +181,25 @@ var (
 // digests simulated the same thing.
 func configDigest(opts Options, core pipeline.Config) string {
 	doc := struct {
-		Workload     string           `json:"workload"`
-		APX          bool             `json:"apx"`
-		Instructions uint64           `json:"instructions"`
-		Threads      int              `json:"threads"`
-		Mech         Mechanism        `json:"mech"`
-		Core         pipeline.Config  `json:"core"`
-		Constable    constable.Config `json:"constable"`
-		StablePCs    []uint64         `json:"stable_pcs,omitempty"`
+		Workload     string               `json:"workload"`
+		APX          bool                 `json:"apx"`
+		Instructions uint64               `json:"instructions"`
+		Threads      int                  `json:"threads"`
+		Mech         Mechanism            `json:"mech"`
+		Core         pipeline.Config      `json:"core"`
+		Constable    constable.Config     `json:"constable"`
+		BPred        bpred.Config         `json:"bpred"`
+		Prefetch     cache.PrefetchConfig `json:"prefetch"`
+		L1DPred      *cache.L1DPredConfig `json:"l1dpred,omitempty"`
+		StablePCs    []uint64             `json:"stable_pcs,omitempty"`
 	}{Workload: opts.Workload.Name, APX: opts.APX, Instructions: opts.Instructions,
-		Threads: opts.Threads, Mech: opts.Mech, Core: core, Constable: constable.DefaultConfig()}
+		Threads: opts.Threads, Mech: opts.Mech, Core: core, Constable: constable.DefaultConfig(),
+		BPred: opts.Mech.ResolvedBPredConfig(), Prefetch: opts.Mech.ResolvedPrefetchConfig()}
 	if opts.Mech.ConstableConfig != nil {
 		doc.Constable = *opts.Mech.ConstableConfig
+	}
+	if lcfg, on := opts.Mech.ResolvedL1DPredConfig(); on {
+		doc.L1DPred = &lcfg
 	}
 	if opts.StablePCs != nil {
 		// A caller-primed stable-PC set changes oracle behavior and the
@@ -365,6 +387,7 @@ func Run(opts Options) (*RunResult, error) {
 		att.ELAR.EmitCounters(&set)
 	}
 	ev.EmitCounters(&set)
+	hier.EmitCounters(&set)
 	set.Add(cL1DAccesses, res.L1DAccesses)
 	set.Add(cL2Accesses, res.L2Accesses)
 	set.Add(cLLCAccesses, res.LLCAccesses)
@@ -419,6 +442,27 @@ func mechanismBreakdown(m Mechanism, snap stats.Snapshot) []MechanismStats {
 		c := snap.Filter("elar.")
 		out = append(out, MechanismStats{Name: "elar", Counters: c})
 	}
+	// Component axes appear in the breakdown only when they deviate from the
+	// default, so preset runs keep their existing shape. Axis entries are
+	// named like the qualified-name terms ("prefetch=delta"), correlating
+	// with Identity.Mechanism and the /v1/mechanisms axis schema.
+	cm, err := m.CanonicalAxes()
+	if err != nil {
+		return out
+	}
+	if cm.BPred != "" {
+		c := stats.Snapshot{}
+		pick(c, "pipeline.branches", "pipeline.branch_mispredicts")
+		out = append(out, MechanismStats{Name: "bpred=" + cm.BPred, Counters: c})
+	}
+	if cm.Prefetch != "" {
+		c := snap.Filter("prefetch.")
+		out = append(out, MechanismStats{Name: "prefetch=" + cm.Prefetch, Counters: c})
+	}
+	if cm.L1DPred != "" {
+		c := snap.Filter("l1dpred.")
+		out = append(out, MechanismStats{Name: "l1dpred=" + cm.L1DPred, Counters: c})
+	}
 	return out
 }
 
@@ -427,7 +471,10 @@ func mechanismBreakdown(m Mechanism, snap stats.Snapshot) []MechanismStats {
 // pre-pass.
 func buildAttachments(opts Options) (pipeline.Attachments, *constable.Constable, *vpred.EVES, error) {
 	m := opts.Mech
-	att, cons, eves := m.NewAttachments()
+	att, cons, eves, err := m.NewAttachments()
+	if err != nil {
+		return att, nil, nil, err
+	}
 
 	needStable := m.NeedsStableAnalysis() || opts.StablePCs != nil
 	if needStable {
