@@ -14,6 +14,7 @@ W1_PORT=${W1_PORT:-18081}
 W2_PORT=${W2_PORT:-18082}
 W3_PORT=${W3_PORT:-18083}
 W4_PORT=${W4_PORT:-18084}
+FED_PORT=${FED_PORT:-18091}
 
 workdir=$(mktemp -d)
 bindir="$workdir/bin"
@@ -213,4 +214,46 @@ curl -sf "http://127.0.0.1:$SERVER_PORT/metrics" | awk '
   curl -s "http://127.0.0.1:$SERVER_PORT/metrics" | grep constable_trace >&2
   exit 1; }
 
-say "distributed smoke OK: 9/9 cells in both modes, all workers used, chunks dispatched, interplay sweep (qualified mechanisms) byte-identical, trace sweep byte-identical with fetch-by-hash, artifacts byte-identical"
+say "waiting for worker write-backs to land on the batched server's store"
+wb_check() {
+  curl -sf "http://127.0.0.1:$SERVER_PORT/metrics" \
+    | awk '$1 == "constable_store_remote_writebacks_total" && $2 > 0 {found=1} END {exit !found}'
+}
+for _ in $(seq 1 100); do wb_check && break; sleep 0.1; done
+wb_check || {
+  echo "constable_store_remote_writebacks_total is 0: workers never wrote results back" >&2
+  curl -s "http://127.0.0.1:$SERVER_PORT/metrics" | grep constable_store >&2
+  exit 1; }
+
+say "starting a worker-less federated server (:$FED_PORT) sharing against the batched server's result store"
+"$bindir/constable-server" -addr "127.0.0.1:$FED_PORT" -workers -1 \
+  -results-server "http://127.0.0.1:$SERVER_PORT" &
+pids+=($!)
+wait_http "http://127.0.0.1:$FED_PORT/healthz"
+
+say "re-running the original sweep on the federated server (every cell must come from the shared store)"
+run_sweep "http://127.0.0.1:$FED_PORT" "$workdir/federated.ndjson"
+
+say "diffing federated artifacts against the single-process golden output"
+normalize "$workdir/federated.ndjson" > "$workdir/federated.norm"
+if ! diff -u "$workdir/local.norm" "$workdir/federated.norm"; then
+  echo "federated sweep artifacts differ from single-process run" >&2
+  exit 1
+fi
+
+say "checking dedup metrics: federated server executed zero cells, batched server served the hits"
+curl -sf "http://127.0.0.1:$FED_PORT/metrics" | awk '
+  $1 == "constable_jobs_executed_total"               {ex=$2; seen=1}
+  $1 == "constable_jobs_submitted_total" && $2 >= 9   {subm=1}
+  $1 == "constable_store_remote_hits_total" && $2 >= 9 {hits=1}
+  END {exit !(seen && ex == 0 && subm && hits)}' || {
+  echo "federated dedup metrics check failed (need executed == 0, submitted >= 9, remote hits >= 9):" >&2
+  curl -s "http://127.0.0.1:$FED_PORT/metrics" >&2
+  exit 1; }
+curl -sf "http://127.0.0.1:$SERVER_PORT/metrics" \
+  | awk '$1 == "constable_store_remote_hits_total" && $2 > 0 {found=1} END {exit !found}' || {
+  echo "constable_store_remote_hits_total is 0 on the batched server: federation never consulted it" >&2
+  curl -s "http://127.0.0.1:$SERVER_PORT/metrics" | grep constable_store >&2
+  exit 1; }
+
+say "distributed smoke OK: 9/9 cells in both modes, all workers used, chunks dispatched, interplay sweep (qualified mechanisms) byte-identical, trace sweep byte-identical with fetch-by-hash, federated re-sweep executed zero cells, artifacts byte-identical"

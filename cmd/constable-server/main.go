@@ -56,6 +56,7 @@ func main() {
 		workerTTL = flag.Duration("worker-ttl", 15*time.Second, "remote-worker lease: a worker missing heartbeats this long is expired and its jobs requeued")
 		batch     = flag.Int("batch", 0, "max jobs dispatched to one backend as a single chunk; chunks also adapt to each worker's free capacity (0 = default 16, 1 = per-cell dispatch)")
 		drain     = flag.Duration("drain", 30*time.Second, "graceful-shutdown timeout for running simulations")
+		resultsAt = flag.String("results-server", "", "base URL of an upstream constable-server whose result store this server consults before simulating and writes back to after (federation; empty disables)")
 		maxBody   = flag.Int64("max-body", 0, "max JSON request-body bytes on the API (0 = default 8 MiB)")
 		maxTrace  = flag.Int64("max-trace-body", 0, "max raw trace-upload bytes on POST /v1/traces (0 = default 256 MiB)")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty disables)")
@@ -66,8 +67,12 @@ func main() {
 		log.Fatal(err)
 	}
 
-	sched, err := service.Open(service.Config{Workers: *workers, CacheSize: *cacheSize, DataDir: *dataDir,
-		WorkerTTL: *workerTTL, MaxBatch: *batch, MaxBody: *maxBody, MaxTraceBody: *maxTrace})
+	cfg := service.Config{Workers: *workers, CacheSize: *cacheSize, DataDir: *dataDir,
+		WorkerTTL: *workerTTL, MaxBatch: *batch, MaxBody: *maxBody, MaxTraceBody: *maxTrace}
+	if *resultsAt != "" {
+		cfg.Share = service.NewRemoteResultStore(*resultsAt)
+	}
+	sched, err := service.Open(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

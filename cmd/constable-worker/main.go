@@ -46,6 +46,7 @@ func main() {
 		name      = flag.String("name", "", "worker name in listings (default: hostname)")
 		capacity  = flag.Int("capacity", runtime.GOMAXPROCS(0), "concurrent simulations to run and advertise")
 		heartbeat = flag.Duration("heartbeat", 5*time.Second, "lease-renewal interval (keep well under the server's -worker-ttl)")
+		resultsAt = flag.String("results-server", "", "base URL of the result store consulted before simulating and written back to after (default: -server; \"none\" disables sharing)")
 		drain     = flag.Duration("drain", 30*time.Second, "graceful-shutdown timeout for running simulations")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6061; empty disables)")
 	)
@@ -83,6 +84,8 @@ func main() {
 		Name:      *name,
 		Capacity:  *capacity,
 		Heartbeat: *heartbeat,
+
+		ResultsServer: *resultsAt,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -28,6 +28,12 @@ var ErrBackendUnavailable = errors.New("service: backend unavailable")
 type BatchResult struct {
 	Result *sim.RunResult
 	Err    error
+	// CacheHit marks a cell that never reached a backend because its result
+	// already existed cluster-wide at dispatch time (another worker wrote it
+	// back, or a peer process sharing the data-dir saved it, after this cell
+	// was submitted). The scheduler finishes such a cell as a cache hit and
+	// excludes it from the executed/simulated accounting.
+	CacheHit bool
 }
 
 // Backend executes canonical JobSpecs. It is the scheduler's run-a-JobSpec

@@ -55,6 +55,29 @@ func (c *resultCache) Get(key string) (*sim.RunResult, bool) {
 	return el.Value.(*cacheEntry).res.Clone(), true
 }
 
+// peek returns a deep copy of the cached result for key without promoting
+// the entry or touching the hit/miss counters — the dispatch-time
+// short-circuit probe, which runs once per dispatched cell and must not
+// distort the cache-hit-rate metric submitters see.
+func (c *resultCache) peek(key string) (*sim.RunResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	return el.Value.(*cacheEntry).res.Clone(), true
+}
+
+// Has reports whether key is cached, without promoting, copying, or
+// counting — the PUT /v1/results handler's idempotency probe.
+func (c *resultCache) Has(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[key]
+	return ok
+}
+
 // Add stores a deep copy of res under key, evicting the least recently used
 // entry when the cache is full. A non-positive capacity disables caching.
 func (c *resultCache) Add(key string, res *sim.RunResult) {

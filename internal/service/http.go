@@ -117,6 +117,8 @@ func APIRoutes() []string {
 //	GET  /v1/sweeps/{id}/events       NDJSON stream of per-cell events (?results=1
 //	                                  embeds each cell's full RunResult)
 //	DELETE /v1/sweeps/{id}            cancel a sweep
+//	GET  /v1/results/{hash}           cluster result store: envelope by JobSpec hash
+//	PUT  /v1/results/{hash}           worker write-back (hash-verified, idempotent)
 //	POST /v1/workers                  register a remote worker {name, url, capacity}
 //	GET  /v1/workers                  list registered workers
 //	POST /v1/workers/{id}/heartbeat   renew a worker's lease
@@ -306,6 +308,64 @@ func routesFor(s *Scheduler) []apiRoute {
 			}
 			sw.Cancel()
 			writeJSON(w, http.StatusOK, sw.View())
+		}},
+
+		{"GET /v1/results/{hash}", func(w http.ResponseWriter, r *http.Request) {
+			// The cluster-wide result store, keyed by JobSpec content hash:
+			// workers consult it before simulating a dispatched cell, so a
+			// popular cell is simulated once per cluster, not once per
+			// worker. Answers from the LRU or the persistent store; the
+			// envelope's recorded hash lets the caller verify what it got
+			// against what it asked for.
+			hash := r.PathValue("hash")
+			res := s.lookupResult(hash)
+			if res == nil {
+				s.metrics.remoteMisses.Add(1)
+				httpError(w, http.StatusNotFound, "no result for hash "+hash)
+				return
+			}
+			s.metrics.remoteHits.Add(1)
+			writeJSON(w, http.StatusOK, sim.NewResultEnvelope(hash, res))
+		}},
+
+		{"PUT /v1/results/{hash}", func(w http.ResponseWriter, r *http.Request) {
+			// Worker write-back. The envelope is verified on receipt — schema,
+			// presence, and recorded hash against the URL's hash — exactly as
+			// the store verifies on load, so a confused or malicious writer
+			// cannot file a result under someone else's content address. The
+			// PUT is idempotent: repeats overwrite with identical content and
+			// answer 200 instead of 201.
+			hash := r.PathValue("hash")
+			var env sim.ResultEnvelope
+			if !readJSON(w, r, s.maxBody, &env) {
+				return
+			}
+			res, err := env.Open(hash)
+			if err != nil {
+				s.metrics.remoteRejected.Add(1)
+				httpError(w, http.StatusBadRequest, "rejected write-back: "+err.Error())
+				return
+			}
+			existed := s.cache.Has(hash)
+			if s.store != nil {
+				existed = existed || s.store.Has(hash)
+			}
+			s.cache.Add(hash, res)
+			if s.store != nil {
+				// Best-effort like every other store write: a full disk
+				// degrades the write-back to LRU-only visibility.
+				_ = s.store.Save(hash, res)
+			}
+			s.metrics.remoteWritebacks.Add(1)
+			status := http.StatusCreated
+			if existed {
+				status = http.StatusOK
+			}
+			writeJSON(w, status, struct {
+				Hash   string `json:"hash"`
+				Stored bool   `json:"stored"`
+				Dedup  bool   `json:"dedup,omitempty"`
+			}{hash, true, existed})
 		}},
 
 		{"POST /v1/workers", func(w http.ResponseWriter, r *http.Request) {

@@ -16,6 +16,24 @@ type metrics struct {
 	// requeued counts jobs bounced back to the queue after a backend
 	// failure (remote worker died mid-job or returned a bad envelope).
 	requeued atomic.Uint64
+	// executed counts terminal successes that actually ran a simulation on
+	// some backend — completed minus dispatch-time store short-circuits,
+	// and excluding submit-time cache/store/share hits, which never reach
+	// a backend at all. The global dedup ratio derives from it.
+	executed atomic.Uint64
+
+	// Remote result-sharing families. On a server they count the
+	// /v1/results endpoint: GETs served (remoteHits) or 404'd
+	// (remoteMisses), write-backs accepted (remoteWritebacks) or refused on
+	// envelope verification (remoteRejected). On a consulting scheduler — a
+	// worker, or a server federated via Config.Share — they count its own
+	// consultations: results adopted, lookups that missed, write-backs that
+	// landed, and envelopes refused because their hash or schema failed
+	// verification.
+	remoteHits       atomic.Uint64
+	remoteMisses     atomic.Uint64
+	remoteWritebacks atomic.Uint64
+	remoteRejected   atomic.Uint64
 
 	// batchesDispatched counts multi-cell chunks handed to a backend in one
 	// round trip; batchCells the cells they carried. Their ratio is the
@@ -48,6 +66,13 @@ type MetricsSnapshot struct {
 	JobsRequeued  uint64 `json:"jobs_requeued"`
 	JobsRunning   int    `json:"jobs_running"`
 	QueueDepth    int    `json:"queue_depth"`
+	// JobsExecuted counts jobs that actually ran a simulation on some
+	// backend; every other submission was answered by a dedup, the LRU, the
+	// disk store, the cluster share, or a dispatch-time short-circuit.
+	// GlobalDedupRatio is (submitted − executed) / submitted — the fraction
+	// of submitted work the dedup tiers absorbed.
+	JobsExecuted     uint64  `json:"jobs_executed"`
+	GlobalDedupRatio float64 `json:"global_dedup_ratio"`
 
 	// Batched-dispatch families: chunks of ≥2 cells sent to one backend in
 	// one round trip, and the cells they carried (single-cell dispatches
@@ -80,6 +105,16 @@ type MetricsSnapshot struct {
 	StoreErrors  uint64 `json:"store_errors"`
 	StoreCorrupt uint64 `json:"store_corrupt"`
 
+	// Remote result-sharing families (cluster-wide dedup). On a server:
+	// GET /v1/results served/404'd and PUT write-backs accepted/refused. On
+	// a consulting worker or federated server: its own lookups and
+	// write-backs against the upstream store. Rejected counts envelopes
+	// refused on hash/schema verification — on either side, never adopted.
+	StoreRemoteHits       uint64 `json:"store_remote_hits"`
+	StoreRemoteMisses     uint64 `json:"store_remote_misses"`
+	StoreRemoteWritebacks uint64 `json:"store_remote_writebacks"`
+	StoreRemoteRejected   uint64 `json:"store_remote_rejected"`
+
 	// Trace-store families. TracesFetched counts every hash-verified blob
 	// read served out of the store — worker downloads and local resolves
 	// alike; TracesCorrupt counts blobs rejected on hash or decode
@@ -106,8 +141,14 @@ func (s *Scheduler) Metrics() MetricsSnapshot {
 		JobsCanceled:  s.metrics.canceled.Load(),
 		JobsDeduped:   s.metrics.deduped.Load(),
 		JobsRequeued:  s.metrics.requeued.Load(),
+		JobsExecuted:  s.metrics.executed.Load(),
 		JobsRunning:   s.Running(),
 		QueueDepth:    s.QueueDepth(),
+
+		StoreRemoteHits:       s.metrics.remoteHits.Load(),
+		StoreRemoteMisses:     s.metrics.remoteMisses.Load(),
+		StoreRemoteWritebacks: s.metrics.remoteWritebacks.Load(),
+		StoreRemoteRejected:   s.metrics.remoteRejected.Load(),
 
 		BatchesDispatched: s.metrics.batchesDispatched.Load(),
 		BatchCells:        s.metrics.batchCells.Load(),
@@ -148,6 +189,9 @@ func (s *Scheduler) Metrics() MetricsSnapshot {
 	if total := hits + misses; total > 0 {
 		m.CacheHitRate = float64(hits) / float64(total)
 	}
+	if m.JobsSubmitted > 0 {
+		m.GlobalDedupRatio = float64(m.JobsSubmitted-m.JobsExecuted) / float64(m.JobsSubmitted)
+	}
 	m.SimInstructions = s.metrics.simInstructions.Load()
 	if busy := s.metrics.simBusyNanos.Load(); busy > 0 {
 		m.SimInstructionsPerSec = float64(m.SimInstructions) / (float64(busy) / 1e9)
@@ -173,6 +217,8 @@ func (m MetricsSnapshot) WriteTo(w io.Writer) (int64, error) {
 		{"jobs_canceled_total", m.JobsCanceled},
 		{"jobs_deduped_total", m.JobsDeduped},
 		{"jobs_requeued_total", m.JobsRequeued},
+		{"jobs_executed_total", m.JobsExecuted},
+		{"global_dedup_ratio", m.GlobalDedupRatio},
 		{"jobs_running", m.JobsRunning},
 		{"queue_depth", m.QueueDepth},
 		{"batches_dispatched_total", m.BatchesDispatched},
@@ -194,6 +240,10 @@ func (m MetricsSnapshot) WriteTo(w io.Writer) (int64, error) {
 		{"store_writes_total", m.StoreWrites},
 		{"store_errors_total", m.StoreErrors},
 		{"store_corrupt_total", m.StoreCorrupt},
+		{"store_remote_hits_total", m.StoreRemoteHits},
+		{"store_remote_misses_total", m.StoreRemoteMisses},
+		{"store_remote_writebacks_total", m.StoreRemoteWritebacks},
+		{"store_remote_rejected_total", m.StoreRemoteRejected},
 		{"traces_uploaded_total", m.TracesUploaded},
 		{"traces_deduped_total", m.TracesDeduped},
 		{"traces_fetched_total", m.TracesFetched},

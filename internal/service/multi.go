@@ -122,6 +122,14 @@ type MultiBackend struct {
 	// without the lock held whenever total capacity may have changed, so
 	// the dispatcher re-evaluates its gate.
 	onChange func()
+
+	// resultLookup, when set (the owning scheduler installs it at Open,
+	// before dispatch starts), resolves a JobSpec hash to an
+	// already-finished result so a chunk about to dispatch can short-circuit
+	// cells whose results landed — via a worker write-back or a peer process
+	// sharing the data-dir — after they were submitted. It must be cheap on
+	// a miss and must return a caller-owned copy on a hit.
+	resultLookup func(hash string) *sim.RunResult
 }
 
 // NewMultiBackend returns a MultiBackend dispatching to local (required;
@@ -150,6 +158,12 @@ func (m *MultiBackend) setWorkloadResolver(r WorkloadResolver) {
 	if s, ok := m.local.backend.(workloadResolverSetter); ok {
 		s.setWorkloadResolver(r)
 	}
+}
+
+// setResultLookup installs the dispatch-time store probe. Called once at
+// Open, before dispatch starts.
+func (m *MultiBackend) setResultLookup(lookup func(hash string) *sim.RunResult) {
+	m.resultLookup = lookup
 }
 
 // Name implements Backend.
@@ -449,6 +463,47 @@ func (m *MultiBackend) Reserve(ctx context.Context, want int) (*reservation, err
 // fanned out to every cell.
 func (r *reservation) execute(ctx context.Context, specs []JobSpec, hashes []string) []BatchResult {
 	m, ws := r.m, r.ws
+
+	// Store short-circuit: a cell whose result already exists cluster-wide —
+	// a worker wrote it back, or a peer process sharing the data-dir saved
+	// it, after the cell was submitted — must not burn a backend slot
+	// re-simulating it. Probe each hash before dispatch, answer the hits
+	// directly, give their slots back, and send only the remainder over the
+	// wire. Chunks dispatched before the probe existed behave identically:
+	// a nil resultLookup (MultiBackends built outside a scheduler) skips it.
+	out := make([]BatchResult, len(specs))
+	run := make([]int, 0, len(specs))
+	if m.resultLookup != nil {
+		for i, h := range hashes {
+			if res := m.resultLookup(h); res != nil {
+				out[i] = BatchResult{Result: res, CacheHit: true}
+				continue
+			}
+			run = append(run, i)
+		}
+	} else {
+		for i := range specs {
+			run = append(run, i)
+		}
+	}
+	if len(run) < len(specs) {
+		r.shrink(len(run)) // release the short-circuited cells' claim now
+	}
+	if len(run) == 0 {
+		// The whole chunk was served from the store: no backend exchange
+		// happened, so no health or completion accounting applies.
+		return out
+	}
+	subSpecs, subHashes := specs, hashes
+	if len(run) < len(specs) {
+		subSpecs = make([]JobSpec, len(run))
+		subHashes = make([]string, len(run))
+		for k, i := range run {
+			subSpecs[k] = specs[i]
+			subHashes[k] = hashes[i]
+		}
+	}
+
 	execCtx := ctx
 	if ws.remote {
 		var cancel context.CancelFunc
@@ -468,22 +523,22 @@ func (r *reservation) execute(ctx context.Context, specs []JobSpec, hashes []str
 		}
 		return err
 	}
-	if len(specs) == 1 {
+	if len(subSpecs) == 1 {
 		// One cell rides the single-dispatch path: batch framing would buy
 		// nothing, and older workers without the batch endpoint stay on
 		// their native protocol.
-		res, err := ws.backend.Execute(execCtx, specs[0], hashes[0])
+		res, err := ws.backend.Execute(execCtx, subSpecs[0], subHashes[0])
 		err = leaseExpired(err)
 		results = []BatchResult{{Result: res, Err: err}}
 		if err != nil && errors.Is(err, ErrBackendUnavailable) {
 			chunkErr = err
 		}
 	} else {
-		results, chunkErr = ws.backend.ExecuteBatch(execCtx, specs, hashes)
+		results, chunkErr = ws.backend.ExecuteBatch(execCtx, subSpecs, subHashes)
 		chunkErr = leaseExpired(chunkErr)
 	}
-	if chunkErr != nil && len(specs) > 1 {
-		results = make([]BatchResult, len(specs))
+	if chunkErr != nil && len(subSpecs) > 1 {
+		results = make([]BatchResult, len(subSpecs))
 		for i := range results {
 			results[i] = BatchResult{Err: chunkErr}
 		}
@@ -543,7 +598,10 @@ func (r *reservation) execute(ctx context.Context, specs []JobSpec, hashes []str
 	if capacityChanged {
 		m.notify()
 	}
-	return results
+	for k, i := range run {
+		out[i] = results[k]
+	}
+	return out
 }
 
 // Execute implements Backend: a one-cell chunk on the best eligible slot.

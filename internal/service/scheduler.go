@@ -166,6 +166,14 @@ type Config struct {
 	// trace uploads on POST /v1/traces (default 256 MiB).
 	MaxBody      int64
 	MaxTraceBody int64
+	// Share, when set, connects this scheduler to a cluster-wide result
+	// store: a submitted spec that misses the local LRU and disk store is
+	// looked up there before queueing (a hit completes the job without
+	// simulating, promoted through the local LRU), and every locally
+	// simulated result is written back so the rest of the cluster can reuse
+	// it. Workers install a RemoteResultStore pointed at their server; a
+	// federated dispatch server can point one at an upstream results server.
+	Share ResultSharer
 }
 
 // Scheduler runs JobSpecs through a pluggable execution Backend — by
@@ -180,6 +188,7 @@ type Scheduler struct {
 	cache   *resultCache
 	store   *resultStore // nil without Config.DataDir
 	traces  *traceStore  // always non-nil; memory-only without Config.DataDir
+	share   ResultSharer // nil without Config.Share
 
 	// maxBody / maxTraceBody are the HTTP request-body caps the handler
 	// enforces (Config.MaxBody / Config.MaxTraceBody, defaulted).
@@ -285,9 +294,11 @@ func Open(cfg Config) (*Scheduler, error) {
 	} else {
 		s.backend = NewMultiBackend(base)
 	}
+	s.share = cfg.Share
 	s.backend.maxBatch = s.maxBatch
 	s.backend.onChange = s.wake
 	s.backend.setWorkloadResolver(s.resolveWorkload)
+	s.backend.setResultLookup(s.dispatchLookup)
 	s.cond = sync.NewCond(&s.mu)
 	s.wg.Add(1)
 	go s.dispatch()
@@ -423,21 +434,32 @@ func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
 		return j, nil
 	}
 
-	if s.store == nil {
+	if s.store == nil && s.share == nil {
 		s.inflight[hash] = j
 		s.queue = append(s.queue, j)
 		s.cond.Signal()
 		return j, nil
 	}
 
-	// LRU miss with a persistent store: consult the disk with the scheduler
-	// unlocked — a cold sweep submission must not serialize every other
-	// Submit/retire/Metrics call behind file reads. Registering j in
-	// inflight first reserves the hash, so a concurrent identical Submit
-	// dedups onto j instead of racing its own disk load.
+	// LRU miss with a persistent store and/or a cluster-wide share: consult
+	// them with the scheduler unlocked — a cold sweep submission must not
+	// serialize every other Submit/retire/Metrics call behind file reads or
+	// a share round trip. Registering j in inflight first reserves the
+	// hash, so a concurrent identical Submit dedups onto j instead of
+	// racing its own lookup. Order matters: the local disk answers in
+	// microseconds, so the share — one HTTP round trip, stampede-bounded by
+	// its own singleflight and negative cache — is only asked what no local
+	// tier has.
 	s.inflight[hash] = j
 	s.mu.Unlock()
-	res, ok := s.store.Load(hash)
+	var res *sim.RunResult
+	ok := false
+	if s.store != nil {
+		res, ok = s.store.Load(hash)
+	}
+	if !ok && s.share != nil {
+		res, ok = s.shareLookup(hash)
+	}
 	s.mu.Lock()
 	if s.closed {
 		// Shutdown ran while we were off the lock and canceled the queue;
@@ -449,12 +471,13 @@ func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
 		return j, nil
 	}
 	if ok {
-		// Store hit: promote into the LRU so later duplicates don't touch
-		// the disk again. The job keeps its own clone of the promoted
-		// document — the copy the LRU now owns and the copy this job's
-		// callers receive must never alias, mirroring the cache's
-		// deep-copy-on-Add/Get contract: a caller mutating its store-hit
-		// result must not be able to corrupt what later hits observe.
+		// Store or share hit: promote into the LRU so later duplicates
+		// touch neither the disk nor the network again. The job keeps its
+		// own clone of the promoted document — the copy the LRU now owns
+		// and the copy this job's callers receive must never alias,
+		// mirroring the cache's deep-copy-on-Add/Get contract: a caller
+		// mutating its store-hit (or remote-hit) result must not be able to
+		// corrupt what later hits observe.
 		delete(s.inflight, hash)
 		s.cache.Add(hash, res)
 		j.finish(res.Clone(), nil, StatusDone, true)
@@ -563,6 +586,44 @@ func (s *Scheduler) lookupResult(hash string) *sim.RunResult {
 	}
 	if s.store != nil {
 		if res, ok := s.store.Load(hash); ok {
+			return res
+		}
+	}
+	return nil
+}
+
+// shareLookup consults the cluster-wide result store and keeps the
+// remote-store accounting: a verified result is a hit, an envelope that
+// failed hash/schema verification is a rejection (counted, never used — the
+// caller simulates locally, so a lying store cannot poison results), and
+// everything else, transport failures included, is a miss.
+func (s *Scheduler) shareLookup(hash string) (*sim.RunResult, bool) {
+	res, err := s.share.Lookup(hash)
+	switch {
+	case res != nil:
+		s.metrics.remoteHits.Add(1)
+		return res, true
+	case errors.Is(err, ErrResultRejected):
+		s.metrics.remoteRejected.Add(1)
+	default:
+		s.metrics.remoteMisses.Add(1)
+	}
+	return nil, false
+}
+
+// dispatchLookup is the MultiBackend's pre-dispatch store probe: it answers
+// from the local LRU or disk store only — quietly, without touching their
+// hit/miss counters, since it runs once per dispatched cell — and never from
+// the remote share, whose submit-time consultation already covered this job.
+// It exists for results that land *after* submission: a worker write-back or
+// a peer process sharing the data-dir can finish a cell while it sits
+// queued, and dispatching it anyway would waste a backend slot.
+func (s *Scheduler) dispatchLookup(hash string) *sim.RunResult {
+	if res, ok := s.cache.peek(hash); ok {
+		return res
+	}
+	if s.store != nil {
+		if res, ok := s.store.load(hash, false); ok {
 			return res
 		}
 	}
@@ -774,20 +835,39 @@ func (s *Scheduler) runChunk(r *reservation, chunk []*Job) {
 			continue
 		}
 		res := results[i].Result
+		cacheHit := results[i].CacheHit
 		s.cache.Add(j.Hash, res)
-		if s.store != nil {
+		if s.store != nil && !cacheHit {
 			// Persistence is best-effort: a full disk degrades to LRU-only
 			// caching (the failure is counted in the store metrics) rather
 			// than failing the job, whose in-memory result is still valid.
+			// A dispatch-time short-circuit (cacheHit) resolved from the
+			// cache or the store itself and has nothing new to persist.
 			_ = s.store.Save(j.Hash, res)
 		}
-		j.finish(res, nil, StatusDone, false)
+		if s.share != nil && !cacheHit {
+			// Publish the freshly simulated result cluster-wide. The
+			// write-back is best-effort and off the job's critical path (the
+			// PUT must not delay finish), but tracked by the scheduler's
+			// WaitGroup so Shutdown drains it.
+			s.wg.Add(1)
+			go func(hash string, res *sim.RunResult) {
+				defer s.wg.Done()
+				if err := s.share.WriteBack(hash, res); err == nil {
+					s.metrics.remoteWritebacks.Add(1)
+				}
+			}(j.Hash, res)
+		}
+		j.finish(res, nil, StatusDone, cacheHit)
 		s.retire(j)
 		s.metrics.completed.Add(1)
-		s.metrics.simInstructions.Add(j.Spec.Instructions * uint64(j.Spec.Threads))
-		// Busy time is attributed per cell at chunk wall-time granularity —
-		// the same dispatch-to-result window the per-cell path measured.
-		s.metrics.simBusyNanos.Add(uint64(elapsed.Nanoseconds()))
+		if !cacheHit {
+			s.metrics.executed.Add(1)
+			s.metrics.simInstructions.Add(j.Spec.Instructions * uint64(j.Spec.Threads))
+			// Busy time is attributed per cell at chunk wall-time granularity —
+			// the same dispatch-to-result window the per-cell path measured.
+			s.metrics.simBusyNanos.Add(uint64(elapsed.Nanoseconds()))
+		}
 	}
 }
 

@@ -55,25 +55,50 @@ func (st *resultStore) path(hash string) string {
 // requested key (aliasing — e.g. a file copied across shards) counts as
 // corrupt and is a miss.
 func (st *resultStore) Load(hash string) (*sim.RunResult, bool) {
+	return st.load(hash, true)
+}
+
+// load is Load with optional hit/miss accounting. The dispatch-time
+// short-circuit probe reads quietly (count=false): it runs once per
+// dispatched cell and would otherwise swamp the store hit-rate submitters
+// see. Corruption is always counted — a bad file is worth knowing about no
+// matter who tripped over it.
+func (st *resultStore) load(hash string, count bool) (*sim.RunResult, bool) {
 	b, err := os.ReadFile(st.path(hash))
 	if err != nil {
-		st.misses.Add(1)
+		if count {
+			st.misses.Add(1)
+		}
 		return nil, false
 	}
 	var env sim.ResultEnvelope
 	if err := json.Unmarshal(b, &env); err != nil {
 		st.corrupt.Add(1)
-		st.misses.Add(1)
+		if count {
+			st.misses.Add(1)
+		}
 		return nil, false
 	}
 	res, err := env.Open(hash)
 	if err != nil {
 		st.corrupt.Add(1)
-		st.misses.Add(1)
+		if count {
+			st.misses.Add(1)
+		}
 		return nil, false
 	}
-	st.hits.Add(1)
+	if count {
+		st.hits.Add(1)
+	}
 	return res, true
+}
+
+// Has reports whether a result file exists under hash without reading or
+// verifying it — enough for the idempotent PUT handler to distinguish a
+// first write-back (201) from a repeat (200).
+func (st *resultStore) Has(hash string) bool {
+	_, err := os.Stat(st.path(hash))
+	return err == nil
 }
 
 // Save persists res under hash. The write is atomic (temp file in the same

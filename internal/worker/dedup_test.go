@@ -1,0 +1,271 @@
+package worker
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"constable/internal/service"
+	"constable/internal/sim"
+	"constable/internal/workload"
+)
+
+// startCountingWorker is startWorkerNode with a Run stub that counts actual
+// simulations and an explicit results-server URL — the instrumentation the
+// cluster-dedup tests hang their zero-simulation assertions on.
+func startCountingWorker(t testing.TB, serverURL, resultsURL, name string, capacity int, calls *atomic.Uint64) *Worker {
+	t.Helper()
+	w, err := New(Options{
+		Server:        serverURL,
+		ResultsServer: resultsURL,
+		Name:          name,
+		Capacity:      capacity,
+		Run: func(o sim.Options) (*sim.RunResult, error) {
+			calls.Add(1)
+			return &sim.RunResult{Cycles: o.Instructions}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { w.Close() })
+	ts := httptest.NewServer(w.Handler())
+	t.Cleanup(ts.Close)
+	w.opts.Advertise = ts.URL
+	if err := w.Register(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// waitMetric polls read until cond holds or the deadline passes.
+func waitMetric(t testing.TB, d time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("metric condition never held")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestClusterDedupSecondSweepSimulatesZeroCells is the cluster-wide dedup
+// acceptance test: a sweep simulated once by cluster A (server + two
+// workers, whose results are written back into A's store) is re-run on a
+// completely cold cluster B — fresh dispatch server, fresh workers with
+// empty LRUs — whose workers consult A's result store before simulating.
+// The second pass must simulate zero cells and produce byte-identical
+// artifacts.
+func TestClusterDedupSecondSweepSimulatesZeroCells(t *testing.T) {
+	const cells = 9
+
+	// Pass 1: cluster A simulates the full matrix and writes every result
+	// back into A's store (the workers' default results server is A).
+	a, ats := startServer(t)
+	var pass1 atomic.Uint64
+	startCountingWorker(t, ats.URL, "", "w1", 2, &pass1)
+	startCountingWorker(t, ats.URL, "", "w2", 2, &pass1)
+
+	matrix := testMatrix(3, 3, 40_000)
+	artifacts1 := runSweepCollect(t, a, matrix)
+	if got := pass1.Load(); got != cells {
+		t.Fatalf("pass 1 simulated %d cells, want %d", got, cells)
+	}
+	// Write-backs are async (off the cells' critical path): wait for all
+	// nine to land on A before declaring its store warm.
+	waitMetric(t, 10*time.Second, func() bool { return a.Metrics().StoreRemoteWritebacks >= cells })
+
+	// Pass 2: cluster B is cold everywhere except the share — its workers
+	// point their results server at A.
+	b, bts := startServer(t)
+	var pass2 atomic.Uint64
+	startCountingWorker(t, bts.URL, ats.URL, "w3", 2, &pass2)
+	startCountingWorker(t, bts.URL, ats.URL, "w4", 2, &pass2)
+
+	artifacts2 := runSweepCollect(t, b, matrix)
+	if got := pass2.Load(); got != 0 {
+		t.Errorf("pass 2 simulated %d cells, want 0 (every cell should come from A's store)", got)
+	}
+	if len(artifacts2) != len(artifacts1) {
+		t.Fatalf("pass 2 produced %d cells, pass 1 %d", len(artifacts2), len(artifacts1))
+	}
+	for key, want := range artifacts1 {
+		if got := artifacts2[key]; string(got) != string(want) {
+			t.Errorf("cell %s: shared artifact differs from the simulated one\n got: %.200s\nwant: %.200s", key, got, want)
+		}
+	}
+
+	am := a.Metrics()
+	if am.StoreRemoteHits < cells {
+		t.Errorf("A served %d remote hits, want >= %d", am.StoreRemoteHits, cells)
+	}
+	if am.StoreRemoteWritebacks < cells {
+		t.Errorf("A accepted %d write-backs, want >= %d", am.StoreRemoteWritebacks, cells)
+	}
+
+	// Federation, the worker-less variant: a third dispatch server with no
+	// workers at all, sharing against A, completes the same sweep entirely
+	// at submit time — zero cells executed, a 100% dedup ratio.
+	fed, err := service.Open(service.Config{Workers: -1, WorkerTTL: time.Hour,
+		Share: service.NewRemoteResultStore(ats.URL)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fed.Close() })
+	artifacts3 := runSweepCollect(t, fed, matrix)
+	for key, want := range artifacts1 {
+		if got := artifacts3[key]; string(got) != string(want) {
+			t.Errorf("cell %s: federated artifact differs", key)
+		}
+	}
+	fm := fed.Metrics()
+	if fm.JobsExecuted != 0 {
+		t.Errorf("federated server executed %d jobs, want 0", fm.JobsExecuted)
+	}
+	if fm.JobsSubmitted != cells || fm.GlobalDedupRatio != 1 {
+		t.Errorf("federated submitted/dedup = %d/%v, want %d/1", fm.JobsSubmitted, fm.GlobalDedupRatio, cells)
+	}
+	if fm.StoreRemoteHits != cells {
+		t.Errorf("federated remote hits = %d, want %d", fm.StoreRemoteHits, cells)
+	}
+}
+
+// TestWorkerRejectsCorruptRemoteResult is the chaos test for the consult
+// path: a lying results server answers GETs with an aliased envelope (valid
+// document, wrong recorded hash) and then a wrong-schema one. The worker
+// must refuse both — hash/schema verification on receipt — simulate locally,
+// and count the rejections; a corrupt store degrades throughput, never
+// correctness.
+func TestWorkerRejectsCorruptRemoteResult(t *testing.T) {
+	var gets atomic.Uint64
+	liar := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPut {
+			rw.WriteHeader(http.StatusOK)
+			return
+		}
+		n := gets.Add(1)
+		rw.Header().Set("Content-Type", "application/json")
+		if n == 1 {
+			// An aliased envelope: internally consistent, recorded under a
+			// hash that is not the one the worker asked for.
+			env := sim.NewResultEnvelope(strings.Repeat("00", 32), &sim.RunResult{Cycles: 1})
+			writeEnvelope(rw, env)
+			return
+		}
+		// A wrong-schema envelope under the right hash.
+		hash := strings.TrimPrefix(r.URL.Path, "/v1/results/")
+		env := sim.NewResultEnvelope(hash, &sim.RunResult{Cycles: 1})
+		env.Schema = 99
+		writeEnvelope(rw, env)
+	}))
+	t.Cleanup(liar.Close)
+
+	var calls atomic.Uint64
+	w, err := New(Options{
+		Server:        "http://unused.invalid",
+		ResultsServer: liar.URL,
+		Capacity:      1,
+		Run: func(o sim.Options) (*sim.RunResult, error) {
+			calls.Add(1)
+			return &sim.RunResult{Cycles: o.Instructions}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { w.Close() })
+
+	name := workload.SmallSuite()[0].Name
+	for i, insts := range []uint64{50_000, 60_000} {
+		j, err := w.sched.Submit(service.JobSpec{Workload: name, Instructions: insts})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := j.Wait(t.Context())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j.CacheHit() {
+			t.Errorf("cell %d adopted a corrupt remote result", i)
+		}
+		if res.Cycles != insts {
+			t.Errorf("cell %d cycles = %d, want %d (the local simulation)", i, res.Cycles, insts)
+		}
+	}
+	if calls.Load() != 2 {
+		t.Errorf("local simulations = %d, want 2 (both corrupt results refused)", calls.Load())
+	}
+	m := w.Scheduler().Metrics()
+	if m.StoreRemoteRejected != 2 {
+		t.Errorf("remote rejections = %d, want 2 (alias + schema)", m.StoreRemoteRejected)
+	}
+	if m.StoreRemoteHits != 0 {
+		t.Errorf("remote hits = %d, want 0", m.StoreRemoteHits)
+	}
+}
+
+func writeEnvelope(rw http.ResponseWriter, env sim.ResultEnvelope) {
+	rw.WriteHeader(http.StatusOK)
+	json.NewEncoder(rw).Encode(env)
+}
+
+// BenchmarkSweepRepeated measures what the cluster store saves on repeated
+// identical sweeps: a warm pass simulates the 32-cell matrix once, then
+// each iteration re-runs it (a) against the same server — LRU re-hits —
+// and (b) on a freshly booted worker-less federated server consulting the
+// warm one over HTTP, where every cell is one verified GET round trip. CI
+// uploads the results as BENCH_sweep_dedup.json.
+func BenchmarkSweepRepeated(b *testing.B) {
+	fixedLatency := func(o sim.Options) (*sim.RunResult, error) {
+		time.Sleep(2 * time.Millisecond)
+		return &sim.RunResult{Cycles: o.Instructions}, nil
+	}
+	s, ts := startServer(b)
+	for i := 0; i < 2; i++ {
+		w, err := New(Options{Server: ts.URL, Name: fmt.Sprintf("w%d", i+1), Capacity: 8, Run: fixedLatency})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { w.Close() })
+		wts := httptest.NewServer(w.Handler())
+		b.Cleanup(wts.Close)
+		w.opts.Advertise = wts.URL
+		if err := w.Register(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	const rows, cols = 4, 8
+	matrix := testMatrix(rows, cols, 500_000)
+	runSweepCollect(b, s, matrix) // the warm pass: the only real simulations
+
+	b.Run("rehit=local", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runSweepCollect(b, s, matrix)
+		}
+		b.ReportMetric(float64(rows*cols*b.N)/b.Elapsed().Seconds(), "cells/s")
+	})
+	b.Run("rehit=federated", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			// A cold, worker-less dispatch server: every cell resolves via
+			// one GET against the warm server's store.
+			fed, err := service.Open(service.Config{Workers: -1, WorkerTTL: time.Hour,
+				Share: service.NewRemoteResultStore(ts.URL)})
+			if err != nil {
+				b.Fatal(err)
+			}
+			runSweepCollect(b, fed, matrix)
+			if m := fed.Metrics(); m.JobsExecuted != 0 {
+				b.Fatalf("federated pass executed %d jobs, want 0", m.JobsExecuted)
+			}
+			fed.Close()
+		}
+		b.ReportMetric(float64(rows*cols*b.N)/b.Elapsed().Seconds(), "cells/s")
+	})
+}

@@ -74,6 +74,14 @@ type Options struct {
 	// server will read (default 256 MiB, matching the server's default
 	// upload cap).
 	MaxTraceFetch int64
+	// ResultsServer is the base URL of the cluster-wide result store the
+	// worker consults before simulating and writes back to on completion
+	// (GET/PUT /v1/results/{hash}). Empty means Server — the common
+	// topology, where the dispatching server is also the result authority;
+	// point it elsewhere when dispatch and storage are split across
+	// servers. "none" disables sharing: the worker simulates everything it
+	// is dispatched, relying only on its private LRU.
+	ResultsServer string
 }
 
 // Worker is one remote execution node. Create with New, expose Handler()
@@ -121,6 +129,18 @@ func New(opts Options) (*Worker, error) {
 		// downloading the bytes from the server; the store verifies the
 		// fetched content hash before any record reaches the pipeline.
 		TraceFetch: w.fetchTrace,
+	}
+	// The cluster-wide result share: a dispatched cell that misses the
+	// worker's private LRU is looked up on the results server before
+	// simulating (hash-verified envelope; a tampered or aliased one is
+	// rejected and the cell simulates locally), and every freshly simulated
+	// result is written back — so N workers simulate a popular cell once,
+	// not N times.
+	if share := opts.ResultsServer; share != "none" {
+		if share == "" {
+			share = opts.Server
+		}
+		cfg.Share = service.NewRemoteResultStore(share)
 	}
 	if opts.Run != nil {
 		cfg.Backend = service.NewLocalBackend(opts.Capacity, opts.Run)
