@@ -15,6 +15,8 @@ W2_PORT=${W2_PORT:-18082}
 W3_PORT=${W3_PORT:-18083}
 W4_PORT=${W4_PORT:-18084}
 FED_PORT=${FED_PORT:-18091}
+MIXED_PORT=${MIXED_PORT:-18092}
+ADMIT_PORT=${ADMIT_PORT:-18093}
 
 workdir=$(mktemp -d)
 bindir="$workdir/bin"
@@ -96,7 +98,7 @@ check_sharding() { # base-url tag
 }
 
 say "starting batched dispatch-only server (:$SERVER_PORT) + 2 workers"
-boot_cluster batched "$SERVER_PORT" "" "$W1_PORT" "$W2_PORT"
+boot_cluster batched "$SERVER_PORT" "-hedge-after 2s" "$W1_PORT" "$W2_PORT"
 
 say "running batched distributed sweep (9 cells across 2 workers)"
 run_sweep "http://127.0.0.1:$SERVER_PORT" "$workdir/batched.ndjson"
@@ -256,4 +258,74 @@ curl -sf "http://127.0.0.1:$SERVER_PORT/metrics" \
   curl -s "http://127.0.0.1:$SERVER_PORT/metrics" | grep constable_store >&2
   exit 1; }
 
-say "distributed smoke OK: 9/9 cells in both modes, all workers used, chunks dispatched, interplay sweep (qualified mechanisms) byte-identical, trace sweep byte-identical with fetch-by-hash, federated re-sweep executed zero cells, artifacts byte-identical"
+say "starting a mixed-load server (:$MIXED_PORT) with fair-share weights and per-cell dispatch"
+"$bindir/constable-server" -addr "127.0.0.1:$MIXED_PORT" -workers 2 -batch 1 \
+  -queue-max 4 -class-weights interactive=8,batch=1 &
+pids+=($!)
+wait_http "http://127.0.0.1:$MIXED_PORT/healthz"
+
+say "flooding the batch class with a 100-cell sweep"
+MIXED_SWEEP_BODY=$(jq -n '{specs: [[range(0; 100) |
+  {workload: "server-kvstore-00", mechanism: "constable", instructions: (200000 + .)}]]}')
+mixed_sweep_id=$(curl -sf "http://127.0.0.1:$MIXED_PORT/v1/sweeps" -d "$MIXED_SWEEP_BODY" | jq -r .id)
+curl -sf "http://127.0.0.1:$MIXED_PORT/metrics" \
+  | awk -v m='constable_class_queue_depth{class="batch"}' \
+    '$1 == m && $2 > 0 {found=1} END {exit !found}' || {
+  echo "batch class queue depth is 0 right after submitting a 100-cell sweep" >&2
+  curl -s "http://127.0.0.1:$MIXED_PORT/metrics" | grep constable_class >&2
+  exit 1; }
+
+say "interactive ?wait=1 runs must overtake the sweep backlog with bounded latency"
+for i in 1 2 3; do
+  start_ms=$(date +%s%3N)
+  view=$(curl -sf --max-time 10 "http://127.0.0.1:$MIXED_PORT/v1/runs?wait=1" \
+    -d "{\"workload\":\"client-browser-00\",\"mechanism\":\"constable\",\"instructions\":$((300000 + i))}")
+  elapsed_ms=$(( $(date +%s%3N) - start_ms ))
+  echo "$view" | jq -e '.status == "done" and .class == "interactive"' >/dev/null || {
+    echo "interactive run $i did not finish as class interactive: $view" >&2; exit 1; }
+  [ "$elapsed_ms" -lt 5000 ] || {
+    echo "interactive run $i took ${elapsed_ms}ms under sweep load, want <5000ms" >&2; exit 1; }
+  echo "    interactive run $i: ${elapsed_ms}ms"
+done
+
+say "waiting for the mixed sweep to drain cleanly"
+curl -sfN "http://127.0.0.1:$MIXED_PORT/v1/sweeps/$mixed_sweep_id/events" >/dev/null
+curl -sf "http://127.0.0.1:$MIXED_PORT/v1/sweeps/$mixed_sweep_id" \
+  | jq -e '.completed_cells == .total_cells and .failed_cells == 0' >/dev/null || {
+  echo "mixed sweep did not complete cleanly" >&2
+  curl -s "http://127.0.0.1:$MIXED_PORT/v1/sweeps/$mixed_sweep_id" | jq . >&2
+  exit 1; }
+
+say "admission-control leg: saturating a parked server (:$ADMIT_PORT) with -queue-max 2"
+"$bindir/constable-server" -addr "127.0.0.1:$ADMIT_PORT" -workers -1 -queue-max 2 &
+pids+=($!)
+wait_http "http://127.0.0.1:$ADMIT_PORT/healthz"
+codes=""
+for i in $(seq 1 5); do
+  code=$(curl -s -o /dev/null -w '%{http_code}' "http://127.0.0.1:$ADMIT_PORT/v1/runs" \
+    -d "{\"workload\":\"server-kvstore-00\",\"instructions\":$((500000 + i))}")
+  codes="$codes $code"
+done
+echo "    submit statuses:$codes"
+echo "$codes" | grep -Eq '20[0-9]' || { echo "no submission was admitted: $codes" >&2; exit 1; }
+echo "$codes" | grep -q 429 || { echo "no submission hit admission control: $codes" >&2; exit 1; }
+
+say "a refused submission must carry a sane Retry-After header"
+ra=$(curl -s -D - -o /dev/null "http://127.0.0.1:$ADMIT_PORT/v1/runs" \
+  -d '{"workload":"server-kvstore-00","instructions":777777}' \
+  | awk -F': ' 'tolower($1) == "retry-after" {print $2}' | tr -d '\r')
+[ -n "$ra" ] && [ "$ra" -ge 1 ] && [ "$ra" -le 60 ] || {
+  echo "Retry-After header = '$ra', want integer seconds in [1, 60]" >&2; exit 1; }
+
+say "sweeps stay admitted on the saturated server (batch watermark is 64x)"
+curl -sf "http://127.0.0.1:$ADMIT_PORT/v1/sweeps" -d "$SWEEP_BODY" | jq -e '.id' >/dev/null || {
+  echo "sweep was refused on a server whose interactive class is full" >&2; exit 1; }
+
+say "checking admission metrics on the parked server"
+curl -sf "http://127.0.0.1:$ADMIT_PORT/metrics" \
+  | awk '$1 == "constable_admission_rejected_total" && $2 > 0 {found=1} END {exit !found}' || {
+  echo "constable_admission_rejected_total is 0 after forced 429s" >&2
+  curl -s "http://127.0.0.1:$ADMIT_PORT/metrics" | grep -E 'admission|class' >&2
+  exit 1; }
+
+say "distributed smoke OK: 9/9 cells in both modes, all workers used, chunks dispatched, interplay sweep (qualified mechanisms) byte-identical, trace sweep byte-identical with fetch-by-hash, federated re-sweep executed zero cells, interactive latency bounded under a 100-cell sweep flood, admission control returned 429 + Retry-After, artifacts byte-identical"

@@ -37,12 +37,35 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"constable/internal/profutil"
 	"constable/internal/service"
 )
+
+// parseClassWeights parses the -class-weights flag ("interactive=8,batch=1")
+// into the scheduler's weight-override map.
+func parseClassWeights(s string) (map[string]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[string]int)
+	for _, part := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("-class-weights: %q is not name=weight", part)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("-class-weights: weight for %q must be a positive integer", name)
+		}
+		out[name] = w
+	}
+	return out, nil
+}
 
 func main() {
 	log.SetFlags(0)
@@ -60,6 +83,9 @@ func main() {
 		maxBody   = flag.Int64("max-body", 0, "max JSON request-body bytes on the API (0 = default 8 MiB)")
 		maxTrace  = flag.Int64("max-trace-body", 0, "max raw trace-upload bytes on POST /v1/traces (0 = default 256 MiB)")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty disables)")
+		queueMax  = flag.Int("queue-max", 0, "per-class queued-job watermark for admission control: over it, submissions get 429 + Retry-After; batch classes (sweeps) are exempt up to 64x this (0 disables)")
+		weights   = flag.String("class-weights", "", "fair-share dispatch weight overrides, comma-separated name=weight (defaults interactive=8,batch=1,default=4)")
+		hedge     = flag.Duration("hedge-after", 0, "duplicate a straggler cell onto a second backend after this long once the queue drains; first verified result wins (0 disables)")
 	)
 	flag.Parse()
 
@@ -67,8 +93,13 @@ func main() {
 		log.Fatal(err)
 	}
 
+	classWeights, err := parseClassWeights(*weights)
+	if err != nil {
+		log.Fatal(err)
+	}
 	cfg := service.Config{Workers: *workers, CacheSize: *cacheSize, DataDir: *dataDir,
-		WorkerTTL: *workerTTL, MaxBatch: *batch, MaxBody: *maxBody, MaxTraceBody: *maxTrace}
+		WorkerTTL: *workerTTL, MaxBatch: *batch, MaxBody: *maxBody, MaxTraceBody: *maxTrace,
+		QueueMax: *queueMax, ClassWeights: classWeights, HedgeAfter: *hedge}
 	if *resultsAt != "" {
 		cfg.Share = service.NewRemoteResultStore(*resultsAt)
 	}

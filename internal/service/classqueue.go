@@ -1,0 +1,323 @@
+package service
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"time"
+)
+
+// Built-in scheduling classes. Every job joins exactly one class: POST
+// /v1/runs submissions default to ClassInteractive, sweep cells to
+// ClassBatch, and an X-Constable-Tenant header (or JSON tenant field) can
+// name an ad-hoc class instead. Classes are scheduling attributes only —
+// they never enter the JobSpec content hash, so identical simulations
+// dedup across classes.
+const (
+	ClassInteractive = "interactive"
+	ClassBatch       = "batch"
+)
+
+// maxClasses caps how many distinct class queues a scheduler materializes.
+// Classes are created on first use and never deleted (their counters are
+// cumulative), so without a cap an attacker could mint one per request and
+// grow the scheduler without bound. Past the cap, unknown class names fold
+// into the built-in class of their kind.
+const maxClasses = 64
+
+// batchWatermarkFactor scales the admission watermark of batch-kind
+// classes over Config.QueueMax: sweeps flood the queue by design, so they
+// are exempt from the interactive watermark up to their own, much higher,
+// limit.
+const batchWatermarkFactor = 64
+
+// tenantPattern constrains tenant/class names arriving over the API: they
+// become queue names and metric label values, so keep them short and
+// filesystem/exposition-safe.
+var tenantPattern = regexp.MustCompile(`^[A-Za-z0-9._-]{1,32}$`)
+
+func validTenant(name string) bool { return tenantPattern.MatchString(name) }
+
+// isBatchClass reports whether a class is batch-kind: the built-in batch
+// class or a tenant-scoped one ("batch:<tenant>"). Batch-kind classes get
+// the batch admission watermark and the batch default weight.
+func isBatchClass(name string) bool {
+	return name == ClassBatch || strings.HasPrefix(name, ClassBatch+":")
+}
+
+// QueueFullError is returned by Submit when admission control refuses a
+// job: its class's queued depth has reached the watermark. RetryAfter is
+// the server's drain-time estimate, the value the HTTP layer surfaces as a
+// Retry-After header on the 429 response.
+type QueueFullError struct {
+	Class      string
+	Depth      int
+	Limit      int
+	RetryAfter time.Duration
+}
+
+func (e *QueueFullError) Error() string {
+	return fmt.Sprintf("service: %s queue is full (%d/%d jobs queued); retry in %s",
+		e.Class, e.Depth, e.Limit, e.RetryAfter)
+}
+
+// classQueue is one scheduling class's FIFO queue plus its deficit
+// round-robin state and cumulative counters. All fields are guarded by the
+// owning scheduler's mutex.
+type classQueue struct {
+	name   string
+	weight int
+	jobs   []*Job
+
+	// deficit is the class's remaining dispatch credit in the current
+	// round-robin visit (unit job cost). It is replenished by weight when
+	// the rotor reaches a backlogged class and zeroed when the class
+	// drains, so an idle class cannot bank an unbounded burst.
+	deficit int
+
+	admitted   uint64
+	rejected   uint64
+	dispatched uint64
+	requeued   uint64
+	waitNanos  uint64 // cumulative submit→dispatch wait of dispatched jobs
+}
+
+// multiQueue is the scheduler's multi-class job queue: one FIFO per class,
+// drained by weighted deficit round-robin. Within a class, order is strict
+// FIFO — with a single active class the whole structure degenerates to the
+// global FIFO it replaced, which is what keeps sweep artifacts and NDJSON
+// orderings byte-identical. All methods require the scheduler's mutex.
+type multiQueue struct {
+	weights       map[string]int
+	defaultWeight int
+	queueMax      int // per-class admission watermark; 0 disables
+
+	classes map[string]*classQueue
+	order   []*classQueue // creation order; the round-robin rotor's track
+	rr      int           // rotor index into order
+	size    int           // total queued jobs across classes
+}
+
+// newMultiQueue builds the queue with cfg's weight overrides folded over
+// the defaults (interactive 8, batch 1; the "default" key sets the weight
+// of ad-hoc tenant classes, default 4).
+func newMultiQueue(overrides map[string]int, queueMax int) *multiQueue {
+	weights := map[string]int{ClassInteractive: 8, ClassBatch: 1}
+	def := 4
+	for name, w := range overrides {
+		if w < 1 {
+			w = 1
+		}
+		if name == "default" {
+			def = w
+			continue
+		}
+		weights[name] = w
+	}
+	q := &multiQueue{
+		weights:       weights,
+		defaultWeight: def,
+		queueMax:      queueMax,
+		classes:       make(map[string]*classQueue),
+	}
+	// Materialize the built-in classes up front so metrics list them from
+	// the first scrape, before anything is submitted.
+	q.class(ClassInteractive)
+	q.class(ClassBatch)
+	return q
+}
+
+func (q *multiQueue) weightOf(name string) int {
+	if w, ok := q.weights[name]; ok {
+		return w
+	}
+	if isBatchClass(name) {
+		return q.weights[ClassBatch]
+	}
+	return q.defaultWeight
+}
+
+// resolve maps a requested class name to the class a job actually joins:
+// empty means interactive, and past maxClasses unknown names fold into the
+// built-in class of their kind instead of minting new queues.
+func (q *multiQueue) resolve(requested string) string {
+	if requested == "" {
+		return ClassInteractive
+	}
+	if _, ok := q.classes[requested]; ok {
+		return requested
+	}
+	if len(q.classes) >= maxClasses {
+		if isBatchClass(requested) {
+			return ClassBatch
+		}
+		return ClassInteractive
+	}
+	return requested
+}
+
+// class returns the named class queue, creating it on first use.
+func (q *multiQueue) class(name string) *classQueue {
+	cq, ok := q.classes[name]
+	if !ok {
+		cq = &classQueue{name: name, weight: q.weightOf(name)}
+		q.classes[name] = cq
+		q.order = append(q.order, cq)
+	}
+	return cq
+}
+
+// watermark is the class's admission limit: QueueMax for interactive-kind
+// classes, batchWatermarkFactor×QueueMax for batch-kind ones, 0 (no limit)
+// when admission control is disabled.
+func (q *multiQueue) watermark(name string) int {
+	if q.queueMax <= 0 {
+		return 0
+	}
+	if isBatchClass(name) {
+		return q.queueMax * batchWatermarkFactor
+	}
+	return q.queueMax
+}
+
+// depth is the number of jobs queued in the named class.
+func (q *multiQueue) depth(name string) int {
+	if cq, ok := q.classes[name]; ok {
+		return len(cq.jobs)
+	}
+	return 0
+}
+
+func (q *multiQueue) len() int { return q.size }
+
+// push appends j to the tail of its class queue.
+func (q *multiQueue) push(j *Job) {
+	cq := q.class(j.Class)
+	cq.jobs = append(cq.jobs, j)
+	cq.admitted++
+	q.size++
+}
+
+// requeueFront puts jobs back at the head of their class queues, keeping
+// their relative order — a failed chunk's cells re-enter as the oldest
+// work of each class, exactly as the single-queue scheduler requeued them,
+// and never ahead of another class's unrelated jobs.
+func (q *multiQueue) requeueFront(jobs []*Job) {
+	if len(jobs) == 0 {
+		return
+	}
+	groups := make(map[string][]*Job)
+	var names []string
+	for _, j := range jobs {
+		if _, ok := groups[j.Class]; !ok {
+			names = append(names, j.Class)
+		}
+		groups[j.Class] = append(groups[j.Class], j)
+	}
+	for _, name := range names {
+		cq := q.class(name)
+		g := groups[name]
+		cq.jobs = append(g, cq.jobs...)
+		cq.requeued += uint64(len(g))
+		q.size += len(g)
+	}
+}
+
+// pop removes and returns the next job under weighted deficit round-robin
+// with unit job cost: when the rotor reaches a backlogged class with no
+// credit left it grants the class its weight, serves from it until the
+// credit runs out (or the class drains), then advances. Steady-state
+// dispatch ratios therefore match the configured weights — 8:1 interactive
+// over batch by default — while a lone active class is served back to back
+// in pure FIFO order. Returns nil when nothing is queued.
+func (q *multiQueue) pop(now time.Time) *Job {
+	if q.size == 0 {
+		return nil
+	}
+	for {
+		cq := q.order[q.rr%len(q.order)]
+		if len(cq.jobs) == 0 {
+			cq.deficit = 0
+			q.rr++
+			continue
+		}
+		if cq.deficit == 0 {
+			cq.deficit = cq.weight
+		}
+		j := cq.jobs[0]
+		cq.jobs = cq.jobs[1:]
+		cq.deficit--
+		cq.dispatched++
+		cq.waitNanos += uint64(now.Sub(j.submitted))
+		q.size--
+		if len(cq.jobs) == 0 {
+			cq.deficit = 0
+		}
+		if cq.deficit == 0 {
+			q.rr++
+		}
+		return j
+	}
+}
+
+// popN pops up to n jobs in dispatch order.
+func (q *multiQueue) popN(n int, now time.Time) []*Job {
+	if n > q.size {
+		n = q.size
+	}
+	if n <= 0 {
+		return nil
+	}
+	out := make([]*Job, 0, n)
+	for len(out) < n {
+		out = append(out, q.pop(now))
+	}
+	return out
+}
+
+// remove deletes j from its class queue, reporting whether it was queued —
+// the membership check that authorizes cancellation.
+func (q *multiQueue) remove(j *Job) bool {
+	cq, ok := q.classes[j.Class]
+	if !ok {
+		return false
+	}
+	for i, queued := range cq.jobs {
+		if queued == j {
+			cq.jobs = append(cq.jobs[:i], cq.jobs[i+1:]...)
+			if len(cq.jobs) == 0 {
+				cq.deficit = 0
+			}
+			q.size--
+			return true
+		}
+	}
+	return false
+}
+
+// position returns j's 1-based position within its class queue, 0 when j
+// is not queued.
+func (q *multiQueue) position(j *Job) int {
+	cq, ok := q.classes[j.Class]
+	if !ok {
+		return 0
+	}
+	for i, queued := range cq.jobs {
+		if queued == j {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// drain empties every class queue and returns the removed jobs (shutdown).
+func (q *multiQueue) drain() []*Job {
+	out := make([]*Job, 0, q.size)
+	for _, cq := range q.order {
+		out = append(out, cq.jobs...)
+		cq.jobs = nil
+		cq.deficit = 0
+	}
+	q.size = 0
+	return out
+}

@@ -24,17 +24,25 @@ type sweepStreamLine struct {
 
 // JobView is the API representation of a job.
 type JobView struct {
-	ID       string         `json:"id"`
-	Hash     string         `json:"hash"`
-	Status   JobStatus      `json:"status"`
-	Spec     JobSpec        `json:"spec"`
-	CacheHit bool           `json:"cache_hit,omitempty"`
-	Error    string         `json:"error,omitempty"`
-	Result   *sim.RunResult `json:"result,omitempty"`
+	ID     string    `json:"id"`
+	Hash   string    `json:"hash"`
+	Status JobStatus `json:"status"`
+	// Class is the fair-share scheduling class the job queues under;
+	// QueuePosition its 1-based position within that class's queue (0 once
+	// it is running or finished — and in every terminal response). Sweep
+	// tags a sweep cell with its owning sweep's ID.
+	Class         string         `json:"class,omitempty"`
+	QueuePosition int            `json:"queue_position,omitempty"`
+	Sweep         string         `json:"sweep,omitempty"`
+	Spec          JobSpec        `json:"spec"`
+	CacheHit      bool           `json:"cache_hit,omitempty"`
+	Error         string         `json:"error,omitempty"`
+	Result        *sim.RunResult `json:"result,omitempty"`
 }
 
-func viewOf(j *Job) JobView {
-	v := JobView{ID: j.ID, Hash: j.Hash, Spec: j.Spec, Status: j.Status(), CacheHit: j.CacheHit()}
+func (s *Scheduler) viewOf(j *Job) JobView {
+	v := JobView{ID: j.ID, Hash: j.Hash, Spec: j.Spec, Status: j.Status(), CacheHit: j.CacheHit(),
+		Class: j.Class, Sweep: j.SweepID, QueuePosition: s.QueuePosition(j.ID)}
 	res, err := j.Result()
 	if err != nil {
 		v.Error = err.Error()
@@ -57,6 +65,12 @@ type SweepRequest struct {
 
 	// FailFast cancels the rest of the sweep after the first failed cell.
 	FailFast bool `json:"fail_fast,omitempty"`
+
+	// Tenant scopes the sweep's batch scheduling class ("batch:<tenant>"),
+	// so one tenant's sweeps fair-share against another's. The
+	// X-Constable-Tenant header overrides it; empty uses the shared batch
+	// class.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // matrix expands the request into the cell matrix handed to StartSweep.
@@ -152,9 +166,13 @@ func routesFor(s *Scheduler) []apiRoute {
 			if !readJSON(w, r, s.maxBody, &spec) {
 				return
 			}
-			j, err := s.Submit(spec)
+			class, ok := requestTenant(w, r, spec.Tenant)
+			if !ok {
+				return
+			}
+			j, err := s.SubmitWith(spec, SubmitOptions{Class: class})
 			if err != nil {
-				httpError(w, submitStatus(err), err.Error())
+				writeSubmitError(w, err, "")
 				return
 			}
 			status := http.StatusAccepted
@@ -172,7 +190,7 @@ func routesFor(s *Scheduler) []apiRoute {
 			} else if j.Status() == StatusDone {
 				status = http.StatusOK // served from cache
 			}
-			writeJSON(w, status, viewOf(j))
+			writeJSON(w, status, s.viewOf(j))
 		}},
 
 		{"POST /v1/runs/batch", func(w http.ResponseWriter, r *http.Request) {
@@ -186,12 +204,16 @@ func routesFor(s *Scheduler) []apiRoute {
 			}
 			views := make([]JobView, 0, len(specs))
 			for i, spec := range specs {
-				j, err := s.Submit(spec)
-				if err != nil {
-					httpError(w, submitStatus(err), "spec "+strconv.Itoa(i)+": "+err.Error())
+				class, ok := requestTenant(w, r, spec.Tenant)
+				if !ok {
 					return
 				}
-				views = append(views, viewOf(j))
+				j, err := s.SubmitWith(spec, SubmitOptions{Class: class})
+				if err != nil {
+					writeSubmitError(w, err, "spec "+strconv.Itoa(i)+": ")
+					return
+				}
+				views = append(views, s.viewOf(j))
 			}
 			writeJSON(w, http.StatusAccepted, views)
 		}},
@@ -202,7 +224,7 @@ func routesFor(s *Scheduler) []apiRoute {
 				httpError(w, http.StatusNotFound, "unknown job "+r.PathValue("id"))
 				return
 			}
-			writeJSON(w, http.StatusOK, viewOf(j))
+			writeJSON(w, http.StatusOK, s.viewOf(j))
 		}},
 
 		{"GET /v1/runs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
@@ -234,7 +256,7 @@ func routesFor(s *Scheduler) []apiRoute {
 				return
 			}
 			j, _ := s.Get(id)
-			writeJSON(w, http.StatusOK, viewOf(j))
+			writeJSON(w, http.StatusOK, s.viewOf(j))
 		}},
 
 		{"POST /v1/sweeps", func(w http.ResponseWriter, r *http.Request) {
@@ -247,12 +269,20 @@ func routesFor(s *Scheduler) []apiRoute {
 				httpError(w, http.StatusBadRequest, err.Error())
 				return
 			}
+			tenant, ok := requestTenant(w, r, req.Tenant)
+			if !ok {
+				return
+			}
+			class := "" // StartSweep defaults to ClassBatch
+			if tenant != "" {
+				class = ClassBatch + ":" + tenant
+			}
 			// The sweep belongs to the server, not to this request: it keeps
 			// running after the submitting connection closes and is canceled
 			// only by DELETE (or scheduler shutdown).
-			sw, err := s.StartSweep(context.Background(), matrix, SweepOptions{FailFast: req.FailFast})
+			sw, err := s.StartSweep(context.Background(), matrix, SweepOptions{FailFast: req.FailFast, Class: class})
 			if err != nil {
-				httpError(w, submitStatus(err), err.Error())
+				writeSubmitError(w, err, "")
 				return
 			}
 			writeJSON(w, http.StatusAccepted, sw.View())
@@ -575,6 +605,41 @@ func submitStatus(err error) int {
 		return http.StatusNotFound
 	}
 	return http.StatusBadRequest
+}
+
+// writeSubmitError maps a Submit/StartSweep error onto the wire. Admission
+// refusals become 429 with a Retry-After header carrying the scheduler's
+// drain-time estimate — the contract that lets a loaded server shed
+// interactive traffic politely; everything else goes through submitStatus.
+func writeSubmitError(w http.ResponseWriter, err error, prefix string) {
+	var qf *QueueFullError
+	if errors.As(err, &qf) {
+		w.Header().Set("Retry-After", strconv.Itoa(int(qf.RetryAfter/time.Second)))
+		httpError(w, http.StatusTooManyRequests, prefix+err.Error())
+		return
+	}
+	httpError(w, submitStatus(err), prefix+err.Error())
+}
+
+// requestTenant resolves a submission's tenant/class override: the
+// X-Constable-Tenant header wins over the JSON field; both must satisfy
+// the tenant-name pattern. On a bad name it writes the 400 itself and
+// reports false; an empty result with ok=true means "use the path
+// default".
+func requestTenant(w http.ResponseWriter, r *http.Request, fromJSON string) (string, bool) {
+	tenant := r.Header.Get("X-Constable-Tenant")
+	if tenant == "" {
+		tenant = fromJSON
+	}
+	if tenant == "" {
+		return "", true
+	}
+	if !validTenant(tenant) {
+		httpError(w, http.StatusBadRequest,
+			fmt.Sprintf("invalid tenant %q: want 1-32 characters of [A-Za-z0-9._-]", tenant))
+		return "", false
+	}
+	return tenant, true
 }
 
 // readJSON decodes the request body into v under a byte limit, writing the

@@ -222,6 +222,12 @@ type JobSpec struct {
 	// StablePCs primes the oracles and the Fig. 6 accounting (sorted;
 	// optional — normally the pre-pass computes it).
 	StablePCs []uint64 `json:"stable_pcs,omitempty"`
+
+	// Tenant optionally names the fair-share scheduling class this
+	// submission joins (the X-Constable-Tenant header overrides it). It is
+	// a scheduling attribute, not simulation identity: Canonical clears
+	// it, so equal simulations hash equal — and dedup — across tenants.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // Canonical returns the spec with defaults applied and the named mechanism
@@ -234,6 +240,9 @@ type JobSpec struct {
 // has been fetched.
 func (s JobSpec) Canonical() (JobSpec, error) {
 	c := s
+	// Tenant routes the job to a scheduling class; it does not change what
+	// is simulated, so it must not differentiate content hashes.
+	c.Tenant = ""
 	if workload.IsTraceName(c.Workload) {
 		if _, err := workload.TraceHash(c.Workload); err != nil {
 			return c, err

@@ -16,6 +16,9 @@ type metrics struct {
 	// requeued counts jobs bounced back to the queue after a backend
 	// failure (remote worker died mid-job or returned a bad envelope).
 	requeued atomic.Uint64
+	// admissionRejected counts submissions refused by admission control
+	// (class queue at its watermark → HTTP 429 + Retry-After).
+	admissionRejected atomic.Uint64
 	// executed counts terminal successes that actually ran a simulation on
 	// some backend — completed minus dispatch-time store short-circuits,
 	// and excluding submit-time cache/store/share hits, which never reach
@@ -129,6 +132,38 @@ type MetricsSnapshot struct {
 
 	SimInstructions       uint64  `json:"sim_instructions"`
 	SimInstructionsPerSec float64 `json:"sim_instructions_per_sec"`
+
+	// Fair-share scheduling families. AdmissionRejected counts submissions
+	// refused because their class queue sat at its watermark; Classes
+	// breaks queueing down per scheduling class. Hedge counters track
+	// straggler hedging: duplicates launched, duplicates that beat (or
+	// saved) their primary, duplicates wasted.
+	AdmissionRejected uint64         `json:"admission_rejected"`
+	HedgesDispatched  uint64         `json:"hedges_dispatched"`
+	HedgesWon         uint64         `json:"hedges_won"`
+	HedgesLost        uint64         `json:"hedges_lost"`
+	Classes           []ClassMetrics `json:"classes,omitempty"`
+}
+
+// ClassMetrics is the per-scheduling-class slice of the snapshot.
+type ClassMetrics struct {
+	Name   string `json:"name"`
+	Weight int    `json:"weight"`
+	// Watermark is the class's admission limit (0 = unlimited).
+	Watermark int `json:"watermark,omitempty"`
+	Depth     int `json:"depth"`
+	// Admitted counts jobs that entered this class's queue; Rejected those
+	// refused at the watermark; Dispatched those handed to a backend
+	// (requeues re-count); Requeued those bounced back after a backend
+	// failure. QueueWaitSeconds accumulates the submit→dispatch wait of
+	// every dispatched job — divided by Dispatched it is the class's mean
+	// queue wait, the number the interactive class's weight exists to keep
+	// small.
+	Admitted         uint64  `json:"admitted"`
+	Rejected         uint64  `json:"rejected"`
+	Dispatched       uint64  `json:"dispatched"`
+	Requeued         uint64  `json:"requeued"`
+	QueueWaitSeconds float64 `json:"queue_wait_seconds"`
 }
 
 // Metrics returns a snapshot of the scheduler's counters.
@@ -196,7 +231,32 @@ func (s *Scheduler) Metrics() MetricsSnapshot {
 	if busy := s.metrics.simBusyNanos.Load(); busy > 0 {
 		m.SimInstructionsPerSec = float64(m.SimInstructions) / (float64(busy) / 1e9)
 	}
+	m.AdmissionRejected = s.metrics.admissionRejected.Load()
+	m.HedgesDispatched, m.HedgesWon, m.HedgesLost = s.backend.hedgeStats()
+	m.Classes = s.classMetrics()
 	return m
+}
+
+// classMetrics snapshots the per-class queueing counters in class-creation
+// order (stable across scrapes — classes are never deleted).
+func (s *Scheduler) classMetrics() []ClassMetrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]ClassMetrics, 0, len(s.queues.order))
+	for _, cq := range s.queues.order {
+		out = append(out, ClassMetrics{
+			Name:             cq.name,
+			Weight:           cq.weight,
+			Watermark:        s.queues.watermark(cq.name),
+			Depth:            len(cq.jobs),
+			Admitted:         cq.admitted,
+			Rejected:         cq.rejected,
+			Dispatched:       cq.dispatched,
+			Requeued:         cq.requeued,
+			QueueWaitSeconds: float64(cq.waitNanos) / 1e9,
+		})
+	}
+	return out
 }
 
 // WriteTo renders the snapshot in Prometheus text exposition format.
@@ -253,9 +313,34 @@ func (m MetricsSnapshot) WriteTo(w io.Writer) (int64, error) {
 		{"trace_bytes_stored", m.TraceBytesStored},
 		{"sim_instructions_total", m.SimInstructions},
 		{"sim_instructions_per_second", m.SimInstructionsPerSec},
+		{"admission_rejected_total", m.AdmissionRejected},
+		{"hedges_dispatched_total", m.HedgesDispatched},
+		{"hedges_won_total", m.HedgesWon},
+		{"hedges_lost_total", m.HedgesLost},
 	} {
 		if err := write(row.name, row.value); err != nil {
 			return n, err
+		}
+	}
+	for _, c := range m.Classes {
+		for _, row := range []struct {
+			name  string
+			value any
+		}{
+			{"class_weight", c.Weight},
+			{"class_watermark", c.Watermark},
+			{"class_queue_depth", c.Depth},
+			{"class_admitted_total", c.Admitted},
+			{"class_rejected_total", c.Rejected},
+			{"class_dispatched_total", c.Dispatched},
+			{"class_requeued_total", c.Requeued},
+			{"class_queue_wait_seconds_total", c.QueueWaitSeconds},
+		} {
+			c2, err := fmt.Fprintf(w, "constable_%s{class=%q} %v\n", row.name, c.Name, row.value)
+			n += int64(c2)
+			if err != nil {
+				return n, err
+			}
 		}
 	}
 	return n, nil

@@ -33,6 +33,14 @@ type Job struct {
 	Hash string
 	Spec JobSpec // canonical form
 
+	// Class is the fair-share scheduling class the job was submitted under
+	// (ClassInteractive unless the submitter said otherwise); SweepID tags
+	// a sweep cell with its owning sweep. Both are scheduling attributes —
+	// they never enter the spec's content hash — and are immutable after
+	// Submit.
+	Class   string
+	SweepID string
+
 	mu       sync.Mutex
 	status   JobStatus
 	result   *sim.RunResult
@@ -174,6 +182,38 @@ type Config struct {
 	// it. Workers install a RemoteResultStore pointed at their server; a
 	// federated dispatch server can point one at an upstream results server.
 	Share ResultSharer
+	// QueueMax, when positive, is the per-class queued-job watermark for
+	// admission control: a submission that finds its class's queue at the
+	// watermark is refused with a QueueFullError (HTTP 429 + Retry-After)
+	// instead of queued. Batch-kind classes (sweep cells) are exempt up to
+	// their own watermark of 64×QueueMax — sweeps flood the queue by
+	// design. Submissions that dedup onto an in-flight job or are answered
+	// by the cache/store/share are never refused. Zero disables admission
+	// control.
+	QueueMax int
+	// ClassWeights overrides the weighted deficit-round-robin dispatch
+	// weights (defaults: interactive 8, batch 1; the "default" key sets
+	// the weight of ad-hoc tenant classes, default 4).
+	ClassWeights map[string]int
+	// HedgeAfter, when positive, arms hedged dispatch for stragglers: once
+	// the queue has drained (a sweep tail), a single-cell dispatch to a
+	// remote worker that hasn't answered within HedgeAfter is duplicated
+	// onto the next-best backend; the first verified result wins and the
+	// loser's request is canceled (the worker abandons its copy). Zero
+	// disables hedging.
+	HedgeAfter time.Duration
+}
+
+// SubmitOptions carries a submission's scheduling attributes — everything
+// about how a job is queued, nothing about what it simulates, so none of
+// it enters the JobSpec content hash and a submission that dedups onto an
+// in-flight job simply joins that job's existing class.
+type SubmitOptions struct {
+	// Class names the fair-share scheduling class. Empty selects
+	// ClassInteractive.
+	Class string
+	// SweepID tags the job as a cell of the named sweep.
+	SweepID string
 }
 
 // Scheduler runs JobSpecs through a pluggable execution Backend — by
@@ -201,7 +241,7 @@ type Scheduler struct {
 
 	mu        sync.Mutex
 	cond      *sync.Cond
-	queue     []*Job
+	queues    *multiQueue
 	byID      map[string]*Job
 	inflight  map[string]*Job // hash → queued/running job
 	retention int
@@ -260,6 +300,7 @@ func Open(cfg Config) (*Scheduler, error) {
 	s := &Scheduler{
 		cache:        newResultCache(cfg.CacheSize),
 		runFn:        sim.Run,
+		queues:       newMultiQueue(cfg.ClassWeights, cfg.QueueMax),
 		byID:         make(map[string]*Job),
 		inflight:     make(map[string]*Job),
 		retention:    cfg.JobRetention,
@@ -297,6 +338,10 @@ func Open(cfg Config) (*Scheduler, error) {
 	s.share = cfg.Share
 	s.backend.maxBatch = s.maxBatch
 	s.backend.onChange = s.wake
+	s.backend.hedgeAfter = cfg.HedgeAfter
+	// Hedging only duplicates work when no queued cell could use the spare
+	// slot better — i.e. at the sweep tail, once the queue has drained.
+	s.backend.hedgeGate = func() bool { return s.QueueDepth() == 0 }
 	s.backend.setWorkloadResolver(s.resolveWorkload)
 	s.backend.setResultLookup(s.dispatchLookup)
 	s.cond = sync.NewCond(&s.mu)
@@ -388,7 +433,18 @@ func (s *Scheduler) Traces() *traceStore { return s.traces }
 // A trace-referenced spec is resolved up front — on a worker this is what
 // triggers the fetch-by-hash from the server — so a job for an unavailable
 // trace fails at submission (ErrTraceUnavailable) rather than mid-dispatch.
+// The job joins the interactive scheduling class; SubmitWith chooses.
 func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
+	return s.SubmitWith(spec, SubmitOptions{})
+}
+
+// SubmitWith is Submit with explicit scheduling attributes: the class the
+// job queues under (fair-share dispatch, admission control) and the sweep
+// it belongs to. When the class's queue is at its admission watermark
+// (Config.QueueMax) the submission is refused with a *QueueFullError —
+// unless it never needs a queue slot at all: dedup onto an in-flight job,
+// a cache/store/share hit, all bypass admission.
+func (s *Scheduler) SubmitWith(spec JobSpec, opts SubmitOptions) (*Job, error) {
 	canonical, err := spec.Canonical()
 	if err != nil {
 		return nil, err
@@ -421,6 +477,8 @@ func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
 		ID:        fmt.Sprintf("job-%d", s.nextID),
 		Hash:      hash,
 		Spec:      canonical,
+		Class:     s.queues.resolve(opts.Class),
+		SweepID:   opts.SweepID,
 		status:    StatusQueued,
 		submitted: time.Now(),
 		done:      make(chan struct{}),
@@ -435,8 +493,12 @@ func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
 	}
 
 	if s.store == nil && s.share == nil {
+		if err := s.admitLocked(j.Class); err != nil {
+			s.rejectLocked(j)
+			return nil, err
+		}
 		s.inflight[hash] = j
-		s.queue = append(s.queue, j)
+		s.queues.push(j)
 		s.cond.Signal()
 		return j, nil
 	}
@@ -484,9 +546,68 @@ func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
 		s.retireLocked(j)
 		return j, nil
 	}
-	s.queue = append(s.queue, j)
+	if err := s.admitLocked(j.Class); err != nil && j.refs <= 1 {
+		// Every tier missed and the class queue is full. Refusing is only
+		// safe while no concurrent identical Submit deduped onto j during
+		// the unlocked lookup — sharers hold a *Job they will Wait on, so a
+		// shared job must queue despite the watermark (dedup bypasses
+		// admission by design: it consumes no new queue capacity of its
+		// own submitter's making).
+		delete(s.inflight, hash)
+		s.rejectLocked(j)
+		return nil, err
+	}
+	s.queues.push(j)
 	s.cond.Signal()
 	return j, nil
+}
+
+// admitLocked applies the admission watermark to one prospective enqueue,
+// returning a *QueueFullError when the class's queue is full. A class
+// below its watermark always admits — the submission that brings the
+// depth exactly to the limit is the last one in. Caller holds s.mu.
+func (s *Scheduler) admitLocked(class string) error {
+	limit := s.queues.watermark(class)
+	if limit <= 0 {
+		return nil
+	}
+	depth := s.queues.depth(class)
+	if depth < limit {
+		return nil
+	}
+	return &QueueFullError{
+		Class:      class,
+		Depth:      depth,
+		Limit:      limit,
+		RetryAfter: s.retryAfterLocked(depth),
+	}
+}
+
+// rejectLocked unregisters a job refused by admission control (it was
+// never queued, so there is nothing to cancel) and counts the rejection.
+func (s *Scheduler) rejectLocked(j *Job) {
+	delete(s.byID, j.ID)
+	s.queues.class(j.Class).rejected++
+	s.metrics.admissionRejected.Add(1)
+}
+
+// retryAfterLocked estimates how long a refused submitter should back off:
+// the time the backend needs to drain the rejected class's backlog at its
+// current capacity, clamped to [1s, 60s] so clients neither stampede back
+// immediately nor give up on a briefly saturated server.
+func (s *Scheduler) retryAfterLocked(depth int) time.Duration {
+	capacity := s.backend.Capacity()
+	if capacity < 1 {
+		capacity = 1
+	}
+	secs := (depth + capacity - 1) / capacity
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return time.Duration(secs) * time.Second
 }
 
 // Abandon drops one submitter's interest in a job. When the last interested
@@ -519,22 +640,20 @@ func (s *Scheduler) Abandon(id string) bool {
 	return canceled
 }
 
-// cancelQueuedLocked removes j from the queue and finishes it as canceled,
-// reporting false when j is not queued (running or terminal). Queue
-// membership — checked and removed under the lock, so a concurrent worker
-// pop or second cancellation cannot also finish the job — is what
-// authorizes canceling. Caller holds s.mu and owns the canceled metric.
+// cancelQueuedLocked removes j from its class queue and finishes it as
+// canceled, reporting false when j is not queued (running or terminal).
+// Queue membership — checked and removed under the lock, so a concurrent
+// dispatcher pop or second cancellation cannot also finish the job — is
+// what authorizes canceling. Caller holds s.mu and owns the canceled
+// metric.
 func (s *Scheduler) cancelQueuedLocked(j *Job) bool {
-	for i, q := range s.queue {
-		if q == j {
-			s.queue = append(s.queue[:i], s.queue[i+1:]...)
-			delete(s.inflight, j.Hash)
-			j.finish(nil, ErrCanceled, StatusCanceled, false)
-			s.retireLocked(j)
-			return true
-		}
+	if !s.queues.remove(j) {
+		return false
 	}
-	return false
+	delete(s.inflight, j.Hash)
+	j.finish(nil, ErrCanceled, StatusCanceled, false)
+	s.retireLocked(j)
+	return true
 }
 
 // RunSync submits spec and waits for its result.
@@ -630,11 +749,33 @@ func (s *Scheduler) dispatchLookup(hash string) *sim.RunResult {
 	return nil
 }
 
-// QueueDepth returns the number of jobs waiting for a worker.
+// QueueDepth returns the number of jobs waiting for a worker, across every
+// scheduling class.
 func (s *Scheduler) QueueDepth() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.queue)
+	return s.queues.len()
+}
+
+// ClassQueueDepth returns the number of jobs queued in one scheduling
+// class.
+func (s *Scheduler) ClassQueueDepth(class string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queues.depth(class)
+}
+
+// QueuePosition returns the job's 1-based position within its class queue
+// — what a polling client sees as "how many jobs of my kind are ahead of
+// me" — or 0 when the job is not queued (running, finished, unknown).
+func (s *Scheduler) QueuePosition(id string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.byID[id]
+	if !ok {
+		return 0
+	}
+	return s.queues.position(j)
 }
 
 // Running returns the number of jobs currently simulating.
@@ -653,8 +794,7 @@ func (s *Scheduler) Shutdown(ctx context.Context) error {
 		return nil
 	}
 	s.closed = true
-	canceled := s.queue
-	s.queue = nil
+	canceled := s.queues.drain()
 	for _, j := range canceled {
 		delete(s.inflight, j.Hash)
 	}
@@ -704,7 +844,8 @@ func (s *Scheduler) retireLocked(j *Job) {
 // dispatch is the scheduler's single dispatcher goroutine. Whenever the
 // backend has free dispatch budget it reserves a chunk of cells on the
 // single best backend slot — sized adaptively to that slot's free capacity
-// and capped at Config.MaxBatch — pops that many queued jobs, and hands the
+// and capped at Config.MaxBatch — pops that many queued jobs under
+// weighted deficit round-robin across the class queues, and hands the
 // chunk to its own runChunk goroutine; a remote chunk then rides one worker
 // round trip instead of one per cell. Budget is re-read on every iteration,
 // so the gate automatically widens when a remote worker registers (the
@@ -717,14 +858,14 @@ func (s *Scheduler) dispatch() {
 	defer s.wg.Done()
 	for {
 		s.mu.Lock()
-		for !s.closed && (len(s.queue) == 0 || s.running >= s.backend.DispatchBudget()) {
+		for !s.closed && (s.queues.len() == 0 || s.running >= s.backend.DispatchBudget()) {
 			s.cond.Wait()
 		}
 		if s.closed {
 			s.mu.Unlock()
 			return
 		}
-		want := min(len(s.queue), s.maxBatch)
+		want := min(s.queues.len(), s.maxBatch)
 		s.mu.Unlock()
 
 		r, err := s.backend.Reserve(s.dispatchCtx, want)
@@ -735,13 +876,8 @@ func (s *Scheduler) dispatch() {
 			continue
 		}
 		s.mu.Lock()
-		n := min(r.Granted(), len(s.queue))
-		var chunk []*Job
-		if n > 0 {
-			chunk = append(chunk, s.queue[:n]...)
-			s.queue = s.queue[n:]
-			s.running += n
-		}
+		chunk := s.queues.popN(min(r.Granted(), s.queues.len()), time.Now())
+		s.running += len(chunk)
 		s.mu.Unlock()
 		if len(chunk) == 0 {
 			// Everything queued was canceled while we waited for the slot.
@@ -763,8 +899,8 @@ func (s *Scheduler) dispatch() {
 // the persistent store exactly as a local run always has, a simulation
 // failure is terminal for that cell alone, and a backend failure (remote
 // worker died mid-chunk, returned a bad envelope, or no healthy backend
-// exists) requeues the affected cells at the head of the queue in their
-// original order — except cells every submitter has abandoned in the
+// exists) requeues the affected cells at the head of their class queues in
+// their original order — except cells every submitter has abandoned in the
 // meantime: those are dropped from the chunk and canceled, not requeued to
 // simulate for no one, while their live siblings still requeue. The chunk
 // is never the unit of failure; the cell is.
@@ -812,9 +948,7 @@ func (s *Scheduler) runChunk(r *reservation, chunk []*Job) {
 		delete(s.inflight, j.Hash)
 		terminal = append(terminal, i)
 	}
-	if len(requeued) > 0 {
-		s.queue = append(requeued, s.queue...)
-	}
+	s.queues.requeueFront(requeued)
 	s.cond.Broadcast()
 	s.mu.Unlock()
 

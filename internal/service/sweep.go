@@ -26,6 +26,11 @@ type SweepOptions struct {
 	// queued cells are dropped (unless another submitter shares them) and
 	// the sweep drains without waiting for results nobody will use.
 	FailFast bool
+	// Class names the scheduling class the sweep's cells are submitted
+	// under. Empty selects ClassBatch — sweep cells are batch work by
+	// definition; a tenant-scoped batch class ("batch:<tenant>") keeps one
+	// tenant's sweeps fair-sharing against another's.
+	Class string
 }
 
 // SweepEvent reports one finished cell of a sweep. Events are delivered in
@@ -53,8 +58,10 @@ type SweepEvent struct {
 
 // SweepView is the API representation of a sweep's aggregate state.
 type SweepView struct {
-	ID        string      `json:"id"`
-	Status    SweepStatus `json:"status"`
+	ID     string      `json:"id"`
+	Status SweepStatus `json:"status"`
+	// Class is the scheduling class the sweep's cells queue under.
+	Class     string      `json:"class,omitempty"`
 	Rows      int         `json:"rows"`
 	Total     int         `json:"total_cells"`
 	Completed int         `json:"completed_cells"`
@@ -72,6 +79,7 @@ type Sweep struct {
 	sched *Scheduler
 	stop  context.CancelFunc
 
+	class    string
 	rows     int
 	total    int
 	failFast bool
@@ -126,10 +134,15 @@ func (s *Scheduler) StartSweep(ctx context.Context, matrix [][]JobSpec, opts Swe
 		total += len(row)
 	}
 
+	class := opts.Class
+	if class == "" {
+		class = ClassBatch
+	}
 	swctx, cancel := context.WithCancel(ctx)
 	sw := &Sweep{
 		sched:    s,
 		stop:     cancel,
+		class:    class,
 		rows:     len(matrix),
 		total:    total,
 		failFast: opts.FailFast,
@@ -139,10 +152,18 @@ func (s *Scheduler) StartSweep(ctx context.Context, matrix [][]JobSpec, opts Swe
 	}
 	sw.cond = sync.NewCond(&sw.mu)
 
+	// The sweep's identity is allocated before its cells are submitted so
+	// each cell can be tagged with it (JobView.Sweep); the sweep only
+	// becomes pollable once every cell is in.
+	s.mu.Lock()
+	s.nextSweep++
+	sw.ID = fmt.Sprintf("sweep-%d", s.nextSweep)
+	s.mu.Unlock()
+
 	for ri, row := range matrix {
 		sw.jobs[ri] = make([]*Job, len(row))
 		for ci, spec := range row {
-			j, err := s.Submit(spec)
+			j, err := s.SubmitWith(spec, SubmitOptions{Class: class, SweepID: sw.ID})
 			if err != nil {
 				// Roll back: drop interest in everything already submitted.
 				for _, prow := range sw.jobs {
@@ -160,8 +181,6 @@ func (s *Scheduler) StartSweep(ctx context.Context, matrix [][]JobSpec, opts Swe
 	}
 
 	s.mu.Lock()
-	s.nextSweep++
-	sw.ID = fmt.Sprintf("sweep-%d", s.nextSweep)
 	s.sweeps[sw.ID] = sw
 	s.mu.Unlock()
 	s.metrics.sweepsStarted.Add(1)
@@ -341,6 +360,7 @@ func (sw *Sweep) View() SweepView {
 	v := SweepView{
 		ID:        sw.ID,
 		Status:    sw.status,
+		Class:     sw.class,
 		Rows:      sw.rows,
 		Total:     sw.total,
 		Completed: sw.completed,
